@@ -1,0 +1,154 @@
+//! Raw word-block allocation shared by the STM backends.
+//!
+//! Word-based STMs manage memory as arrays of machine words (the paper's
+//! transactional objects — list nodes, tree nodes — are exactly such
+//! arrays). Both backends allocate blocks through these helpers so that
+//! the alignment invariant required by the lock-word encoding (bit 0 of
+//! every in-use pointer is zero) holds everywhere.
+
+use core::alloc::Layout;
+
+/// Compute the layout for `words` machine words, aligned to a word.
+///
+/// Panics on `words == 0` or overflow — both are caller bugs, not
+/// recoverable conditions.
+pub fn words_layout(words: usize) -> Layout {
+    assert!(words > 0, "zero-word allocation");
+    Layout::array::<usize>(words).expect("word block too large")
+}
+
+/// Allocate `words` zero-initialized words.
+///
+/// The returned pointer is word-aligned (so its low bit is zero, which
+/// the lock encodings rely on). Aborts the process on OOM, matching the
+/// behaviour of the C implementation's `malloc` wrapper.
+pub fn alloc_words(words: usize) -> *mut usize {
+    let layout = words_layout(words);
+    // SAFETY: layout has non-zero size (words > 0 checked above).
+    let ptr = unsafe { std::alloc::alloc_zeroed(layout) } as *mut usize;
+    if ptr.is_null() {
+        std::alloc::handle_alloc_error(layout);
+    }
+    debug_assert_eq!(ptr as usize & 1, 0);
+    ptr
+}
+
+/// Free a block previously returned by [`alloc_words`] with the same
+/// `words` count.
+///
+/// # Safety
+/// `ptr` must come from `alloc_words(words)` and must not have been freed
+/// already; no thread may access the block concurrently.
+pub unsafe fn dealloc_words(ptr: *mut usize, words: usize) {
+    debug_assert!(!ptr.is_null());
+    std::alloc::dealloc(ptr as *mut u8, words_layout(words));
+}
+
+/// An owned word block, freeing itself on drop. Used by tests and by
+/// backend-internal structures whose lifetime is managed by Rust rather
+/// than by transactions.
+#[derive(Debug)]
+pub struct WordBlock {
+    ptr: *mut usize,
+    words: usize,
+}
+
+// SAFETY: WordBlock uniquely owns its allocation; transferring it between
+// threads transfers that ownership.
+unsafe impl Send for WordBlock {}
+unsafe impl Sync for WordBlock {}
+
+impl WordBlock {
+    /// Allocate a zeroed block of `words` words.
+    pub fn new(words: usize) -> WordBlock {
+        WordBlock {
+            ptr: alloc_words(words),
+            words,
+        }
+    }
+
+    /// Base pointer of the block.
+    pub fn as_ptr(&self) -> *mut usize {
+        self.ptr
+    }
+
+    /// Number of words in the block.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Read word `idx` non-transactionally (single-threaded contexts
+    /// only: setup and teardown of benchmarks/tests).
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn read(&self, idx: usize) -> usize {
+        assert!(idx < self.words);
+        // SAFETY: in-bounds word of a live allocation; atomic to stay
+        // defined even if a stray transactional access races (it must
+        // not, but defence costs nothing here).
+        unsafe { crate::atomic_view(self.ptr.add(idx)) }.load(core::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Write word `idx` non-transactionally (setup/teardown only).
+    pub fn write(&self, idx: usize, value: usize) {
+        assert!(idx < self.words);
+        // SAFETY: as in `read`.
+        unsafe { crate::atomic_view(self.ptr.add(idx)) }
+            .store(value, core::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+impl Drop for WordBlock {
+    fn drop(&mut self) {
+        // SAFETY: ptr/words match the original allocation; &mut self
+        // guarantees exclusivity.
+        unsafe { dealloc_words(self.ptr, self.words) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_zeroed_and_aligned() {
+        let b = WordBlock::new(16);
+        assert_eq!(b.as_ptr() as usize % core::mem::align_of::<usize>(), 0);
+        assert_eq!(b.as_ptr() as usize & 1, 0);
+        for i in 0..16 {
+            assert_eq!(b.read(i), 0);
+        }
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let b = WordBlock::new(4);
+        b.write(0, usize::MAX);
+        b.write(3, 0xdead_beef);
+        assert_eq!(b.read(0), usize::MAX);
+        assert_eq!(b.read(3), 0xdead_beef);
+        assert_eq!(b.read(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-word allocation")]
+    fn zero_words_panics() {
+        let _ = words_layout(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let b = WordBlock::new(2);
+        let _ = b.read(2);
+    }
+
+    #[test]
+    fn many_blocks_are_distinct() {
+        let blocks: Vec<WordBlock> = (1..64).map(WordBlock::new).collect();
+        let mut addrs: Vec<usize> = blocks.iter().map(|b| b.as_ptr() as usize).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 63);
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimal backend-independent statistics, the common denominator the
+//! workload harness needs: committed and aborted transaction counts.
+//!
+//! Backends keep richer per-thread statistics (see `tinystm::stats`);
+//! this snapshot is what throughput and abort-rate figures are computed
+//! from (Figures 2–5 of the paper report exactly these two quantities
+//! over time).
+
+use crate::AbortReason;
+
+/// A point-in-time aggregate of commit/abort counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BasicStats {
+    /// Transactions that committed successfully.
+    pub commits: u64,
+    /// Transaction attempts that aborted (each retry counts once).
+    pub aborts: u64,
+    /// Aborts broken down by reason, indexed by [`AbortReason::index`].
+    pub aborts_by_reason: [u64; AbortReason::ALL.len()],
+}
+
+impl BasicStats {
+    /// Stats with all counters zero.
+    pub const ZERO: BasicStats = BasicStats {
+        commits: 0,
+        aborts: 0,
+        aborts_by_reason: [0; AbortReason::ALL.len()],
+    };
+
+    /// Counter-wise difference `self - earlier`, saturating at zero so a
+    /// racy snapshot pair can never produce wrap-around garbage.
+    pub fn since(&self, earlier: &BasicStats) -> BasicStats {
+        let mut by_reason = [0u64; AbortReason::ALL.len()];
+        for (i, slot) in by_reason.iter_mut().enumerate() {
+            *slot = self.aborts_by_reason[i].saturating_sub(earlier.aborts_by_reason[i]);
+        }
+        BasicStats {
+            commits: self.commits.saturating_sub(earlier.commits),
+            aborts: self.aborts.saturating_sub(earlier.aborts),
+            aborts_by_reason: by_reason,
+        }
+    }
+
+    /// Counter-wise sum.
+    pub fn merged(&self, other: &BasicStats) -> BasicStats {
+        let mut by_reason = [0u64; AbortReason::ALL.len()];
+        for (i, slot) in by_reason.iter_mut().enumerate() {
+            *slot = self.aborts_by_reason[i] + other.aborts_by_reason[i];
+        }
+        BasicStats {
+            commits: self.commits + other.commits,
+            aborts: self.aborts + other.aborts,
+            aborts_by_reason: by_reason,
+        }
+    }
+
+    /// Total attempts = commits + aborts.
+    pub fn attempts(&self) -> u64 {
+        self.commits + self.aborts
+    }
+
+    /// Fraction of attempts that aborted, in `[0, 1]`; zero when idle.
+    pub fn abort_ratio(&self) -> f64 {
+        let attempts = self.attempts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+
+    /// Record one abort for `reason`.
+    pub fn record_abort(&mut self, reason: AbortReason) {
+        self.aborts += 1;
+        self.aborts_by_reason[reason.index()] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(c: u64, a: u64) -> BasicStats {
+        let mut s = BasicStats {
+            commits: c,
+            ..BasicStats::ZERO
+        };
+        for _ in 0..a {
+            s.record_abort(AbortReason::ReadLocked);
+        }
+        s
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let early = sample(10, 2);
+        let late = sample(25, 7);
+        let d = late.since(&early);
+        assert_eq!(d.commits, 15);
+        assert_eq!(d.aborts, 5);
+        assert_eq!(d.aborts_by_reason[AbortReason::ReadLocked.index()], 5);
+    }
+
+    #[test]
+    fn since_saturates_rather_than_wrapping() {
+        let early = sample(10, 5);
+        let late = sample(3, 1);
+        let d = late.since(&early);
+        assert_eq!(d.commits, 0);
+        assert_eq!(d.aborts, 0);
+    }
+
+    #[test]
+    fn merged_adds() {
+        let a = sample(1, 2);
+        let b = sample(3, 4);
+        let m = a.merged(&b);
+        assert_eq!(m.commits, 4);
+        assert_eq!(m.aborts, 6);
+        assert_eq!(m.attempts(), 10);
+    }
+
+    #[test]
+    fn abort_ratio_bounds() {
+        assert_eq!(BasicStats::ZERO.abort_ratio(), 0.0);
+        let s = sample(1, 1);
+        assert!((s.abort_ratio() - 0.5).abs() < 1e-12);
+        let all_aborts = sample(0, 4);
+        assert_eq!(all_aborts.abort_ratio(), 1.0);
+    }
+
+    #[test]
+    fn record_abort_tracks_reason() {
+        let mut s = BasicStats::ZERO;
+        s.record_abort(AbortReason::ValidationFailed);
+        s.record_abort(AbortReason::ValidationFailed);
+        s.record_abort(AbortReason::WriteLocked);
+        assert_eq!(s.aborts, 3);
+        assert_eq!(s.aborts_by_reason[AbortReason::ValidationFailed.index()], 2);
+        assert_eq!(s.aborts_by_reason[AbortReason::WriteLocked.index()], 1);
+    }
+}

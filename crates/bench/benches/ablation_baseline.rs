@@ -1,0 +1,76 @@
+//! Ablation: STM vs a coarse-grained lock.
+//!
+//! The TinySTM paper defers lock-based comparisons to the TL2 paper;
+//! this bench supplies the missing series: a single `Mutex<BTreeSet>`
+//! against TinySTM-WB on the red-black tree across thread counts and
+//! update rates.
+//!
+//! Expected shape: the coarse lock wins at 1 thread (no instrumentation
+//! overhead) and loses scalability as threads and update rates grow —
+//! on a multicore host. On a single-core host the lock stays ahead;
+//! the series still quantifies the STM's instrumentation overhead.
+
+use stm_bench::{default_opts, make_tiny, thread_list};
+use stm_harness::table::{f1, i, s, SeriesWriter};
+use stm_harness::IntSetWorkload;
+use stm_structures::{CoarseLockSet, RbTree};
+use tinystm::AccessStrategy;
+
+fn main() {
+    let mut out = SeriesWriter::default();
+    out.experiment(
+        "ablation-baseline",
+        "tinystm-wb vs coarse lock, rbtree 1024 elements",
+    );
+    out.columns(&["series", "update_pct", "threads", "txs_per_s"]);
+    for &updates in &[0u32, 20, 60] {
+        let workload = IntSetWorkload::new(1024, updates);
+        for &threads in &thread_list() {
+            let opts = default_opts(threads);
+
+            let stm = make_tiny(AccessStrategy::WriteBack, 16, 0, 0);
+            let set = RbTree::new(stm.clone());
+            let stats = {
+                let stm = stm.clone();
+                move || stm_api::TmHandle::stats_snapshot(&stm)
+            };
+            let m = stm_harness::run_intset(&set, workload, opts, &stats);
+            out.row(&[
+                s("tinystm-wb"),
+                i(updates as u64),
+                i(threads as u64),
+                f1(m.throughput),
+            ]);
+
+            // The coarse lock has no TM stats; count ops via a counter
+            // stood up as BasicStats.
+            use core::sync::atomic::{AtomicU64, Ordering};
+            use std::sync::Arc;
+            let ops = Arc::new(AtomicU64::new(0));
+            let lockset = CoarseLockSet::new();
+            stm_harness::populate(&lockset, &workload, opts.seed ^ 0xD1D1);
+            let stats = {
+                let ops = Arc::clone(&ops);
+                move || stm_api::stats::BasicStats {
+                    commits: ops.load(Ordering::Relaxed),
+                    ..stm_api::stats::BasicStats::ZERO
+                }
+            };
+            let m = stm_harness::drive(opts, &stats, |_t| {
+                let mut op = stm_harness::IntSetOp::new(&lockset, workload);
+                let ops = Arc::clone(&ops);
+                move |rng: &mut rand::rngs::SmallRng| {
+                    op.step(rng);
+                    ops.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            out.row(&[
+                s("coarse-lock"),
+                i(updates as u64),
+                i(threads as u64),
+                f1(m.throughput),
+            ]);
+        }
+        out.gap();
+    }
+}

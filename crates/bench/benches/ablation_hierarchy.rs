@@ -1,0 +1,61 @@
+//! Ablation: hierarchical locking on/off.
+//!
+//! Isolates Section 3.2's mechanism on the workload it was built for
+//! (linked list, large read sets): h = 1 (disabled) vs growing
+//! hierarchies, reporting throughput and the validation fast-path
+//! counters that Figure 12 plots.
+
+use stm_bench::{default_opts, make_tiny, Structure};
+use stm_harness::table::{f1, i, SeriesWriter};
+use stm_harness::{IntSetOp, IntSetWorkload};
+use tinystm::AccessStrategy;
+
+fn main() {
+    let mut out = SeriesWriter::default();
+    out.experiment(
+        "ablation-hierarchy",
+        "hierarchy size sweep on the list (4096, 20% upd, 4 thr): validation savings",
+    );
+    out.columns(&[
+        "h",
+        "txs_per_s",
+        "val_processed_per_s",
+        "val_skipped_per_s",
+        "skip_fraction_pct",
+    ]);
+    let workload = IntSetWorkload::new(4096, 20);
+    for hier_log2 in [0u32, 2, 4, 6, 8] {
+        let stm = make_tiny(AccessStrategy::WriteBack, 16, 0, hier_log2);
+        let set = stm_bench::build_set_on_stm(&stm, Structure::List);
+        stm_harness::populate(&*set, &workload, 0xAB1A);
+        let opts = default_opts(4);
+        let before = stm.stats().totals;
+        let m = stm_harness::drive(
+            opts,
+            &{
+                let stm = stm.clone();
+                move || stm_api::TmHandle::stats_snapshot(&stm)
+            },
+            |_t| {
+                let mut op = IntSetOp::new(&*set, workload);
+                move |rng: &mut rand::rngs::SmallRng| op.step(rng)
+            },
+        );
+        let delta = stm.stats().totals.since(&before);
+        let secs = m.elapsed.as_secs_f64().max(1e-9);
+        let processed = delta.val_locks_processed as f64 / secs;
+        let skipped = delta.val_locks_skipped as f64 / secs;
+        let frac = if processed + skipped > 0.0 {
+            skipped / (processed + skipped) * 100.0
+        } else {
+            0.0
+        };
+        out.row(&[
+            i(1u64 << hier_log2),
+            f1(m.throughput),
+            f1(processed),
+            f1(skipped),
+            f1(frac),
+        ]);
+    }
+}

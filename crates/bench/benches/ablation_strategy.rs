@@ -1,0 +1,46 @@
+//! Ablation: write-back vs write-through.
+//!
+//! Section 3.1: write-through has cheaper commits and O(1)
+//! read-after-write but more expensive aborts (undo) and needs
+//! incarnation numbers; write-back is the reverse. The paper found the
+//! difference small enough to drop the strategy from the tuning knobs
+//! (footnote 7). This bench measures both on a low-conflict workload
+//! (commit cost dominates) and a high-conflict one (abort cost
+//! dominates).
+
+use stm_bench::{default_opts, make_tiny, run_structure_on, Structure};
+use stm_harness::table::{f1, s, SeriesWriter};
+use stm_harness::IntSetWorkload;
+use tinystm::AccessStrategy;
+
+fn main() {
+    let mut out = SeriesWriter::default();
+    out.experiment(
+        "ablation-strategy",
+        "write-back vs write-through under low and high conflict (rbtree, 4 thr)",
+    );
+    out.columns(&["strategy", "workload", "txs_per_s", "aborts_per_s"]);
+    let cases = [
+        ("low-conflict-4096/20%", IntSetWorkload::new(4096, 20)),
+        ("high-conflict-64/100%", IntSetWorkload::new(64, 100)),
+    ];
+    for strategy in [AccessStrategy::WriteBack, AccessStrategy::WriteThrough] {
+        for (label, workload) in cases {
+            let stm = make_tiny(strategy, 16, 0, 0);
+            let stats_handle = stm.clone();
+            let m = run_structure_on(
+                stm,
+                Structure::Rbtree,
+                workload,
+                default_opts(4),
+                &move || stm_api::TmHandle::stats_snapshot(&stats_handle),
+            );
+            out.row(&[
+                s(strategy.short_name()),
+                s(label),
+                f1(m.throughput),
+                f1(m.abort_rate),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 4: abort rates and the overwrite workload.
+//!
+//! Left: aborts/s on the red-black tree (4096 elements, 20% updates).
+//! Center: aborts/s on the linked list (256 elements, 20% updates).
+//! Right: throughput of the *overwrite* list variant (256 elements, 5%
+//! overwrite transactions) — update transactions write every node they
+//! traverse, producing large write sets.
+//!
+//! Paper shape: list aborts an order of magnitude above the tree; no
+//! design scales on the overwrite workload; TL2 suffers most
+//! (write-write conflicts discovered only at commit).
+
+use stm_bench::{default_opts, make_tiny, make_tl2, run_cell, thread_list, Backend, Structure};
+use stm_harness::table::{f1, i, s, SeriesWriter};
+use stm_harness::IntSetWorkload;
+use stm_structures::LinkedList;
+use tinystm::AccessStrategy;
+
+fn main() {
+    let mut out = SeriesWriter::default();
+    out.experiment(
+        "fig04",
+        "abort rates (rbtree 4096/20%, list 256/20%) and overwrite-list throughput (256, 5%)",
+    );
+    out.columns(&["panel", "backend", "threads", "txs_per_s", "aborts_per_s"]);
+
+    for (structure, size, updates) in [
+        (Structure::Rbtree, 4096u64, 20u32),
+        (Structure::List, 256, 20),
+    ] {
+        let workload = IntSetWorkload::new(size, updates);
+        for backend in Backend::ALL {
+            for &threads in &thread_list() {
+                let m = run_cell(backend, structure, workload, default_opts(threads));
+                out.row(&[
+                    s(format!("aborts-{}-{size}/{updates}%", structure.label())),
+                    s(backend.label()),
+                    i(threads as u64),
+                    f1(m.throughput),
+                    f1(m.abort_rate),
+                ]);
+            }
+        }
+        out.gap();
+    }
+
+    // Right panel: 5% overwrite transactions on a 256-element list.
+    let workload = IntSetWorkload::new(256, 5);
+    for backend in Backend::ALL {
+        for &threads in &thread_list() {
+            let opts = default_opts(threads);
+            let m = match backend {
+                Backend::TinyWb | Backend::TinyWt => {
+                    let strategy = if backend == Backend::TinyWb {
+                        AccessStrategy::WriteBack
+                    } else {
+                        AccessStrategy::WriteThrough
+                    };
+                    let stm = make_tiny(strategy, 16, 0, 0);
+                    let list = LinkedList::new(stm.clone());
+                    let stats = {
+                        let stm = stm.clone();
+                        move || stm_api::TmHandle::stats_snapshot(&stm)
+                    };
+                    stm_harness::run_overwrite(&list, workload, opts, &stats)
+                }
+                Backend::Tl2 => {
+                    let tl2 = make_tl2(20, 0);
+                    let list = LinkedList::new(tl2.clone());
+                    let stats = {
+                        let tl2 = tl2.clone();
+                        move || stm_api::TmHandle::stats_snapshot(&tl2)
+                    };
+                    stm_harness::run_overwrite(&list, workload, opts, &stats)
+                }
+            };
+            out.row(&[
+                s("overwrite-list-256/5%"),
+                s(backend.label()),
+                i(threads as u64),
+                f1(m.throughput),
+                f1(m.abort_rate),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 5: throughput as a function of structure size and update rate
+//! (8 threads) for the red-black tree and the linked list.
+//!
+//! Paper shape: throughput falls with update rate everywhere; the
+//! influence of size is ≈ logarithmic for the tree and ≈ linear
+//! (inverse) for the list; all designs produce the same general surface.
+
+use stm_bench::{default_opts, full_mode, run_cell, Backend, Structure};
+use stm_harness::table::{f1, i, s, SeriesWriter};
+use stm_harness::IntSetWorkload;
+
+fn main() {
+    let mut out = SeriesWriter::default();
+    out.experiment(
+        "fig05",
+        "throughput vs structure size x update rate, 8 threads",
+    );
+    out.columns(&["structure", "backend", "size", "update_pct", "txs_per_s"]);
+    let sizes: Vec<u64> = if full_mode() {
+        vec![256, 512, 1024, 2048, 4096]
+    } else {
+        vec![256, 1024, 4096]
+    };
+    let updates: Vec<u32> = if full_mode() {
+        vec![0, 20, 40, 60, 80, 100]
+    } else {
+        vec![0, 20, 60, 100]
+    };
+    for structure in [Structure::Rbtree, Structure::List] {
+        for backend in Backend::ALL {
+            for &size in &sizes {
+                for &u in &updates {
+                    let m = run_cell(
+                        backend,
+                        structure,
+                        IntSetWorkload::new(size, u),
+                        default_opts(8),
+                    );
+                    out.row(&[
+                        s(structure.label()),
+                        s(backend.label()),
+                        i(size),
+                        i(u as u64),
+                        f1(m.throughput),
+                    ]);
+                }
+            }
+        }
+        out.gap();
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 6: influence of `#locks` and `#shifts` on TinySTM throughput
+//! (h = 4, size 4096, 20% updates, 8 threads) for the red-black tree
+//! and the linked list.
+//!
+//! Paper shape: throughput rises with the lock count until it flattens;
+//! a small number of shifts helps (spatial locality) before hurting; the
+//! surfaces differ per workload — the motivation for dynamic tuning.
+
+use stm_bench::{default_opts, full_mode, make_tiny, run_structure_on, Structure};
+use stm_harness::table::{f1, i, s, SeriesWriter};
+use stm_harness::IntSetWorkload;
+use tinystm::AccessStrategy;
+
+fn main() {
+    let mut out = SeriesWriter::default();
+    out.experiment(
+        "fig06",
+        "throughput vs #locks x #shifts (tinystm-wb, h=4, size=4096, 20% upd, 8 thr)",
+    );
+    out.columns(&["structure", "locks_log2", "shifts", "txs_per_s"]);
+    let locks: Vec<u32> = if full_mode() {
+        vec![8, 10, 12, 14, 16, 18, 20, 22, 24]
+    } else {
+        vec![8, 12, 16, 20, 24]
+    };
+    let shifts: Vec<u32> = if full_mode() {
+        vec![0, 1, 2, 3, 4, 5, 6]
+    } else {
+        vec![0, 2, 4, 6]
+    };
+    let workload = IntSetWorkload::new(4096, 20);
+    for structure in [Structure::Rbtree, Structure::List] {
+        for &l in &locks {
+            for &sh in &shifts {
+                let stm = make_tiny(AccessStrategy::WriteBack, l, sh, 2);
+                let stats_handle = stm.clone();
+                let m = run_structure_on(stm, structure, workload, default_opts(8), &move || {
+                    stm_api::TmHandle::stats_snapshot(&stats_handle)
+                });
+                out.row(&[
+                    s(structure.label()),
+                    i(l as u64),
+                    i(sh as u64),
+                    f1(m.throughput),
+                ]);
+            }
+        }
+        out.gap();
+    }
+}

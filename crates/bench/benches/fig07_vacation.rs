@@ -1,0 +1,42 @@
+//! Figure 7: influence of `#locks` and `#shifts` on the Vacation
+//! workload (h = 4, 8 threads).
+//!
+//! The paper compiles STAMP's vacation through the TANGER compiler; this
+//! repo substitutes a native reservation workload with the same
+//! transactional shape (see DESIGN.md §2).
+//!
+//! Paper shape: same general surface as Figure 6 but with the sweet spot
+//! at different parameter values — reinforcing that tuning is
+//! workload-dependent.
+
+use stm_bench::{default_opts, full_mode, make_tiny};
+use stm_harness::table::{f1, i, SeriesWriter};
+use stm_harness::VacationWorkload;
+use tinystm::AccessStrategy;
+
+fn main() {
+    let mut out = SeriesWriter::default();
+    out.experiment(
+        "fig07",
+        "vacation throughput vs #locks x #shifts (tinystm-wb, h=4, 8 thr)",
+    );
+    out.columns(&["locks_log2", "shifts", "txs_per_s"]);
+    let locks: Vec<u32> = if full_mode() {
+        vec![16, 18, 20, 22, 24]
+    } else {
+        vec![16, 20, 24]
+    };
+    let shifts: Vec<u32> = if full_mode() {
+        vec![0, 2, 4, 6, 8]
+    } else {
+        vec![0, 4, 8]
+    };
+    let workload = VacationWorkload::default();
+    for &l in &locks {
+        for &sh in &shifts {
+            let stm = make_tiny(AccessStrategy::WriteBack, l, sh, 2);
+            let m = stm_harness::run_vacation(stm, workload, default_opts(8));
+            out.row(&[i(l as u64), i(sh as u64), f1(m.throughput)]);
+        }
+    }
+}

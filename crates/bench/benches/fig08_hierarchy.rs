@@ -1,0 +1,55 @@
+//! Figure 8: influence of the hierarchical-array size `h` on the
+//! locks × shifts surface (size 4096, 20% updates, 8 threads).
+//!
+//! Paper shape: the red-black tree performs best with a *small*
+//! hierarchical array (4/16 better than 64 — small read sets, counter
+//! increments dominate) while the linked list prefers a *large* one
+//! (64 over 4/16 — validation savings dominate).
+
+use stm_bench::{default_opts, full_mode, make_tiny, run_structure_on, Structure};
+use stm_harness::table::{f1, i, s, SeriesWriter};
+use stm_harness::IntSetWorkload;
+use tinystm::AccessStrategy;
+
+fn main() {
+    let mut out = SeriesWriter::default();
+    out.experiment(
+        "fig08",
+        "throughput vs h over the locks x shifts grid (size=4096, 20% upd, 8 thr)",
+    );
+    out.columns(&["structure", "h", "locks_log2", "shifts", "txs_per_s"]);
+    let hs: Vec<u32> = vec![2, 4, 6]; // h = 4, 16, 64 as in the paper
+    let locks: Vec<u32> = if full_mode() {
+        vec![8, 12, 16, 20, 24]
+    } else {
+        vec![8, 16, 24]
+    };
+    let shifts: Vec<u32> = if full_mode() {
+        vec![0, 2, 4, 6]
+    } else {
+        vec![0, 3, 6]
+    };
+    let workload = IntSetWorkload::new(4096, 20);
+    for structure in [Structure::Rbtree, Structure::List] {
+        for &h in &hs {
+            for &l in &locks {
+                for &sh in &shifts {
+                    let stm = make_tiny(AccessStrategy::WriteBack, l, sh, h);
+                    let stats_handle = stm.clone();
+                    let m =
+                        run_structure_on(stm, structure, workload, default_opts(8), &move || {
+                            stm_api::TmHandle::stats_snapshot(&stats_handle)
+                        });
+                    out.row(&[
+                        s(structure.label()),
+                        i(1u64 << h),
+                        i(l as u64),
+                        i(sh as u64),
+                        f1(m.throughput),
+                    ]);
+                }
+            }
+        }
+        out.gap();
+    }
+}

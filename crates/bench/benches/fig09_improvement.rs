@@ -1,0 +1,115 @@
+//! Figure 9: throughput improvement (percent over the worst point of
+//! each curve) as a function of each tuning parameter in isolation
+//! (size 4096, 20% updates, 8 threads).
+//!
+//! Left: vs `#locks` (h ∈ {4, 64}, structure-specific shifts).
+//! Middle: vs `#shifts` (#locks = 2^22, h ∈ {4, 64}).
+//! Right: vs `h` (#locks = 2^22, shifts ∈ {2, 3}).
+//!
+//! Paper shape: more locks help then flatten (with steps); a few shifts
+//! help then hurt; h rises then falls, with the list gaining much more
+//! from large h than the tree.
+
+use stm_bench::{default_opts, full_mode, make_tiny, run_structure_on, Structure};
+use stm_harness::table::{f1, i, s, SeriesWriter};
+use stm_harness::IntSetWorkload;
+use tinystm::AccessStrategy;
+
+fn measure(structure: Structure, locks: u32, shifts: u32, hier_log2: u32) -> f64 {
+    let stm = make_tiny(AccessStrategy::WriteBack, locks, shifts, hier_log2);
+    let stats_handle = stm.clone();
+    run_structure_on(
+        stm,
+        structure,
+        IntSetWorkload::new(4096, 20),
+        default_opts(8),
+        &move || stm_api::TmHandle::stats_snapshot(&stats_handle),
+    )
+    .throughput
+}
+
+fn improvements(points: &[(u64, f64)]) -> Vec<(u64, f64)> {
+    let min = points
+        .iter()
+        .map(|&(_, t)| t)
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-9);
+    points
+        .iter()
+        .map(|&(x, t)| (x, (t / min - 1.0) * 100.0))
+        .collect()
+}
+
+fn main() {
+    let mut out = SeriesWriter::default();
+    out.experiment(
+        "fig09",
+        "throughput improvement % vs #locks / #shifts / h (size=4096, 20% upd, 8 thr)",
+    );
+    out.columns(&["panel", "series", "x", "improvement_pct"]);
+
+    // Left: vs #locks. Paper pairs rbtree with shift=3, list with shift=2.
+    let locks: Vec<u32> = if full_mode() {
+        vec![8, 10, 12, 14, 16, 18, 20, 22, 24]
+    } else {
+        vec![8, 12, 16, 20, 24]
+    };
+    for (structure, shift) in [(Structure::Rbtree, 3u32), (Structure::List, 2)] {
+        for h in [2u32, 6] {
+            let pts: Vec<(u64, f64)> = locks
+                .iter()
+                .map(|&l| (l as u64, measure(structure, l, shift, h)))
+                .collect();
+            for (x, imp) in improvements(&pts) {
+                out.row(&[
+                    s("locks"),
+                    s(format!("{}-h{}-s{}", structure.label(), 1 << h, shift)),
+                    i(x),
+                    f1(imp),
+                ]);
+            }
+        }
+    }
+    out.gap();
+
+    // Middle: vs #shifts at 2^22 locks.
+    let shifts: Vec<u32> = vec![0, 1, 2, 3, 4, 5, 6];
+    for structure in [Structure::Rbtree, Structure::List] {
+        for h in [2u32, 6] {
+            let pts: Vec<(u64, f64)> = shifts
+                .iter()
+                .map(|&sh| (sh as u64, measure(structure, 22, sh, h)))
+                .collect();
+            for (x, imp) in improvements(&pts) {
+                out.row(&[
+                    s("shifts"),
+                    s(format!("{}-h{}", structure.label(), 1 << h)),
+                    i(x),
+                    f1(imp),
+                ]);
+            }
+        }
+    }
+    out.gap();
+
+    // Right: vs h at 2^22 locks (h = 4, 16, 64, 256).
+    for (structure, shift) in [
+        (Structure::Rbtree, 3u32),
+        (Structure::List, 3),
+        (Structure::Rbtree, 2),
+        (Structure::List, 2),
+    ] {
+        let pts: Vec<(u64, f64)> = [2u32, 4, 6, 8]
+            .iter()
+            .map(|&h| (1u64 << h, measure(structure, 22, shift, h)))
+            .collect();
+        for (x, imp) in improvements(&pts) {
+            out.row(&[
+                s("hier"),
+                s(format!("{}-s{}", structure.label(), shift)),
+                i(x),
+                f1(imp),
+            ]);
+        }
+    }
+}

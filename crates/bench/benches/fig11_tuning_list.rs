@@ -1,0 +1,74 @@
+//! Figure 11: the dynamic tuning strategy on the linked list
+//! (size 4096, 8 threads), same setup as Figure 10.
+//!
+//! Paper shape: the climb is longer than the tree's (the list gains a
+//! lot from growing `h`) and converges near the best statically-found
+//! configuration.
+
+use std::time::Duration;
+use stm_bench::{build_set_on_stm, full_mode, make_tiny, point_ms, Structure};
+use stm_harness::table::{f1, i, s, SeriesWriter};
+use stm_harness::{IntSetOp, IntSetWorkload, MeasureOpts};
+use stm_tuning::{autotune, AutoTuneOpts, TuningPoint};
+use tinystm::AccessStrategy;
+
+fn main() {
+    let mut out = SeriesWriter::default();
+    out.experiment(
+        "fig11",
+        "auto-tuning path and throughput, linked list (4096, 8 thr)",
+    );
+    out.columns(&[
+        "config_idx",
+        "locks_log2",
+        "shifts",
+        "h",
+        "txs_per_s",
+        "move",
+    ]);
+
+    let stm = make_tiny(AccessStrategy::WriteBack, 8, 0, 0);
+    let set = build_set_on_stm(&stm, Structure::List);
+    let workload = IntSetWorkload::new(4096, 20);
+    stm_harness::populate(&*set, &workload, 0xF161_1000u64);
+
+    let tune_opts = AutoTuneOpts {
+        period: Duration::from_millis(point_ms() / 2),
+        samples_per_config: 3,
+        max_configs: if full_mode() { 40 } else { 16 },
+        seed: 1111,
+    };
+    let template = stm.config();
+    let records = stm_harness::drive_with_coordinator(
+        MeasureOpts::default().with_threads(8),
+        |_t| {
+            let mut op = IntSetOp::new(&*set, workload);
+            move |rng: &mut rand::rngs::SmallRng| op.step(rng)
+        },
+        || autotune(&stm, template, TuningPoint::experiment_start(), tune_opts),
+    );
+    for r in &records {
+        out.row(&[
+            i(r.index as u64),
+            i(r.point.locks_log2 as u64),
+            i(r.point.shifts as u64),
+            i(1u64 << r.point.hier_log2),
+            f1(r.throughput),
+            s(r.label.clone()),
+        ]);
+    }
+    let best = records
+        .iter()
+        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+        .expect("records non-empty");
+    out.gap();
+    out.experiment(
+        "fig11-summary",
+        &format!(
+            "best config {} at {:.0} txs/s (start {:.0} txs/s)",
+            best.point.label(),
+            best.throughput,
+            records[0].throughput
+        ),
+    );
+}

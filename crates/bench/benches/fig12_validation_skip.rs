@@ -1,0 +1,51 @@
+//! Figure 12: read-set locks processed vs skipped during validation
+//! across an auto-tuning session on the linked list.
+//!
+//! Paper shape: as the tuner grows the hierarchical array, the number of
+//! locks that must be processed during validation drops and the skipped
+//! fraction rises — the hierarchy's whole purpose.
+
+use std::time::Duration;
+use stm_bench::{build_set_on_stm, full_mode, make_tiny, point_ms, Structure};
+use stm_harness::table::{f1, i, SeriesWriter};
+use stm_harness::{IntSetOp, IntSetWorkload, MeasureOpts};
+use stm_tuning::{autotune, AutoTuneOpts, TuningPoint};
+use tinystm::AccessStrategy;
+
+fn main() {
+    let mut out = SeriesWriter::default();
+    out.experiment(
+        "fig12",
+        "validation locks processed vs skipped during list auto-tuning (4096, 8 thr)",
+    );
+    out.columns(&["config_idx", "h", "processed_per_s", "skipped_per_s"]);
+
+    let stm = make_tiny(AccessStrategy::WriteBack, 8, 0, 0);
+    let set = build_set_on_stm(&stm, Structure::List);
+    let workload = IntSetWorkload::new(4096, 20);
+    stm_harness::populate(&*set, &workload, 0xF161_2000u64);
+
+    let tune_opts = AutoTuneOpts {
+        period: Duration::from_millis(point_ms() / 2),
+        samples_per_config: 3,
+        max_configs: if full_mode() { 40 } else { 16 },
+        seed: 1212,
+    };
+    let template = stm.config();
+    let records = stm_harness::drive_with_coordinator(
+        MeasureOpts::default().with_threads(8),
+        |_t| {
+            let mut op = IntSetOp::new(&*set, workload);
+            move |rng: &mut rand::rngs::SmallRng| op.step(rng)
+        },
+        || autotune(&stm, template, TuningPoint::experiment_start(), tune_opts),
+    );
+    for r in &records {
+        out.row(&[
+            i(r.index as u64),
+            i(1u64 << r.point.hier_log2),
+            f1(r.val_processed_per_s),
+            f1(r.val_skipped_per_s),
+        ]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Criterion micro-benchmarks of the transactional primitives: the
+//! per-access costs the paper's design discussion reasons about
+//! (encounter-time acquisition, read validation, commit, Bloom filter,
+//! lock-word codec).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use stm_api::mem::WordBlock;
+use stm_api::{TmTx, TxKind};
+use stm_tl2::{Bloom, Tl2, Tl2Config};
+use tinystm::{lockword, AccessStrategy, Stm, StmConfig};
+
+fn stm(strategy: AccessStrategy, hier_log2: u32) -> Stm {
+    Stm::new(
+        StmConfig::default()
+            .with_strategy(strategy)
+            .with_hier_log2(hier_log2),
+    )
+    .unwrap()
+}
+
+fn bench_tx_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tx");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_millis(500));
+    g.warm_up_time(std::time::Duration::from_millis(100));
+
+    let block = WordBlock::new(64);
+    let addr = block.as_ptr();
+
+    for (name, handle) in [
+        ("wb", stm(AccessStrategy::WriteBack, 0)),
+        ("wt", stm(AccessStrategy::WriteThrough, 0)),
+        ("wb-h16", stm(AccessStrategy::WriteBack, 4)),
+    ] {
+        g.bench_function(format!("{name}/empty-update"), |b| {
+            b.iter(|| handle.run(TxKind::ReadWrite, |_tx| Ok(())))
+        });
+        g.bench_function(format!("{name}/ro-8-reads"), |b| {
+            b.iter(|| {
+                handle.run(TxKind::ReadOnly, |tx| {
+                    let mut acc = 0usize;
+                    for k in 0..8 {
+                        acc ^= unsafe { tx.load_word(addr.wrapping_add(k)) }?;
+                    }
+                    Ok(acc)
+                })
+            })
+        });
+        g.bench_function(format!("{name}/rw-8-writes"), |b| {
+            b.iter(|| {
+                handle.run(TxKind::ReadWrite, |tx| {
+                    for k in 0..8 {
+                        unsafe { tx.store_word(addr.wrapping_add(k), k) }?;
+                    }
+                    Ok(())
+                })
+            })
+        });
+        g.bench_function(format!("{name}/read-after-write"), |b| {
+            b.iter(|| {
+                handle.run(TxKind::ReadWrite, |tx| {
+                    unsafe { tx.store_word(addr, 7) }?;
+                    unsafe { tx.load_word(addr) }
+                })
+            })
+        });
+    }
+
+    let tl2 = Tl2::new(Tl2Config::default()).unwrap();
+    g.bench_function("tl2/empty-update", |b| {
+        b.iter(|| tl2.run(TxKind::ReadWrite, |_tx| Ok(())))
+    });
+    g.bench_function("tl2/rw-8-writes", |b| {
+        b.iter(|| {
+            tl2.run(TxKind::ReadWrite, |tx| {
+                for k in 0..8 {
+                    unsafe { tx.store_word(addr.wrapping_add(k), k) }?;
+                }
+                Ok(())
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_millis(300));
+    g.bench_function("insert-64", |b| {
+        b.iter_batched(
+            Bloom::new,
+            |mut bloom| {
+                for i in 0..64usize {
+                    bloom.insert(0x1000 + i * 8);
+                }
+                bloom
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut bloom = Bloom::new();
+    for i in 0..64usize {
+        bloom.insert(0x1000 + i * 8);
+    }
+    g.bench_function("query-hit", |b| b.iter(|| bloom.maybe_contains(0x1000)));
+    g.bench_function("query-miss", |b| {
+        b.iter(|| bloom.maybe_contains(0xdead_0000))
+    });
+    g.finish();
+}
+
+fn bench_lockword(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lockword");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_millis(300));
+    g.bench_function("wb-roundtrip", |b| {
+        b.iter(|| lockword::wb_version(lockword::wb_make(123456)))
+    });
+    g.bench_function("wt-roundtrip", |b| {
+        b.iter(|| {
+            let w = lockword::wt_make(123456, 3);
+            (lockword::wt_version(w), lockword::wt_incarnation(w))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tx_primitives, bench_bloom, bench_lockword);
+criterion_main!(benches);

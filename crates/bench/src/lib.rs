@@ -1,0 +1,237 @@
+//! # stm-bench — shared plumbing for the figure benches
+//!
+//! Every figure of the paper has a bench target (`harness = false`)
+//! that prints the figure's series as CSV rows. This library holds the
+//! common pieces: environment knobs, backend construction, and the
+//! backend × structure matrix the paper measures.
+//!
+//! Environment variables:
+//! * `STM_MS` — milliseconds per measured point (default 120; the paper
+//!   measures ≈ 1000);
+//! * `STM_FULL=1` — paper-scale sweeps (more points, 1 s windows);
+//! * `STM_THREADS` — override the thread list (comma separated).
+
+use std::time::Duration;
+use stm_api::stats::BasicStats;
+use stm_harness::{IntSetWorkload, MeasureOpts, Measurement};
+use stm_structures::{LinkedList, RbTree, TxSet};
+use stm_tl2::{Tl2, Tl2Config};
+use tinystm::{AccessStrategy, CmPolicy, Stm, StmConfig};
+
+/// Milliseconds per measured point.
+pub fn point_ms() -> u64 {
+    if let Ok(v) = std::env::var("STM_MS") {
+        if let Ok(ms) = v.parse() {
+            return ms;
+        }
+    }
+    if full_mode() {
+        1000
+    } else {
+        120
+    }
+}
+
+/// Paper-scale mode.
+pub fn full_mode() -> bool {
+    std::env::var("STM_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The thread counts of Figures 2–4 (the paper's 8-core Xeon sweep).
+pub fn thread_list() -> Vec<usize> {
+    if let Ok(v) = std::env::var("STM_THREADS") {
+        let parsed: Vec<usize> = v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+        if !parsed.is_empty() {
+            return parsed;
+        }
+    }
+    vec![1, 2, 4, 6, 8]
+}
+
+/// Measurement options for one point.
+pub fn default_opts(threads: usize) -> MeasureOpts {
+    MeasureOpts::default()
+        .with_threads(threads)
+        .with_warmup(Duration::from_millis(point_ms() / 4))
+        .with_duration(Duration::from_millis(point_ms()))
+}
+
+/// The backends of the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// TinySTM with write-back access.
+    TinyWb,
+    /// TinySTM with write-through access.
+    TinyWt,
+    /// The TL2 baseline.
+    Tl2,
+}
+
+impl Backend {
+    /// All three series.
+    pub const ALL: [Backend; 3] = [Backend::TinyWb, Backend::TinyWt, Backend::Tl2];
+
+    /// Series label used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::TinyWb => "tinystm-wb",
+            Backend::TinyWt => "tinystm-wt",
+            Backend::Tl2 => "tl2",
+        }
+    }
+}
+
+/// The two intset structures of Figures 2–6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Structure {
+    /// Red-black tree.
+    Rbtree,
+    /// Sorted linked list.
+    List,
+}
+
+impl Structure {
+    /// Label in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Structure::Rbtree => "rbtree",
+            Structure::List => "list",
+        }
+    }
+}
+
+/// Contention management used by the benches: light backoff keeps the
+/// single-core CI host from livelocking; the algorithmic comparison is
+/// unchanged (all backends use the same policy).
+pub fn bench_cm() -> CmPolicy {
+    CmPolicy::Backoff {
+        base: 16,
+        max_spins: 1 << 14,
+    }
+}
+
+/// TinySTM configuration template for the benches.
+pub fn tiny_config(strategy: AccessStrategy) -> StmConfig {
+    StmConfig::default()
+        .with_strategy(strategy)
+        .with_cm(bench_cm())
+}
+
+/// Build a TinySTM instance with explicit tuning parameters.
+pub fn make_tiny(strategy: AccessStrategy, locks_log2: u32, shifts: u32, hier_log2: u32) -> Stm {
+    Stm::new(
+        tiny_config(strategy)
+            .with_locks_log2(locks_log2)
+            .with_shifts(shifts)
+            .with_hier_log2(hier_log2),
+    )
+    .expect("bench config valid")
+}
+
+/// Build a TL2 instance with explicit parameters.
+pub fn make_tl2(locks_log2: u32, shifts: u32) -> Tl2 {
+    Tl2::new(
+        Tl2Config::default()
+            .with_locks_log2(locks_log2)
+            .with_shifts(shifts)
+            .with_cm(bench_cm()),
+    )
+    .expect("bench config valid")
+}
+
+/// Run the intset workload for one `(backend, structure)` cell using the
+/// backends' default tuning parameters (Figures 2–5).
+pub fn run_cell(
+    backend: Backend,
+    structure: Structure,
+    workload: IntSetWorkload,
+    opts: MeasureOpts,
+) -> Measurement {
+    match backend {
+        Backend::TinyWb | Backend::TinyWt => {
+            let strategy = if backend == Backend::TinyWb {
+                AccessStrategy::WriteBack
+            } else {
+                AccessStrategy::WriteThrough
+            };
+            let stm = make_tiny(strategy, 16, 0, 0);
+            let stats_handle = stm.clone();
+            run_structure_on(stm, structure, workload, opts, &move || {
+                stm_api::TmHandle::stats_snapshot(&stats_handle)
+            })
+        }
+        Backend::Tl2 => {
+            let tl2 = make_tl2(20, 0);
+            let stats_handle = tl2.clone();
+            run_structure_on(tl2, structure, workload, opts, &move || {
+                stm_api::TmHandle::stats_snapshot(&stats_handle)
+            })
+        }
+    }
+}
+
+/// Run the intset workload on an explicit handle (for parameter sweeps).
+pub fn run_structure_on<H: stm_api::TmHandle>(
+    tm: H,
+    structure: Structure,
+    workload: IntSetWorkload,
+    opts: MeasureOpts,
+    stats: &(dyn Fn() -> BasicStats + Sync),
+) -> Measurement {
+    match structure {
+        Structure::Rbtree => {
+            let set = RbTree::new(tm);
+            stm_harness::run_intset(&set, workload, opts, stats)
+        }
+        Structure::List => {
+            let set = LinkedList::new(tm);
+            stm_harness::run_intset(&set, workload, opts, stats)
+        }
+    }
+}
+
+/// Build a `TxSet` on a TinySTM handle (for tuning benches that need the
+/// set alive alongside the coordinator).
+pub fn build_set_on_stm(stm: &Stm, structure: Structure) -> Box<dyn TxSet> {
+    match structure {
+        Structure::Rbtree => Box::new(RbTree::new(stm.clone())),
+        Structure::List => Box::new(LinkedList::new(stm.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        assert!(point_ms() >= 1);
+        assert_eq!(thread_list(), vec![1, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn backends_have_distinct_labels() {
+        let labels: std::collections::HashSet<_> = Backend::ALL.iter().map(|b| b.label()).collect();
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn run_cell_smoke_all_backends() {
+        let w = IntSetWorkload::new(32, 20);
+        let opts = MeasureOpts::default()
+            .with_threads(2)
+            .with_warmup(Duration::from_millis(5))
+            .with_duration(Duration::from_millis(30));
+        for b in Backend::ALL {
+            for s in [Structure::Rbtree, Structure::List] {
+                let m = run_cell(b, s, w, opts);
+                assert!(
+                    m.commits > 0,
+                    "{}/{} produced no commits",
+                    b.label(),
+                    s.label()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The global time base: a shared integer counter, as in LSA and TL2
+//! (Section 3.1, "Clock Management").
+//!
+//! Commit timestamps are obtained with an atomic fetch-and-increment.
+//! When the configured maximum is reached the clock reports overflow and
+//! the STM runs the roll-over protocol: quiesce all transactions, zero
+//! every version number, and reset the clock (see `quiesce.rs` /
+//! `Stm::handle_overflow`).
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Returned by [`GlobalClock::increment`] when the roll-over threshold is
+/// crossed; the committing transaction aborts with `ClockOverflow` and
+/// triggers the roll-over before retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockOverflow;
+
+/// A monotonically increasing shared counter.
+///
+/// All operations are `SeqCst`: the correctness argument for the
+/// hierarchical-locking fast path relies on the single total order of
+/// clock increments, hierarchy-counter increments, and their loads (see
+/// DESIGN.md §3).
+#[derive(Debug)]
+pub struct GlobalClock {
+    now: AtomicU64,
+    max: AtomicU64,
+}
+
+impl GlobalClock {
+    /// A clock starting at 0 that overflows past `max`.
+    pub fn new(max: u64) -> GlobalClock {
+        GlobalClock {
+            now: AtomicU64::new(0),
+            max: AtomicU64::new(max),
+        }
+    }
+
+    /// Current time. Transactions sample this at start and when
+    /// extending snapshots.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    /// Acquire a fresh commit timestamp (strictly greater than every
+    /// previously returned value since the last reset).
+    #[inline]
+    pub fn increment(&self) -> Result<u64, ClockOverflow> {
+        let t = self.now.fetch_add(1, Ordering::SeqCst) + 1;
+        if t >= self.max.load(Ordering::Relaxed) {
+            // Leave `now` past max: concurrent committers also observe
+            // overflow and everyone funnels into the roll-over quiesce.
+            Err(ClockOverflow)
+        } else {
+            Ok(t)
+        }
+    }
+
+    /// Acquire a timestamp ignoring the roll-over threshold. Used on the
+    /// write-through abort path when an incarnation counter overflows and
+    /// a fresh version is needed unconditionally; the next committer
+    /// still observes the overflow and triggers roll-over.
+    #[inline]
+    pub fn force_increment(&self) -> u64 {
+        self.now.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Whether the clock has crossed the roll-over threshold.
+    #[inline]
+    pub fn overflowed(&self) -> bool {
+        self.now() >= self.max.load(Ordering::Relaxed)
+    }
+
+    /// Reset to 0. Only called inside a quiesce fence (no transactions
+    /// active), together with zeroing all lock-array versions.
+    pub fn reset(&self) {
+        self.now.store(0, Ordering::SeqCst);
+    }
+
+    /// The configured roll-over threshold.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Change the roll-over threshold (dynamic reconfiguration, inside a
+    /// quiesce fence).
+    pub fn set_max(&self, max: u64) {
+        self.max.store(max, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_at_zero_and_increments() {
+        let c = GlobalClock::new(1 << 40);
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.increment(), Ok(1));
+        assert_eq!(c.increment(), Ok(2));
+        assert_eq!(c.now(), 2);
+    }
+
+    #[test]
+    fn overflow_reported_at_max() {
+        let c = GlobalClock::new(4);
+        assert_eq!(c.increment(), Ok(1));
+        assert_eq!(c.increment(), Ok(2));
+        assert_eq!(c.increment(), Ok(3));
+        assert_eq!(c.increment(), Err(ClockOverflow));
+        assert!(c.overflowed());
+    }
+
+    #[test]
+    fn reset_restores_service() {
+        let c = GlobalClock::new(4);
+        while c.increment().is_ok() {}
+        c.reset();
+        assert_eq!(c.now(), 0);
+        assert!(!c.overflowed());
+        assert_eq!(c.increment(), Ok(1));
+    }
+
+    #[test]
+    fn timestamps_are_unique_across_threads() {
+        let c = Arc::new(GlobalClock::new(1 << 40));
+        let threads = 4;
+        let per = 1000;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    (0..per).map(|_| c.increment().unwrap()).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), threads * per, "duplicate timestamps issued");
+        assert_eq!(c.now(), (threads * per) as u64);
+    }
+
+    #[test]
+    fn overflow_is_sticky_until_reset() {
+        let c = GlobalClock::new(16);
+        while c.increment().is_ok() {}
+        // Every further attempt keeps failing.
+        assert_eq!(c.increment(), Err(ClockOverflow));
+        assert_eq!(c.increment(), Err(ClockOverflow));
+        c.reset();
+        assert_eq!(c.increment(), Ok(1));
+    }
+}

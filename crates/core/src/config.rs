@@ -1,0 +1,311 @@
+//! Runtime configuration of the STM — the three tuning parameters of
+//! Section 4 of the paper plus the design-level switches of Section 3.
+//!
+//! The paper's dynamic tuning manipulates exactly three knobs:
+//!
+//! 1. `#locks` — the number of entries in the lock array (`ℓ`),
+//! 2. `#shifts` — extra right shifts in the address→lock hash
+//!    (spatial-locality control; on top of the implicit word shift),
+//! 3. `h` — the size of the hierarchical array (1 disables it).
+//!
+//! All three are powers of two so the modulo reductions are masks.
+
+/// How transactional writes reach memory (Section 3.1, "Write-through vs.
+/// Write-back").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccessStrategy {
+    /// Buffer updates in a redo log, apply at commit. Lower abort cost,
+    /// no incarnation numbers needed.
+    #[default]
+    WriteBack,
+    /// Write directly to memory, undo on abort. Lower commit cost, O(1)
+    /// read-after-write, needs 3-bit incarnation numbers in lock words.
+    WriteThrough,
+}
+
+impl AccessStrategy {
+    /// Short name used in bench series labels ("wb" / "wt").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            AccessStrategy::WriteBack => "wb",
+            AccessStrategy::WriteThrough => "wt",
+        }
+    }
+}
+
+/// Contention-management policy applied by the retry loop after an abort.
+///
+/// The paper aborts and restarts immediately; on an over-subscribed host
+/// a bounded randomized backoff avoids pathological livelock, so it is
+/// available as an option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CmPolicy {
+    /// Restart immediately (the paper's choice).
+    #[default]
+    Immediate,
+    /// Exponential randomized backoff: spin for a random number of
+    /// iterations up to `min(max_spins, base << consecutive_aborts)`.
+    Backoff {
+        /// Initial spin bound.
+        base: u32,
+        /// Upper bound on the spin count.
+        max_spins: u32,
+    },
+}
+
+/// The hard ceiling on `h`: transaction-private masks are 256 bits.
+pub const MAX_HIER: usize = 256;
+/// Ceiling on the lock-array exponent (2^26 × 8 B = 512 MiB).
+pub const MAX_LOCKS_LOG2: u32 = 26;
+/// Ceiling on the extra shift count.
+pub const MAX_SHIFTS: u32 = 16;
+
+/// Errors produced by [`StmConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `locks_log2` outside `[1, MAX_LOCKS_LOG2]`.
+    LocksOutOfRange(u32),
+    /// `shifts` above [`MAX_SHIFTS`].
+    ShiftsOutOfRange(u32),
+    /// `hier_log2` produces `h > MAX_HIER` or `h > #locks`.
+    HierOutOfRange(u32),
+    /// `max_clock` too small to be usable.
+    MaxClockTooSmall(u64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::LocksOutOfRange(v) => {
+                write!(f, "locks_log2={v} outside [1, {MAX_LOCKS_LOG2}]")
+            }
+            ConfigError::ShiftsOutOfRange(v) => write!(f, "shifts={v} above {MAX_SHIFTS}"),
+            ConfigError::HierOutOfRange(v) => write!(
+                f,
+                "hier_log2={v}: h must satisfy h <= {MAX_HIER} and h <= #locks"
+            ),
+            ConfigError::MaxClockTooSmall(v) => write!(f, "max_clock={v} too small (need >= 16)"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Full STM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmConfig {
+    /// log2 of the number of locks (`ℓ = 2^locks_log2`). Paper default:
+    /// 16 (65 536 locks).
+    pub locks_log2: u32,
+    /// Extra right shifts applied to addresses before the lock hash, on
+    /// top of the implicit word shift of 3 (64-bit). Controls how many
+    /// consecutive words share a lock: `2^shifts` words per stripe.
+    pub shifts: u32,
+    /// log2 of the hierarchical array size (`h = 2^hier_log2`);
+    /// `hier_log2 == 0` (h = 1) disables hierarchical locking, as in the
+    /// paper.
+    pub hier_log2: u32,
+    /// Write-back or write-through memory access.
+    pub strategy: AccessStrategy,
+    /// Clock value that triggers the roll-over mechanism. Kept
+    /// configurable so tests can exercise roll-over cheaply; the paper's
+    /// 64-bit bound (2^63, or 2^60 for write-through) never fires in
+    /// practice.
+    pub max_clock: u64,
+    /// Retry-loop contention management.
+    pub cm: CmPolicy,
+}
+
+impl Default for StmConfig {
+    fn default() -> Self {
+        StmConfig {
+            locks_log2: 16,
+            shifts: 0,
+            hier_log2: 0,
+            strategy: AccessStrategy::WriteBack,
+            max_clock: 1 << 50,
+            cm: CmPolicy::Immediate,
+        }
+    }
+}
+
+impl StmConfig {
+    /// The paper's initial configuration for the dynamic tuning
+    /// experiments: 2^8 locks, shift 0, hierarchy disabled (they start
+    /// from a deliberately poor point to show convergence).
+    pub fn tuning_start() -> StmConfig {
+        StmConfig {
+            locks_log2: 8,
+            ..StmConfig::default()
+        }
+    }
+
+    /// Number of locks `ℓ`.
+    pub fn n_locks(&self) -> usize {
+        1usize << self.locks_log2
+    }
+
+    /// Hierarchical array size `h` (1 = disabled).
+    pub fn hier_size(&self) -> usize {
+        1usize << self.hier_log2
+    }
+
+    /// Whether hierarchical locking is active.
+    pub fn hier_enabled(&self) -> bool {
+        self.hier_log2 > 0
+    }
+
+    /// Builder-style setter for `locks_log2`.
+    pub fn with_locks_log2(mut self, v: u32) -> Self {
+        self.locks_log2 = v;
+        self
+    }
+
+    /// Builder-style setter for `shifts`.
+    pub fn with_shifts(mut self, v: u32) -> Self {
+        self.shifts = v;
+        self
+    }
+
+    /// Builder-style setter for `hier_log2`.
+    pub fn with_hier_log2(mut self, v: u32) -> Self {
+        self.hier_log2 = v;
+        self
+    }
+
+    /// Builder-style setter for the access strategy.
+    pub fn with_strategy(mut self, s: AccessStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Builder-style setter for the roll-over threshold.
+    pub fn with_max_clock(mut self, v: u64) -> Self {
+        self.max_clock = v;
+        self
+    }
+
+    /// Builder-style setter for contention management.
+    pub fn with_cm(mut self, cm: CmPolicy) -> Self {
+        self.cm = cm;
+        self
+    }
+
+    /// Check all invariants; [`crate::Stm::new`] and
+    /// [`crate::Stm::reconfigure`] call this.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.locks_log2 == 0 || self.locks_log2 > MAX_LOCKS_LOG2 {
+            return Err(ConfigError::LocksOutOfRange(self.locks_log2));
+        }
+        if self.shifts > MAX_SHIFTS {
+            return Err(ConfigError::ShiftsOutOfRange(self.shifts));
+        }
+        let h = 1u64 << self.hier_log2;
+        if h > MAX_HIER as u64 || self.hier_log2 > self.locks_log2 {
+            return Err(ConfigError::HierOutOfRange(self.hier_log2));
+        }
+        if self.max_clock < 16 {
+            return Err(ConfigError::MaxClockTooSmall(self.max_clock));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = StmConfig::default();
+        assert_eq!(c.n_locks(), 1 << 16);
+        assert_eq!(c.shifts, 0);
+        assert_eq!(c.hier_size(), 1);
+        assert!(!c.hier_enabled());
+        assert_eq!(c.strategy, AccessStrategy::WriteBack);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn tuning_start_is_2_pow_8_locks() {
+        let c = StmConfig::tuning_start();
+        assert_eq!(c.n_locks(), 256);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_locks() {
+        let c = StmConfig::default().with_locks_log2(0);
+        assert_eq!(c.validate(), Err(ConfigError::LocksOutOfRange(0)));
+    }
+
+    #[test]
+    fn rejects_huge_lock_array() {
+        let c = StmConfig::default().with_locks_log2(MAX_LOCKS_LOG2 + 1);
+        assert!(matches!(c.validate(), Err(ConfigError::LocksOutOfRange(_))));
+    }
+
+    #[test]
+    fn rejects_excessive_shifts() {
+        let c = StmConfig::default().with_shifts(MAX_SHIFTS + 1);
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::ShiftsOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_hier_larger_than_locks() {
+        let c = StmConfig::default().with_locks_log2(4).with_hier_log2(5);
+        assert!(matches!(c.validate(), Err(ConfigError::HierOutOfRange(_))));
+    }
+
+    #[test]
+    fn rejects_hier_above_mask_capacity() {
+        // 2^9 = 512 > 256-bit masks.
+        let c = StmConfig::default().with_locks_log2(20).with_hier_log2(9);
+        assert!(matches!(c.validate(), Err(ConfigError::HierOutOfRange(_))));
+    }
+
+    #[test]
+    fn accepts_max_hier() {
+        let c = StmConfig::default().with_locks_log2(20).with_hier_log2(8);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.hier_size(), 256);
+    }
+
+    #[test]
+    fn rejects_tiny_max_clock() {
+        let c = StmConfig::default().with_max_clock(2);
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::MaxClockTooSmall(2))
+        ));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = StmConfig::default()
+            .with_locks_log2(12)
+            .with_shifts(3)
+            .with_hier_log2(2)
+            .with_strategy(AccessStrategy::WriteThrough)
+            .with_cm(CmPolicy::Backoff {
+                base: 4,
+                max_spins: 1024,
+            });
+        assert_eq!(c.n_locks(), 4096);
+        assert_eq!(c.shifts, 3);
+        assert_eq!(c.hier_size(), 4);
+        assert_eq!(c.strategy, AccessStrategy::WriteThrough);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ConfigError::LocksOutOfRange(99).to_string();
+        assert!(e.contains("99"));
+        let e = ConfigError::HierOutOfRange(9).to_string();
+        assert!(e.contains("h must satisfy"));
+    }
+}

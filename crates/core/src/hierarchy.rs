@@ -1,0 +1,409 @@
+//! Hierarchical locking (Section 3.2).
+//!
+//! In addition to the `ℓ` locks, a smaller array of `h ≪ ℓ` shared
+//! counters is kept. The hash is consistent with the lock hash (two
+//! addresses mapping to the same lock map to the same counter). Every
+//! lock *acquisition* increments the covering counter; at validation a
+//! whole read-set partition can be skipped when its counter is unchanged
+//! modulo the transaction's own acquisitions — the "validation fast
+//! path".
+//!
+//! ### Deviation from the paper (documented in DESIGN.md §2)
+//!
+//! The paper increments each counter at most once per transaction (the
+//! write mask guards the increment) and the validation fast path accepts
+//! `current == stored + 1` when the write-mask bit is set. Incrementing
+//! once per *transaction* leaves a window where a second acquisition in
+//! an already-incremented partition is invisible to concurrent readers
+//! that saved the counter after the first increment, which can validate a
+//! stale read. We therefore increment on **every** lock acquisition and
+//! keep a per-partition count of our *own* acquisitions; the fast path
+//! accepts `current == stored + own[i]`. With zero own acquisitions this
+//! is exactly the paper's rule (1), with one it is rule (2); the
+//! performance trade-off the paper studies (larger `h` ⇒ cheaper
+//! validation, more atomic operations) is unchanged.
+
+use crate::config::MAX_HIER;
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// A 256-bit mask, indexed by hierarchy partition. Used for the per-
+/// transaction read and write masks of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mask256 {
+    bits: [u64; 4],
+}
+
+impl Default for Mask256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mask256 {
+    /// The empty mask.
+    pub const fn new() -> Mask256 {
+        Mask256 { bits: [0; 4] }
+    }
+
+    /// Set bit `i`; returns `true` if it was previously clear.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        debug_assert!(i < MAX_HIER);
+        let word = &mut self.bits[i >> 6];
+        let bit = 1u64 << (i & 63);
+        let was_clear = *word & bit == 0;
+        *word |= bit;
+        was_clear
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < MAX_HIER);
+        self.bits[i >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    /// Clear all bits.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.bits = [0; 4];
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate over set bit indices in ascending order.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rem = w;
+            std::iter::from_fn(move || {
+                if rem == 0 {
+                    None
+                } else {
+                    let b = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+/// The shared hierarchical counter array.
+#[derive(Debug)]
+pub struct HierArray {
+    counters: Box<[AtomicU64]>,
+}
+
+impl HierArray {
+    /// Allocate `h` zeroed counters (`h == 1` means the feature is
+    /// disabled, but the array still exists to keep code paths uniform).
+    pub fn new(h: usize) -> HierArray {
+        assert!((1..=MAX_HIER).contains(&h) && h.is_power_of_two());
+        let counters = (0..h).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        HierArray {
+            counters: counters.into_boxed_slice(),
+        }
+    }
+
+    /// Number of counters `h`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when the array has no counters (never: `h >= 1`); provided
+    /// for API completeness alongside `len`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// True when `h == 1` — hierarchical locking disabled.
+    #[inline]
+    pub fn is_disabled(&self) -> bool {
+        self.counters.len() == 1
+    }
+
+    /// Current value of counter `i`.
+    ///
+    /// `SeqCst`: see the fast-path soundness argument in the module docs —
+    /// the load must be ordered in the single total order against writer
+    /// increments and clock operations.
+    #[inline]
+    pub fn load(&self, i: usize) -> u64 {
+        self.counters[i].load(Ordering::SeqCst)
+    }
+
+    /// Increment counter `i` (on every lock acquisition in partition `i`).
+    #[inline]
+    pub fn increment(&self, i: usize) {
+        self.counters[i].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Zero all counters. Only inside a quiesce fence.
+    pub fn reset(&self) {
+        for c in self.counters.iter() {
+            c.store(0, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Per-transaction hierarchy state: the read/write masks of Figure 1,
+/// the counter values saved at first access, and our own acquisition
+/// counts (see the module-level deviation note).
+#[derive(Debug)]
+pub struct TxHier {
+    read_mask: Mask256,
+    write_mask: Mask256,
+    saved: Vec<u64>,
+    own_acquisitions: Vec<u32>,
+    h: usize,
+}
+
+impl TxHier {
+    /// State for a hierarchy of size `h`.
+    pub fn new(h: usize) -> TxHier {
+        TxHier {
+            read_mask: Mask256::new(),
+            write_mask: Mask256::new(),
+            saved: vec![0; h],
+            own_acquisitions: vec![0; h],
+            h,
+        }
+    }
+
+    /// Reset for a new transaction, resizing if the hierarchy was
+    /// reconfigured since the last attempt.
+    pub fn reset(&mut self, h: usize) {
+        if self.h != h {
+            self.saved = vec![0; h];
+            self.own_acquisitions = vec![0; h];
+            self.h = h;
+        } else {
+            // Only the partitions we touched need clearing.
+            for i in self.read_mask.iter_set() {
+                self.saved[i] = 0;
+                self.own_acquisitions[i] = 0;
+            }
+        }
+        self.read_mask.clear();
+        self.write_mask.clear();
+    }
+
+    /// Hierarchy size this state is sized for.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// First-access hook shared by reads and writes: saves the counter
+    /// value the fast path will compare against. Must be called *before*
+    /// the lock word is examined (see the ordering argument).
+    #[inline]
+    pub fn on_access(&mut self, i: usize, counters: &HierArray) {
+        if self.read_mask.set(i) {
+            self.saved[i] = counters.load(i);
+        }
+    }
+
+    /// Lock-acquisition hook: increments the shared counter and records
+    /// it as our own so validation can discount it.
+    #[inline]
+    pub fn on_acquire(&mut self, i: usize, counters: &HierArray) {
+        self.write_mask.set(i);
+        self.own_acquisitions[i] += 1;
+        counters.increment(i);
+    }
+
+    /// The validation fast path for partition `i`: `true` means every
+    /// read in the partition is still valid and per-entry checks can be
+    /// skipped.
+    #[inline]
+    pub fn can_skip(&self, i: usize, counters: &HierArray) -> bool {
+        debug_assert!(self.read_mask.get(i));
+        counters.load(i) == self.saved[i] + u64::from(self.own_acquisitions[i])
+    }
+
+    /// Iterate over partitions this transaction read from.
+    pub fn read_partitions(&self) -> impl Iterator<Item = usize> + '_ {
+        self.read_mask.iter_set()
+    }
+
+    /// Compute the set of partitions whose validation can be skipped
+    /// right now (one counter load per touched partition; the caller
+    /// then makes a single pass over the flat read set).
+    pub fn skip_mask(&self, counters: &HierArray) -> Mask256 {
+        let mut mask = Mask256::new();
+        for i in self.read_mask.iter_set() {
+            if self.can_skip(i, counters) {
+                mask.set(i);
+            }
+        }
+        mask
+    }
+
+    /// Whether partition `i` was read from.
+    pub fn touched(&self, i: usize) -> bool {
+        self.read_mask.get(i)
+    }
+
+    /// Whether partition `i` was written to (acquired in).
+    pub fn wrote(&self, i: usize) -> bool {
+        self.write_mask.get(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mask_set_get_clear() {
+        let mut m = Mask256::new();
+        assert!(!m.get(0));
+        assert!(m.set(0));
+        assert!(!m.set(0), "second set reports already-set");
+        assert!(m.get(0));
+        assert!(m.set(255));
+        assert_eq!(m.count(), 2);
+        m.clear();
+        assert_eq!(m.count(), 0);
+        assert!(!m.get(255));
+    }
+
+    #[test]
+    fn mask_iter_set_ascending() {
+        let mut m = Mask256::new();
+        for i in [3usize, 64, 65, 200, 255] {
+            m.set(i);
+        }
+        let got: Vec<usize> = m.iter_set().collect();
+        assert_eq!(got, vec![3, 64, 65, 200, 255]);
+    }
+
+    #[test]
+    fn hier_array_counts() {
+        let h = HierArray::new(4);
+        assert_eq!(h.len(), 4);
+        assert!(!h.is_disabled());
+        h.increment(2);
+        h.increment(2);
+        assert_eq!(h.load(2), 2);
+        assert_eq!(h.load(0), 0);
+        h.reset();
+        assert_eq!(h.load(2), 0);
+    }
+
+    #[test]
+    fn disabled_hier_is_size_one() {
+        let h = HierArray::new(1);
+        assert!(h.is_disabled());
+    }
+
+    #[test]
+    #[should_panic]
+    fn hier_array_rejects_non_power_of_two() {
+        let _ = HierArray::new(3);
+    }
+
+    #[test]
+    fn fast_path_skips_when_quiet() {
+        let counters = HierArray::new(8);
+        let mut tx = TxHier::new(8);
+        tx.on_access(5, &counters);
+        assert!(tx.can_skip(5, &counters), "no writer activity");
+    }
+
+    #[test]
+    fn fast_path_detects_foreign_acquisition() {
+        let counters = HierArray::new(8);
+        let mut tx = TxHier::new(8);
+        tx.on_access(5, &counters);
+        counters.increment(5); // someone else acquires in partition 5
+        assert!(!tx.can_skip(5, &counters));
+    }
+
+    #[test]
+    fn fast_path_discounts_own_acquisitions() {
+        let counters = HierArray::new(8);
+        let mut tx = TxHier::new(8);
+        tx.on_access(5, &counters);
+        tx.on_acquire(5, &counters);
+        tx.on_acquire(5, &counters); // two own acquisitions, still skippable
+        assert!(tx.can_skip(5, &counters));
+        counters.increment(5); // plus one foreign acquisition
+        assert!(!tx.can_skip(5, &counters));
+    }
+
+    #[test]
+    fn foreign_acquisition_before_save_is_discounted() {
+        // A writer that incremented *before* we saved is covered by the
+        // saved value and must not spoil the fast path.
+        let counters = HierArray::new(4);
+        counters.increment(1);
+        counters.increment(1);
+        let mut tx = TxHier::new(4);
+        tx.on_access(1, &counters);
+        assert!(tx.can_skip(1, &counters));
+    }
+
+    #[test]
+    fn reset_clears_state_and_resizes() {
+        let counters = HierArray::new(4);
+        let mut tx = TxHier::new(4);
+        tx.on_access(3, &counters);
+        tx.on_acquire(3, &counters);
+        tx.reset(4);
+        assert!(!tx.touched(3));
+        assert!(!tx.wrote(3));
+        // Saved/own must have been cleared for reuse.
+        tx.on_access(3, &counters);
+        assert!(tx.can_skip(3, &counters));
+        // Resize to a larger hierarchy.
+        tx.reset(16);
+        assert_eq!(tx.h(), 16);
+        let big = HierArray::new(16);
+        tx.on_access(15, &big);
+        assert!(tx.can_skip(15, &big));
+    }
+
+    #[test]
+    fn read_partitions_lists_touched() {
+        let counters = HierArray::new(16);
+        let mut tx = TxHier::new(16);
+        tx.on_access(1, &counters);
+        tx.on_access(9, &counters);
+        let got: Vec<usize> = tx.read_partitions().collect();
+        assert_eq!(got, vec![1, 9]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mask_matches_hashset(indices in proptest::collection::vec(0usize..256, 0..64)) {
+            let mut m = Mask256::new();
+            let mut set = std::collections::BTreeSet::new();
+            for &i in &indices {
+                prop_assert_eq!(m.set(i), set.insert(i));
+            }
+            prop_assert_eq!(m.count(), set.len());
+            let got: Vec<usize> = m.iter_set().collect();
+            let want: Vec<usize> = set.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn prop_fast_path_iff_no_foreign_increments(
+            own in 0u32..5, foreign in 0u32..5
+        ) {
+            let counters = HierArray::new(2);
+            let mut tx = TxHier::new(2);
+            tx.on_access(0, &counters);
+            for _ in 0..own { tx.on_acquire(0, &counters); }
+            for _ in 0..foreign { counters.increment(0); }
+            prop_assert_eq!(tx.can_skip(0, &counters), foreign == 0);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Lock-word encodings (Section 3.1, "Locks and Versions", and Figure 1).
+//!
+//! Each lock is one machine word. The least significant bit says whether
+//! the lock is owned:
+//!
+//! * **owned** — the remaining bits are a pointer to a per-transaction
+//!   [`crate::writelog::StripeRecord`] (word-aligned, so bit 0 is free).
+//!   For write-back the record heads the chain of write entries covering
+//!   the stripe; for write-through it identifies the owner and stores the
+//!   saved lock word.
+//! * **unowned, write-back** — the remaining bits are the version number
+//!   (commit timestamp of the last writer): `version << 1`.
+//! * **unowned, write-through** — bits 1–3 are the 3-bit *incarnation
+//!   number* (incremented on each abort that restored this stripe, so
+//!   concurrent readers can detect a dirty read even though the value was
+//!   rolled back), the rest is the version: `version << 4 | inc << 1`.
+//!
+//! This module is pure bit manipulation and is exhaustively tested; all
+//! concurrency lives elsewhere.
+
+// The encodings below assume 64-bit words (the paper's 64-bit build).
+#[cfg(not(target_pointer_width = "64"))]
+compile_error!("tinystm-rs supports 64-bit targets only");
+
+/// Bit 0 of a lock word: set when the stripe is owned by a transaction.
+pub const OWNED_BIT: usize = 1;
+
+/// Number of incarnation bits in the write-through encoding.
+pub const INCARNATION_BITS: u32 = 3;
+/// Maximum incarnation value before overflow forces a fresh version.
+pub const MAX_INCARNATION: usize = (1 << INCARNATION_BITS) - 1;
+
+/// Shift of the version field in the write-through encoding
+/// (1 owned bit + 3 incarnation bits).
+const WT_VERSION_SHIFT: u32 = 1 + INCARNATION_BITS;
+
+/// Largest version representable by the write-back encoding.
+pub const WB_MAX_VERSION: u64 = (usize::MAX >> 1) as u64;
+/// Largest version representable by the write-through encoding (the
+/// paper's 2^60 on 64-bit).
+pub const WT_MAX_VERSION: u64 = (usize::MAX >> WT_VERSION_SHIFT) as u64;
+
+/// Is the stripe owned by some transaction?
+#[inline(always)]
+pub fn is_owned(word: usize) -> bool {
+    word & OWNED_BIT != 0
+}
+
+/// Extract the owner-record pointer from an owned word.
+#[inline(always)]
+pub fn owner_ptr(word: usize) -> usize {
+    debug_assert!(is_owned(word));
+    word & !OWNED_BIT
+}
+
+/// Build an owned lock word from a record address.
+#[inline(always)]
+pub fn make_owned(record_addr: usize) -> usize {
+    debug_assert_eq!(record_addr & OWNED_BIT, 0, "record not word-aligned");
+    record_addr | OWNED_BIT
+}
+
+/// Build an unowned write-back word.
+#[inline(always)]
+pub fn wb_make(version: u64) -> usize {
+    debug_assert!(version <= WB_MAX_VERSION);
+    (version as usize) << 1
+}
+
+/// Version of an unowned write-back word.
+#[inline(always)]
+pub fn wb_version(word: usize) -> u64 {
+    debug_assert!(!is_owned(word));
+    (word >> 1) as u64
+}
+
+/// Build an unowned write-through word.
+#[inline(always)]
+pub fn wt_make(version: u64, incarnation: usize) -> usize {
+    debug_assert!(version <= WT_MAX_VERSION);
+    debug_assert!(incarnation <= MAX_INCARNATION);
+    ((version as usize) << WT_VERSION_SHIFT) | (incarnation << 1)
+}
+
+/// Version of an unowned write-through word.
+#[inline(always)]
+pub fn wt_version(word: usize) -> u64 {
+    debug_assert!(!is_owned(word));
+    (word >> WT_VERSION_SHIFT) as u64
+}
+
+/// Incarnation of an unowned write-through word.
+#[inline(always)]
+pub fn wt_incarnation(word: usize) -> usize {
+    debug_assert!(!is_owned(word));
+    (word >> 1) & MAX_INCARNATION
+}
+
+/// Bump the incarnation of an unowned write-through word (abort path).
+///
+/// Returns `None` on incarnation overflow, in which case the caller must
+/// fetch a fresh version from the global clock instead (the paper's
+/// "unlikely event that it overflows").
+#[inline]
+pub fn wt_bump_incarnation(word: usize) -> Option<usize> {
+    debug_assert!(!is_owned(word));
+    let inc = wt_incarnation(word);
+    if inc >= MAX_INCARNATION {
+        None
+    } else {
+        Some(wt_make(wt_version(word), inc + 1))
+    }
+}
+
+/// Version of an unowned word under the given strategy.
+#[inline(always)]
+pub fn version_of(word: usize, strategy: crate::config::AccessStrategy) -> u64 {
+    match strategy {
+        crate::config::AccessStrategy::WriteBack => wb_version(word),
+        crate::config::AccessStrategy::WriteThrough => wt_version(word),
+    }
+}
+
+/// Build an unowned word with the given version (incarnation 0) under the
+/// given strategy — used when releasing locks at commit and when resetting
+/// the array at roll-over.
+#[inline(always)]
+pub fn make_version(version: u64, strategy: crate::config::AccessStrategy) -> usize {
+    match strategy {
+        crate::config::AccessStrategy::WriteBack => wb_make(version),
+        crate::config::AccessStrategy::WriteThrough => wt_make(version, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AccessStrategy;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_word_is_version_zero_everywhere() {
+        // A zeroed lock array must decode as unowned, version 0,
+        // incarnation 0 under both strategies.
+        assert!(!is_owned(0));
+        assert_eq!(wb_version(0), 0);
+        assert_eq!(wt_version(0), 0);
+        assert_eq!(wt_incarnation(0), 0);
+    }
+
+    #[test]
+    fn wb_roundtrip_basic() {
+        for v in [0u64, 1, 2, 12345, WB_MAX_VERSION] {
+            let w = wb_make(v);
+            assert!(!is_owned(w));
+            assert_eq!(wb_version(w), v);
+        }
+    }
+
+    #[test]
+    fn wt_roundtrip_basic() {
+        for v in [0u64, 1, 99, WT_MAX_VERSION] {
+            for inc in 0..=MAX_INCARNATION {
+                let w = wt_make(v, inc);
+                assert!(!is_owned(w));
+                assert_eq!(wt_version(w), v);
+                assert_eq!(wt_incarnation(w), inc);
+            }
+        }
+    }
+
+    #[test]
+    fn owned_roundtrip() {
+        let rec = 0xdead_bee0usize; // word-aligned address
+        let w = make_owned(rec);
+        assert!(is_owned(w));
+        assert_eq!(owner_ptr(w), rec);
+    }
+
+    #[test]
+    fn incarnation_bump_sequence() {
+        let mut w = wt_make(7, 0);
+        for expect in 1..=MAX_INCARNATION {
+            w = wt_bump_incarnation(w).unwrap();
+            assert_eq!(wt_incarnation(w), expect);
+            assert_eq!(wt_version(w), 7, "version must survive bumps");
+        }
+        assert_eq!(wt_bump_incarnation(w), None, "overflow must be signalled");
+    }
+
+    #[test]
+    fn strategy_dispatch_matches_direct_calls() {
+        let w = wb_make(42);
+        assert_eq!(version_of(w, AccessStrategy::WriteBack), 42);
+        let w = wt_make(42, 3);
+        assert_eq!(version_of(w, AccessStrategy::WriteThrough), 42);
+        assert_eq!(make_version(9, AccessStrategy::WriteBack), wb_make(9));
+        assert_eq!(make_version(9, AccessStrategy::WriteThrough), wt_make(9, 0));
+    }
+
+    #[test]
+    fn incarnation_change_changes_word() {
+        // The write-through consistency argument needs l1 != l2 whenever
+        // an abort intervened: bumping the incarnation must change the
+        // raw word even though the version is unchanged.
+        let w0 = wt_make(5, 0);
+        let w1 = wt_bump_incarnation(w0).unwrap();
+        assert_ne!(w0, w1);
+        assert_eq!(wt_version(w0), wt_version(w1));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wb_roundtrip(v in 0..=WB_MAX_VERSION) {
+            let w = wb_make(v);
+            prop_assert!(!is_owned(w));
+            prop_assert_eq!(wb_version(w), v);
+        }
+
+        #[test]
+        fn prop_wt_roundtrip(v in 0..=WT_MAX_VERSION, inc in 0..=MAX_INCARNATION) {
+            let w = wt_make(v, inc);
+            prop_assert!(!is_owned(w));
+            prop_assert_eq!(wt_version(w), v);
+            prop_assert_eq!(wt_incarnation(w), inc);
+        }
+
+        #[test]
+        fn prop_owned_roundtrip(addr in (0usize..usize::MAX / 2).prop_map(|a| a & !1)) {
+            let w = make_owned(addr);
+            prop_assert!(is_owned(w));
+            prop_assert_eq!(owner_ptr(w), addr);
+        }
+
+        #[test]
+        fn prop_wb_words_distinct_for_distinct_versions(
+            a in 0..=WB_MAX_VERSION, b in 0..=WB_MAX_VERSION
+        ) {
+            prop_assert_eq!(wb_make(a) == wb_make(b), a == b);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Transactional memory management (Section 3.1, "Memory Management").
+//!
+//! Transactions track the memory they allocate and free: allocations are
+//! reclaimed automatically on abort, and frees are deferred past commit.
+//! Deferral must outlive not just the freeing transaction but every
+//! *concurrent* transaction that may still hold a stale pointer from its
+//! invisible reads, so committed frees go to a **limbo list** stamped
+//! with the freeing transaction's commit timestamp and are physically
+//! released only once every active transaction started at or after that
+//! stamp (start timestamps are published by the run loop). This is the
+//! epoch-based-reclamation substrate the C implementation leaves to the
+//! application (and later versions grew as `epoch-gc`).
+
+use parking_lot::Mutex;
+use stm_api::mem::dealloc_words;
+
+/// A committed free awaiting safe reclamation.
+#[derive(Debug, Clone, Copy)]
+struct LimboEntry {
+    ptr: usize,
+    words: usize,
+    /// Commit timestamp of the freeing transaction.
+    stamp: u64,
+}
+
+/// The limbo list. One per [`crate::Stm`].
+#[derive(Debug, Default)]
+pub struct Limbo {
+    entries: Mutex<Vec<LimboEntry>>,
+}
+
+impl Limbo {
+    /// Empty limbo list.
+    pub fn new() -> Limbo {
+        Limbo::default()
+    }
+
+    /// Move `blocks` into limbo, stamped with commit time `stamp`.
+    pub fn push(&self, blocks: impl Iterator<Item = (usize, usize)>, stamp: u64) {
+        let mut g = self.entries.lock();
+        g.extend(blocks.map(|(ptr, words)| LimboEntry { ptr, words, stamp }));
+    }
+
+    /// Number of blocks awaiting reclamation.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reclaim every block whose stamp `<= min_active_start`, where
+    /// `min_active_start` is the minimum start timestamp over all active
+    /// transactions (`u64::MAX` when none is active).
+    ///
+    /// A transaction that started at time `s >= stamp` can no longer
+    /// reach the block: the unlinking write committed at `stamp`, so
+    /// either the covering lock was still owned (the reader aborts) or it
+    /// carries a version `>= stamp` and the reader sees the new,
+    /// unlinked state. Uses `try_lock` so concurrent committers never
+    /// serialize on reclamation; returns the number of blocks released.
+    pub fn try_reclaim(&self, min_active_start: u64) -> usize {
+        let Some(mut g) = self.entries.try_lock() else {
+            return 0;
+        };
+        let before = g.len();
+        g.retain(|e| {
+            if e.stamp <= min_active_start {
+                // SAFETY: the block was allocated via `alloc_words`, the
+                // epoch argument above shows no transaction can still
+                // dereference it, and limbo entries are unique.
+                unsafe { dealloc_words(e.ptr as *mut usize, e.words) };
+                false
+            } else {
+                true
+            }
+        });
+        before - g.len()
+    }
+
+    /// Reclaim everything unconditionally. Only safe inside a quiesce
+    /// fence (no active transactions) or at `Stm` drop.
+    pub fn reclaim_all(&self) -> usize {
+        self.try_reclaim(u64::MAX)
+    }
+}
+
+impl Drop for Limbo {
+    fn drop(&mut self) {
+        self.reclaim_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_api::mem::alloc_words;
+
+    fn block(words: usize) -> (usize, usize) {
+        (alloc_words(words) as usize, words)
+    }
+
+    #[test]
+    fn reclaims_only_past_epoch() {
+        let limbo = Limbo::new();
+        limbo.push([block(2)].into_iter(), 10);
+        limbo.push([block(2)].into_iter(), 20);
+        assert_eq!(limbo.len(), 2);
+        // A transaction started at 15 is still active: only stamp<=15 go.
+        assert_eq!(limbo.try_reclaim(15), 1);
+        assert_eq!(limbo.len(), 1);
+        assert_eq!(limbo.try_reclaim(20), 1);
+        assert!(limbo.is_empty());
+    }
+
+    #[test]
+    fn equal_stamp_is_reclaimable() {
+        // start == stamp is safe (see module docs): boundary included.
+        let limbo = Limbo::new();
+        limbo.push([block(1)].into_iter(), 7);
+        assert_eq!(limbo.try_reclaim(7), 1);
+    }
+
+    #[test]
+    fn reclaim_all_drains() {
+        let limbo = Limbo::new();
+        limbo.push((0..32).map(|_| block(4)), 100);
+        assert_eq!(limbo.len(), 32);
+        assert_eq!(limbo.reclaim_all(), 32);
+        assert!(limbo.is_empty());
+    }
+
+    #[test]
+    fn nothing_reclaimed_below_min_stamp() {
+        let limbo = Limbo::new();
+        limbo.push([block(1)].into_iter(), 50);
+        assert_eq!(limbo.try_reclaim(49), 0);
+        assert_eq!(limbo.len(), 1);
+        limbo.reclaim_all();
+    }
+
+    #[test]
+    fn drop_releases_pending_blocks() {
+        // Covered by leak tooling in CI; here we just exercise the path.
+        let limbo = Limbo::new();
+        limbo.push([block(8), block(8)].into_iter(), 3);
+        drop(limbo);
+    }
+}

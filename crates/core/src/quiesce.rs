@@ -1,0 +1,260 @@
+//! Stop-the-world coordination (Section 3.1, "Clock Management", and
+//! Section 4.2).
+//!
+//! The paper uses one mechanism for two rare events: clock roll-over and
+//! dynamic reconfiguration. A *fence* stops new transactions from
+//! starting, waits until all active transactions have finished (committed
+//! or aborted), runs a critical section (reset the clock and versions, or
+//! swap the lock array), then lets transactions resume.
+//!
+//! The transaction fast path is two atomic RMWs (`enter`/`exit`); the
+//! mutex + condvars are touched only while a fence is pending. Waits use
+//! a short timeout as a belt-and-braces against lost-wakeup races between
+//! the lock-free counters and the blocking slow path.
+
+use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// The quiesce gate. One per [`crate::Stm`].
+#[derive(Debug)]
+pub struct Quiesce {
+    /// Number of transactions currently inside the gate.
+    active: AtomicUsize,
+    /// Set while a fence is pending or running.
+    fence: AtomicBool,
+    /// Serializes fencers and anchors the condvars.
+    mutex: Mutex<()>,
+    /// Signalled when `active` drains to zero (fencer waits here).
+    drained: Condvar,
+    /// Signalled when the fence is lifted (entering txs wait here).
+    lifted: Condvar,
+}
+
+impl Default for Quiesce {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Quiesce {
+    /// A gate with no fence pending.
+    pub fn new() -> Quiesce {
+        Quiesce {
+            active: AtomicUsize::new(0),
+            fence: AtomicBool::new(false),
+            mutex: Mutex::new(()),
+            drained: Condvar::new(),
+            lifted: Condvar::new(),
+        }
+    }
+
+    /// Enter the gate before starting a transaction attempt. Blocks while
+    /// a fence is pending.
+    #[inline]
+    pub fn enter(&self) {
+        loop {
+            if self.fence.load(Ordering::SeqCst) {
+                self.wait_unfenced();
+            }
+            self.active.fetch_add(1, Ordering::SeqCst);
+            if !self.fence.load(Ordering::SeqCst) {
+                return;
+            }
+            // A fence arrived between the check and the increment: back
+            // out so the fencer can drain, then retry.
+            self.exit();
+        }
+    }
+
+    /// Leave the gate after the attempt finished (commit or abort).
+    #[inline]
+    pub fn exit(&self) {
+        let prev = self.active.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev >= 1, "exit without enter");
+        if prev == 1 && self.fence.load(Ordering::SeqCst) {
+            // We may be the last transaction a fencer is waiting for.
+            let _g = self.mutex.lock();
+            self.drained.notify_all();
+        }
+    }
+
+    /// Number of transactions currently inside (diagnostics/tests).
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Whether a fence is currently pending/running.
+    pub fn fenced(&self) -> bool {
+        self.fence.load(Ordering::SeqCst)
+    }
+
+    /// Run `critical` with no transaction inside the gate.
+    ///
+    /// Must not be called from inside an `enter`ed section (deadlock);
+    /// the STM run loop always exits before triggering roll-over or
+    /// reconfiguration.
+    pub fn fence<R>(&self, critical: impl FnOnce() -> R) -> R {
+        let mut guard = self.mutex.lock();
+        // Another fencer may have just finished; we simply take our turn
+        // (the mutex serializes fencers).
+        self.fence.store(true, Ordering::SeqCst);
+        while self.active.load(Ordering::SeqCst) > 0 {
+            // Timeout bounds the lost-wakeup window between the last
+            // exit's fence check and our store above.
+            self.drained
+                .wait_for(&mut guard, Duration::from_micros(200));
+        }
+        let result = critical();
+        self.fence.store(false, Ordering::SeqCst);
+        self.lifted.notify_all();
+        result
+    }
+
+    #[cold]
+    fn wait_unfenced(&self) {
+        let mut guard = self.mutex.lock();
+        while self.fence.load(Ordering::SeqCst) {
+            self.lifted.wait_for(&mut guard, Duration::from_micros(200));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Instant;
+
+    #[test]
+    fn enter_exit_tracks_active() {
+        let q = Quiesce::new();
+        assert_eq!(q.active(), 0);
+        q.enter();
+        q.enter();
+        assert_eq!(q.active(), 2);
+        q.exit();
+        assert_eq!(q.active(), 1);
+        q.exit();
+        assert_eq!(q.active(), 0);
+    }
+
+    #[test]
+    fn fence_runs_with_zero_active() {
+        let q = Quiesce::new();
+        let saw = q.fence(|| q.active());
+        assert_eq!(saw, 0);
+        assert!(!q.fenced());
+    }
+
+    #[test]
+    fn fence_waits_for_active_transactions() {
+        let q = Arc::new(Quiesce::new());
+        q.enter();
+        let q2 = Arc::clone(&q);
+        let fencer = thread::spawn(move || {
+            q2.fence(|| {
+                assert_eq!(q2.active(), 0);
+                Instant::now()
+            })
+        });
+        // Give the fencer time to block.
+        thread::sleep(Duration::from_millis(30));
+        let released_at = Instant::now();
+        q.exit();
+        let fenced_at = fencer.join().unwrap();
+        assert!(
+            fenced_at >= released_at,
+            "fence ran before the active transaction exited"
+        );
+    }
+
+    #[test]
+    fn enter_blocks_while_fenced() {
+        let q = Arc::new(Quiesce::new());
+        let entered = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+
+        let q_f = Arc::clone(&q);
+        let release_f = Arc::clone(&release);
+        let fencer = thread::spawn(move || {
+            q_f.fence(|| {
+                while !release_f.load(Ordering::SeqCst) {
+                    thread::sleep(Duration::from_millis(1));
+                }
+            });
+        });
+        // Wait until the fence is up.
+        while !q.fenced() {
+            thread::sleep(Duration::from_millis(1));
+        }
+        let q_e = Arc::clone(&q);
+        let entered_e = Arc::clone(&entered);
+        let enterer = thread::spawn(move || {
+            q_e.enter();
+            entered_e.store(true, Ordering::SeqCst);
+            q_e.exit();
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert!(
+            !entered.load(Ordering::SeqCst),
+            "enter proceeded under a fence"
+        );
+        release.store(true, Ordering::SeqCst);
+        fencer.join().unwrap();
+        enterer.join().unwrap();
+        assert!(entered.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn concurrent_stress_no_fence_sees_active() {
+        let q = Arc::new(Quiesce::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let fences_run = Arc::new(AtomicU64::new(0));
+
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        q.enter();
+                        std::hint::spin_loop();
+                        q.exit();
+                    }
+                })
+            })
+            .collect();
+
+        let q_f = Arc::clone(&q);
+        let fences = Arc::clone(&fences_run);
+        let fencer = thread::spawn(move || {
+            for _ in 0..50 {
+                q_f.fence(|| {
+                    assert_eq!(q_f.active(), 0, "fence observed active transactions");
+                    fences.fetch_add(1, Ordering::Relaxed);
+                });
+                thread::yield_now();
+            }
+        });
+
+        fencer.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(fences_run.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn sequential_fences_all_complete() {
+        let q = Quiesce::new();
+        let mut total = 0;
+        for i in 0..10 {
+            total += q.fence(|| i);
+        }
+        assert_eq!(total, 45);
+    }
+}

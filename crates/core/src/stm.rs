@@ -1,0 +1,412 @@
+//! The `Stm` front-end: thread registration, the retry loop, clock
+//! roll-over, dynamic reconfiguration, and statistics aggregation.
+
+use crate::clock::GlobalClock;
+use crate::config::{CmPolicy, ConfigError, StmConfig};
+use crate::mapping::Mapping;
+use crate::mem::Limbo;
+use crate::quiesce::Quiesce;
+use crate::stats::{StatsSnapshot, ThreadStats};
+use crate::tx::{AttemptEnd, Tx, TxCtx};
+use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use parking_lot::Mutex;
+use std::cell::{RefCell, UnsafeCell};
+use std::sync::Arc;
+use stm_api::{Abort, AbortReason, TmHandle, TxKind, TxResult};
+
+/// Commits between opportunistic limbo-reclamation attempts (per thread).
+const RECLAIM_PERIOD: u64 = 1024;
+
+/// Per-(thread × STM) state. Pinned in the STM's registry so stripe
+/// records published through lock words stay dereferenceable for the
+/// lifetime of the STM even after the thread exits.
+pub(crate) struct ThreadState {
+    /// Statistics counters (atomics; aggregated by `Stm::stats`).
+    pub stats: ThreadStats,
+    /// Start timestamp of the in-flight transaction, `u64::MAX` when
+    /// idle. Read by the limbo reclaimer.
+    pub active_start: AtomicU64,
+    /// Mutable transactional state — owning thread only.
+    ctx: UnsafeCell<TxCtx>,
+    /// Commits since the last reclamation attempt (owning thread only;
+    /// atomic for the shared-reference API, relaxed everywhere).
+    commits_since_reclaim: AtomicU64,
+}
+
+// SAFETY: `ctx` is only touched by the owning thread (enforced by the
+// thread-local registry handing each thread its own state); all shared
+// fields are atomics.
+unsafe impl Sync for ThreadState {}
+unsafe impl Send for ThreadState {}
+
+impl ThreadState {
+    fn new(seed: u64) -> ThreadState {
+        ThreadState {
+            stats: ThreadStats::default(),
+            active_start: AtomicU64::new(u64::MAX),
+            ctx: UnsafeCell::new(TxCtx::new(seed)),
+            commits_since_reclaim: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Shared state behind an [`Stm`] handle.
+pub(crate) struct StmInner {
+    id: u64,
+    pub(crate) clock: GlobalClock,
+    pub(crate) quiesce: Quiesce,
+    mapping: AtomicPtr<Mapping>,
+    pub(crate) limbo: Limbo,
+    registry: Mutex<Vec<Arc<ThreadState>>>,
+    /// Mirror of the active configuration (the authoritative copy lives
+    /// in the mapping; this one is readable without pinning).
+    config_mirror: Mutex<StmConfig>,
+    rollovers: AtomicU64,
+    reconfigurations: AtomicU64,
+}
+
+impl Drop for StmInner {
+    fn drop(&mut self) {
+        let ptr = self.mapping.load(Ordering::SeqCst);
+        if !ptr.is_null() {
+            // SAFETY: uniquely owned at drop; no transactions can be
+            // active (they hold Arc clones of this inner).
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+        // Limbo drops (and reclaims) after this.
+    }
+}
+
+/// Aggregate statistics for an STM instance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StmStats {
+    /// Sum of all per-thread counters.
+    pub totals: StatsSnapshot,
+    /// Clock roll-overs performed.
+    pub rollovers: u64,
+    /// Dynamic reconfigurations performed.
+    pub reconfigurations: u64,
+    /// Blocks currently awaiting safe reclamation.
+    pub limbo_pending: usize,
+    /// Threads that have registered with this STM.
+    pub threads: usize,
+}
+
+impl std::fmt::Display for StmStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.totals)?;
+        write!(
+            f,
+            "  rollovers: {}, reconfigurations: {}, limbo pending: {}, threads: {}",
+            self.rollovers, self.reconfigurations, self.limbo_pending, self.threads
+        )
+    }
+}
+
+/// A word-based, time-based software transactional memory instance
+/// (TinySTM, PPoPP 2008).
+///
+/// Cheap to clone; clones share all state. Each OS thread using the
+/// instance gets its own transaction descriptor on first use.
+///
+/// ```
+/// use tinystm::{Stm, StmConfig};
+/// use stm_api::{TmTx, TxKind};
+/// use stm_api::mem::WordBlock;
+///
+/// let stm = Stm::new(StmConfig::default()).unwrap();
+/// let cell = WordBlock::new(1);
+/// let addr = cell.as_ptr();
+/// stm.run(TxKind::ReadWrite, |tx| {
+///     let v = unsafe { tx.load_word(addr) }?;
+///     unsafe { tx.store_word(addr, v + 1) }
+/// });
+/// assert_eq!(cell.read(0), 1);
+/// ```
+#[derive(Clone)]
+pub struct Stm {
+    inner: Arc<StmInner>,
+}
+
+static NEXT_STM_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Per-thread descriptors, keyed by STM instance id.
+    static THREAD_STATES: RefCell<Vec<(u64, Arc<ThreadState>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+impl Stm {
+    /// Create an STM with the given configuration.
+    pub fn new(config: StmConfig) -> Result<Stm, ConfigError> {
+        config.validate()?;
+        let mapping = Box::into_raw(Box::new(Mapping::new(config)));
+        Ok(Stm {
+            inner: Arc::new(StmInner {
+                id: NEXT_STM_ID.fetch_add(1, Ordering::Relaxed),
+                clock: GlobalClock::new(config.max_clock),
+                quiesce: Quiesce::new(),
+                mapping: AtomicPtr::new(mapping),
+                limbo: Limbo::new(),
+                registry: Mutex::new(Vec::new()),
+                config_mirror: Mutex::new(config),
+                rollovers: AtomicU64::new(0),
+                reconfigurations: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Create an STM with the default (paper) configuration.
+    pub fn with_defaults() -> Stm {
+        Stm::new(StmConfig::default()).expect("default config is valid")
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> StmConfig {
+        *self.inner.config_mirror.lock()
+    }
+
+    /// This thread's descriptor for this STM (created and registered on
+    /// first use).
+    fn thread_state(&self) -> Arc<ThreadState> {
+        let id = self.inner.id;
+        THREAD_STATES.with(|cell| {
+            let mut v = cell.borrow_mut();
+            if let Some((_, ts)) = v.iter().find(|(tid, _)| *tid == id) {
+                return Arc::clone(ts);
+            }
+            // Purge descriptors of dropped STM instances (registry gone
+            // means we hold the last reference).
+            v.retain(|(_, ts)| Arc::strong_count(ts) > 1);
+            let seed = 0x9E37_79B9_7F4A_7C15u64 ^ (id << 32) ^ (&*v as *const _ as u64);
+            let ts = Arc::new(ThreadState::new(seed));
+            self.inner.registry.lock().push(Arc::clone(&ts));
+            v.push((id, Arc::clone(&ts)));
+            ts
+        })
+    }
+
+    /// Run `body` as a transaction, retrying until commit. See
+    /// [`stm_api::TmHandle::run`] for the contract.
+    pub fn run<R, F>(&self, kind: TxKind, mut body: F) -> R
+    where
+        F: for<'x> FnMut(&mut Tx<'x>) -> TxResult<R>,
+    {
+        let ts = self.thread_state();
+        let inner: &StmInner = &self.inner;
+        loop {
+            if inner.clock.overflowed() {
+                self.handle_overflow();
+            }
+            inner.quiesce.enter();
+            // The mapping is pinned for the attempt: reconfiguration
+            // swaps it only inside a fence, which excludes entered
+            // transactions.
+            let map = unsafe { &*inner.mapping.load(Ordering::SeqCst) };
+            let now = inner.clock.now();
+            // SAFETY: ctx belongs to this thread exclusively.
+            let ctx = unsafe { &mut *ts.ctx.get() };
+            ctx.begin(kind, map, now);
+            ts.active_start.store(now, Ordering::SeqCst);
+
+            let cm = map.config().cm;
+            let outcome: Result<R, AbortReason> = {
+                let mut tx = Tx {
+                    inner,
+                    map,
+                    ts: &ts,
+                    ctx,
+                    finished: false,
+                    strategy: map.config().strategy,
+                    hier_on: map.hier_enabled(),
+                    me: Arc::as_ptr(&ts) as usize,
+                };
+                match body(&mut tx) {
+                    Ok(value) => match tx.commit() {
+                        AttemptEnd::Committed => Ok(value),
+                        AttemptEnd::Aborted(r) => Err(r),
+                    },
+                    Err(Abort(reason)) => {
+                        tx.rollback(reason);
+                        Err(reason)
+                    }
+                }
+            };
+
+            ts.active_start.store(u64::MAX, Ordering::SeqCst);
+            inner.quiesce.exit();
+
+            // SAFETY: tx is gone; re-borrow for the epilogue.
+            let ctx = unsafe { &mut *ts.ctx.get() };
+            match outcome {
+                Ok(value) => {
+                    ctx.consecutive_aborts = 0;
+                    self.maybe_reclaim(&ts);
+                    return value;
+                }
+                Err(reason) => {
+                    ctx.consecutive_aborts = ctx.consecutive_aborts.saturating_add(1);
+                    if matches!(reason, AbortReason::ClockOverflow) {
+                        self.handle_overflow();
+                    } else {
+                        backoff(ctx, cm);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience: run a read-only transaction (no read set, no
+    /// commit-time validation — the paper's read-only fast path).
+    pub fn run_ro<R, F>(&self, body: F) -> R
+    where
+        F: for<'x> FnMut(&mut Tx<'x>) -> TxResult<R>,
+    {
+        self.run(TxKind::ReadOnly, body)
+    }
+
+    /// Run the clock roll-over protocol if the clock is (still) past its
+    /// threshold: quiesce, zero every version, reset the clock.
+    pub(crate) fn handle_overflow(&self) {
+        let inner: &StmInner = &self.inner;
+        inner.quiesce.fence(|| {
+            if !inner.clock.overflowed() {
+                return; // another thread rolled over first
+            }
+            // SAFETY: fence ⇒ no transaction is active; the mapping
+            // cannot be swapped concurrently (fencers are serialized).
+            let map = unsafe { &*inner.mapping.load(Ordering::SeqCst) };
+            map.reset_versions();
+            inner.clock.reset();
+            inner.limbo.reclaim_all();
+            inner.rollovers.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    /// Atomically switch to a new configuration (Section 4.2's
+    /// reconfiguration, built on the roll-over mechanism): quiesce,
+    /// replace lock array + hierarchy + hash parameters, reset the
+    /// clock and reclaim limbo.
+    ///
+    /// Must not be called from inside a transaction closure (deadlock:
+    /// the fence waits for the calling transaction itself).
+    pub fn reconfigure(&self, config: StmConfig) -> Result<(), ConfigError> {
+        config.validate()?;
+        let inner: &StmInner = &self.inner;
+        inner.quiesce.fence(|| {
+            let fresh = Box::into_raw(Box::new(Mapping::new(config)));
+            let old = inner.mapping.swap(fresh, Ordering::SeqCst);
+            // SAFETY: no transaction is active inside the fence, so no
+            // one holds the old mapping.
+            unsafe { drop(Box::from_raw(old)) };
+            inner.clock.reset();
+            inner.clock.set_max(config.max_clock);
+            inner.limbo.reclaim_all();
+            *inner.config_mirror.lock() = config;
+            inner.reconfigurations.fetch_add(1, Ordering::SeqCst);
+        });
+        Ok(())
+    }
+
+    /// Opportunistically reclaim limbo blocks whose epoch has passed.
+    fn maybe_reclaim(&self, ts: &ThreadState) {
+        let n = ts.commits_since_reclaim.load(Ordering::Relaxed) + 1;
+        if n < RECLAIM_PERIOD {
+            ts.commits_since_reclaim.store(n, Ordering::Relaxed);
+            return;
+        }
+        ts.commits_since_reclaim.store(0, Ordering::Relaxed);
+        if self.inner.limbo.is_empty() {
+            return;
+        }
+        let min_active = self
+            .inner
+            .registry
+            .lock()
+            .iter()
+            .map(|t| t.active_start.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(u64::MAX);
+        self.inner.limbo.try_reclaim(min_active);
+    }
+
+    /// Force reclamation of all safely reclaimable limbo blocks now
+    /// (tests / teardown).
+    pub fn reclaim_now(&self) -> usize {
+        let min_active = self
+            .inner
+            .registry
+            .lock()
+            .iter()
+            .map(|t| t.active_start.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(u64::MAX);
+        self.inner.limbo.try_reclaim(min_active)
+    }
+
+    /// Aggregate statistics across all registered threads.
+    pub fn stats(&self) -> StmStats {
+        let registry = self.inner.registry.lock();
+        let mut totals = StatsSnapshot::default();
+        for ts in registry.iter() {
+            totals = totals.merged(&ts.stats.snapshot());
+        }
+        StmStats {
+            totals,
+            rollovers: self.inner.rollovers.load(Ordering::SeqCst),
+            reconfigurations: self.inner.reconfigurations.load(Ordering::SeqCst),
+            limbo_pending: self.inner.limbo.len(),
+            threads: registry.len(),
+        }
+    }
+
+    /// Current global clock value (diagnostics/tests).
+    pub fn clock_now(&self) -> u64 {
+        self.inner.clock.now()
+    }
+}
+
+impl TmHandle for Stm {
+    type Tx<'a> = Tx<'a>;
+
+    fn run<R, F>(&self, kind: TxKind, body: F) -> R
+    where
+        F: for<'a> FnMut(&mut Self::Tx<'a>) -> TxResult<R>,
+    {
+        Stm::run(self, kind, body)
+    }
+
+    fn stats_snapshot(&self) -> stm_api::stats::BasicStats {
+        self.stats().totals.basic()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        match self.config().strategy {
+            crate::config::AccessStrategy::WriteBack => "tinystm-wb",
+            crate::config::AccessStrategy::WriteThrough => "tinystm-wt",
+        }
+    }
+}
+
+/// Retry-loop backoff per the configured contention-management policy.
+fn backoff(ctx: &mut TxCtx, cm: CmPolicy) {
+    match cm {
+        CmPolicy::Immediate => {}
+        CmPolicy::Backoff { base, max_spins } => {
+            let shift = ctx.consecutive_aborts.min(16);
+            let bound = (u64::from(base) << shift).min(u64::from(max_spins));
+            if bound == 0 {
+                return;
+            }
+            let spins = ctx.next_rand() % bound;
+            for _ in 0..spins {
+                std::hint::spin_loop();
+            }
+            // Under oversubscription spinning alone cannot make the
+            // conflicting thread run; yield occasionally.
+            if ctx.consecutive_aborts > 4 {
+                std::thread::yield_now();
+            }
+        }
+    }
+}

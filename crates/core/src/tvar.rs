@@ -1,0 +1,274 @@
+//! A small safe layer over the word-based API: typed transactional
+//! cells and arrays.
+//!
+//! The paper's STM is word-based and unmanaged — the primary interface
+//! is raw word addresses. For applications that just want transactional
+//! variables (see `examples/quickstart.rs`), [`TCell`] and [`TArray`]
+//! own their word storage and expose a safe typed API via the extension
+//! trait [`TxExt`].
+
+use stm_api::mem::WordBlock;
+use stm_api::{TmTx, TxResult};
+
+/// Types storable in a single machine word.
+///
+/// # Safety
+/// `into_word`/`from_word` must roundtrip: `from_word(into_word(v)) == v`
+/// for every value `v` of the type.
+pub unsafe trait Word: Copy {
+    /// Encode into a word.
+    fn into_word(self) -> usize;
+    /// Decode from a word produced by [`Word::into_word`].
+    fn from_word(w: usize) -> Self;
+}
+
+macro_rules! impl_word_int {
+    ($($t:ty),*) => {
+        $(
+            // SAFETY: lossless via the checked-width cast below.
+            unsafe impl Word for $t {
+                #[inline]
+                fn into_word(self) -> usize {
+                    self as usize
+                }
+                #[inline]
+                fn from_word(w: usize) -> Self {
+                    w as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_word_int!(usize, u64, u32, u16, u8);
+
+// SAFETY: sign-extending roundtrip through the same-width usize.
+unsafe impl Word for isize {
+    fn into_word(self) -> usize {
+        self as usize
+    }
+    fn from_word(w: usize) -> Self {
+        w as isize
+    }
+}
+
+// SAFETY: i64 <-> u64 <-> usize are all 64-bit here (enforced in
+// lockword.rs).
+unsafe impl Word for i64 {
+    fn into_word(self) -> usize {
+        self as usize
+    }
+    fn from_word(w: usize) -> Self {
+        w as i64
+    }
+}
+
+// SAFETY: 0/1 encoding.
+unsafe impl Word for bool {
+    fn into_word(self) -> usize {
+        self as usize
+    }
+    fn from_word(w: usize) -> Self {
+        w != 0
+    }
+}
+
+/// A transactional variable holding one word-sized value.
+///
+/// Create before sharing (e.g. in an `Arc`), then access only inside
+/// transactions of one STM instance.
+#[derive(Debug)]
+pub struct TCell<T: Word> {
+    storage: WordBlock,
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Word> TCell<T> {
+    /// A cell initialized to `value` (non-transactionally; do this
+    /// before the cell is shared).
+    pub fn new(value: T) -> TCell<T> {
+        let storage = WordBlock::new(1);
+        storage.write(0, value.into_word());
+        TCell {
+            storage,
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    /// The word address backing this cell.
+    pub fn addr(&self) -> *mut usize {
+        self.storage.as_ptr()
+    }
+
+    /// Non-transactional read — single-threaded setup/teardown only.
+    pub fn read_direct(&self) -> T {
+        T::from_word(self.storage.read(0))
+    }
+
+    /// Non-transactional write — single-threaded setup/teardown only.
+    pub fn write_direct(&self, value: T) {
+        self.storage.write(0, value.into_word());
+    }
+}
+
+/// A fixed-length transactional array of word-sized values.
+#[derive(Debug)]
+pub struct TArray<T: Word> {
+    storage: WordBlock,
+    len: usize,
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Word> TArray<T> {
+    /// An array of `len` copies of `init`.
+    pub fn new(len: usize, init: T) -> TArray<T> {
+        let storage = WordBlock::new(len.max(1));
+        for i in 0..len {
+            storage.write(i, init.into_word());
+        }
+        TArray {
+            storage,
+            len,
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Word address of element `i` (panics when out of bounds).
+    pub fn addr(&self, i: usize) -> *mut usize {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        stm_api::field_ptr(self.storage.as_ptr(), i)
+    }
+
+    /// Non-transactional read — setup/teardown only.
+    pub fn read_direct(&self, i: usize) -> T {
+        assert!(i < self.len);
+        T::from_word(self.storage.read(i))
+    }
+}
+
+/// Typed transactional accessors for any [`TmTx`].
+pub trait TxExt: TmTx {
+    /// Transactionally read a cell.
+    fn read<T: Word>(&mut self, cell: &TCell<T>) -> TxResult<T> {
+        // SAFETY: the cell owns its word for its whole lifetime and the
+        // caller shares it only with transactional accessors.
+        let w = unsafe { self.load_word(cell.addr()) }?;
+        Ok(T::from_word(w))
+    }
+
+    /// Transactionally write a cell.
+    fn write<T: Word>(&mut self, cell: &TCell<T>, value: T) -> TxResult<()> {
+        // SAFETY: as in `read`.
+        unsafe { self.store_word(cell.addr(), value.into_word()) }
+    }
+
+    /// Transactionally read element `i` of an array.
+    fn read_idx<T: Word>(&mut self, arr: &TArray<T>, i: usize) -> TxResult<T> {
+        // SAFETY: bounds-checked address of owned storage.
+        let w = unsafe { self.load_word(arr.addr(i)) }?;
+        Ok(T::from_word(w))
+    }
+
+    /// Transactionally write element `i` of an array.
+    fn write_idx<T: Word>(&mut self, arr: &TArray<T>, i: usize, value: T) -> TxResult<()> {
+        // SAFETY: bounds-checked address of owned storage.
+        unsafe { self.store_word(arr.addr(i), value.into_word()) }
+    }
+
+    /// Read-modify-write a cell.
+    fn modify<T: Word>(&mut self, cell: &TCell<T>, f: impl FnOnce(T) -> T) -> TxResult<T> {
+        let old = self.read(cell)?;
+        let new = f(old);
+        self.write(cell, new)?;
+        Ok(new)
+    }
+}
+
+impl<X: TmTx + ?Sized> TxExt for X {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Stm, StmConfig};
+    use stm_api::TxKind;
+
+    #[test]
+    fn cell_roundtrips_types() {
+        let c = TCell::new(-5i64);
+        assert_eq!(c.read_direct(), -5);
+        c.write_direct(7);
+        assert_eq!(c.read_direct(), 7);
+        let b = TCell::new(true);
+        assert!(b.read_direct());
+    }
+
+    #[test]
+    fn transactional_cell_ops() {
+        let stm = Stm::with_defaults();
+        let c = TCell::new(10u64);
+        stm.run(TxKind::ReadWrite, |tx| {
+            let v = tx.read(&c)?;
+            tx.write(&c, v * 3)
+        });
+        assert_eq!(c.read_direct(), 30);
+    }
+
+    #[test]
+    fn modify_returns_new_value() {
+        let stm = Stm::with_defaults();
+        let c = TCell::new(1u64);
+        let got = stm.run(TxKind::ReadWrite, |tx| c_modify(tx, &c));
+        assert_eq!(got, 2);
+        assert_eq!(c.read_direct(), 2);
+
+        fn c_modify(tx: &mut crate::Tx<'_>, c: &TCell<u64>) -> stm_api::TxResult<u64> {
+            tx.modify(c, |v| v + 1)
+        }
+    }
+
+    #[test]
+    fn array_ops() {
+        let stm = Stm::with_defaults();
+        let a = TArray::new(8, 0u64);
+        stm.run(TxKind::ReadWrite, |tx| {
+            for i in 0..8 {
+                tx.write_idx(&a, i, (i * i) as u64)?;
+            }
+            Ok(())
+        });
+        let sum: u64 = stm.run_ro(|tx| {
+            let mut s = 0;
+            for i in 0..8 {
+                s += tx.read_idx(&a, i)?;
+            }
+            Ok(s)
+        });
+        assert_eq!(sum, (0..8).map(|i| i * i).sum());
+        assert_eq!(a.read_direct(3), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn array_bounds_checked() {
+        let a: TArray<u64> = TArray::new(2, 0);
+        let _ = a.addr(2);
+    }
+
+    #[test]
+    fn empty_array_is_empty() {
+        let a: TArray<u64> = TArray::new(0, 0);
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        let _ = StmConfig::default();
+    }
+}

@@ -1,0 +1,242 @@
+//! The measurement driver: spawn worker threads, warm up, measure
+//! committed-transaction throughput over a wall-clock window.
+//!
+//! Mirrors the paper's harness (Section 3.3): per-thread deterministic
+//! random streams, a fixed measurement duration, throughput reported as
+//! transactions per second, aborts reported alongside (Figure 4).
+
+use core::sync::atomic::{AtomicBool, Ordering};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+use stm_api::stats::BasicStats;
+
+/// Driver options.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureOpts {
+    /// Worker threads to spawn.
+    pub threads: usize,
+    /// Warm-up excluded from measurement.
+    pub warmup: Duration,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Base RNG seed; thread `t` uses `seed + t`.
+    pub seed: u64,
+}
+
+impl Default for MeasureOpts {
+    fn default() -> Self {
+        MeasureOpts {
+            threads: 1,
+            warmup: Duration::from_millis(50),
+            duration: Duration::from_millis(500),
+            seed: 0x7153_77AD,
+        }
+    }
+}
+
+impl MeasureOpts {
+    /// Builder-style setter for the thread count.
+    pub fn with_threads(mut self, t: usize) -> Self {
+        self.threads = t;
+        self
+    }
+
+    /// Builder-style setter for the measurement window.
+    pub fn with_duration(mut self, d: Duration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Builder-style setter for the warm-up window.
+    pub fn with_warmup(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn with_seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+}
+
+/// Result of one measurement window.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Actual measured wall time.
+    pub elapsed: Duration,
+    /// Commits inside the window.
+    pub commits: u64,
+    /// Aborts inside the window.
+    pub aborts: u64,
+    /// Commits per second.
+    pub throughput: f64,
+    /// Aborts per second (Figure 4's unit).
+    pub abort_rate: f64,
+    /// Aborts / attempts.
+    pub abort_ratio: f64,
+    /// Threads used.
+    pub threads: usize,
+}
+
+impl Measurement {
+    fn from_stats(delta: BasicStats, elapsed: Duration, threads: usize) -> Measurement {
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        Measurement {
+            elapsed,
+            commits: delta.commits,
+            aborts: delta.aborts,
+            throughput: delta.commits as f64 / secs,
+            abort_rate: delta.aborts as f64 / secs,
+            abort_ratio: delta.abort_ratio(),
+            threads,
+        }
+    }
+}
+
+/// Drive `opts.threads` workers running `make_op(t)` closures in a loop,
+/// measuring committed throughput via `stats_fn` deltas.
+///
+/// `make_op` builds one stateful operation closure per thread (the
+/// paper's harness keeps per-thread toggle state: update transactions
+/// alternately add a new element and remove the last inserted one).
+pub fn drive<F, G>(
+    opts: MeasureOpts,
+    stats_fn: &(dyn Fn() -> BasicStats + Sync),
+    make_op: G,
+) -> Measurement
+where
+    F: FnMut(&mut SmallRng) + Send,
+    G: Fn(usize) -> F + Sync,
+{
+    let stop = AtomicBool::new(false);
+    let mut result = None;
+    crossbeam::thread::scope(|scope| {
+        for t in 0..opts.threads {
+            let stop = &stop;
+            let make_op = &make_op;
+            scope.spawn(move |_| {
+                let mut rng = SmallRng::seed_from_u64(opts.seed.wrapping_add(t as u64));
+                let mut op = make_op(t);
+                while !stop.load(Ordering::Relaxed) {
+                    op(&mut rng);
+                }
+            });
+        }
+        std::thread::sleep(opts.warmup);
+        let before = stats_fn();
+        let started = Instant::now();
+        std::thread::sleep(opts.duration);
+        let after = stats_fn();
+        let elapsed = started.elapsed();
+        stop.store(true, Ordering::SeqCst);
+        result = Some(Measurement::from_stats(
+            after.since(&before),
+            elapsed,
+            opts.threads,
+        ));
+    })
+    .expect("worker thread panicked");
+    result.expect("scope completed")
+}
+
+/// Drive workers indefinitely while a coordinator closure runs (used by
+/// the auto-tuning experiments, where the coordinator reconfigures the
+/// STM between measurement periods). The coordinator receives a stats
+/// closure and returns its own result; workers stop when it returns.
+pub fn drive_with_coordinator<F, G, R>(
+    opts: MeasureOpts,
+    make_op: G,
+    coordinator: impl FnOnce() -> R,
+) -> R
+where
+    F: FnMut(&mut SmallRng) + Send,
+    G: Fn(usize) -> F + Sync,
+{
+    let stop = AtomicBool::new(false);
+    let mut result = None;
+    crossbeam::thread::scope(|scope| {
+        for t in 0..opts.threads {
+            let stop = &stop;
+            let make_op = &make_op;
+            scope.spawn(move |_| {
+                let mut rng = SmallRng::seed_from_u64(opts.seed.wrapping_add(t as u64));
+                let mut op = make_op(t);
+                while !stop.load(Ordering::Relaxed) {
+                    op(&mut rng);
+                }
+            });
+        }
+        result = Some(coordinator());
+        stop.store(true, Ordering::SeqCst);
+    })
+    .expect("worker thread panicked");
+    result.expect("coordinator ran")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::sync::atomic::AtomicU64;
+
+    #[test]
+    fn drive_measures_committed_work() {
+        // Fake backend: an atomic counter standing in for commits.
+        let commits = AtomicU64::new(0);
+        let stats = || BasicStats {
+            commits: commits.load(Ordering::Relaxed),
+            ..BasicStats::ZERO
+        };
+        let opts = MeasureOpts::default()
+            .with_threads(2)
+            .with_warmup(Duration::from_millis(10))
+            .with_duration(Duration::from_millis(50));
+        let m = drive(opts, &stats, |_t| {
+            let commits = &commits;
+            move |_rng: &mut SmallRng| {
+                commits.fetch_add(1, Ordering::Relaxed);
+                std::thread::yield_now();
+            }
+        });
+        assert!(m.commits > 0, "no work measured");
+        assert!(m.throughput > 0.0);
+        assert_eq!(m.aborts, 0);
+        assert_eq!(m.threads, 2);
+    }
+
+    #[test]
+    fn coordinator_variant_returns_result() {
+        let commits = AtomicU64::new(0);
+        let opts = MeasureOpts::default().with_threads(1);
+        let out = drive_with_coordinator(
+            opts,
+            |_t| {
+                let commits = &commits;
+                move |_rng: &mut SmallRng| {
+                    commits.fetch_add(1, Ordering::Relaxed);
+                    std::thread::yield_now();
+                }
+            },
+            || {
+                std::thread::sleep(Duration::from_millis(30));
+                42
+            },
+        );
+        assert_eq!(out, 42);
+        assert!(commits.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn measurement_math() {
+        let delta = BasicStats {
+            commits: 1000,
+            aborts: 100,
+            aborts_by_reason: [100, 0, 0, 0, 0, 0, 0],
+        };
+        let m = Measurement::from_stats(delta, Duration::from_secs(2), 4);
+        assert!((m.throughput - 500.0).abs() < 1e-9);
+        assert!((m.abort_rate - 50.0).abs() < 1e-9);
+        assert!((m.abort_ratio - 100.0 / 1100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,231 @@
+//! The paper's integer-set harness (Section 3.3).
+//!
+//! Differences from the TL2 harness that the paper calls out, faithfully
+//! reproduced:
+//!
+//! * the structure is pre-populated with `initial_size` elements and its
+//!   size stays *almost constant*: update transactions alternately add a
+//!   new element and remove the last inserted one, so updates always
+//!   write (they never fail on duplicate/missing keys);
+//! * reads are `contains` on uniformly random keys;
+//! * `update_pct` percent of operations are updates.
+//!
+//! The overwrite variant (Figure 4 right) replaces the add/remove pair
+//! with a traversal that writes every node up to a random key.
+
+use crate::driver::{drive, MeasureOpts, Measurement};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stm_structures::TxSet;
+
+/// Workload parameters for the intset benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct IntSetWorkload {
+    /// Elements inserted before measurement; size stays ≈ constant.
+    pub initial_size: u64,
+    /// Keys are drawn from `[1, key_range]`; the paper uses twice the
+    /// initial size so half the membership tests succeed.
+    pub key_range: u64,
+    /// Percentage (0–100) of operations that are updates.
+    pub update_pct: u32,
+}
+
+impl IntSetWorkload {
+    /// Standard workload: range = 2 × size (as in the TL2/TinySTM
+    /// evaluations).
+    pub fn new(initial_size: u64, update_pct: u32) -> IntSetWorkload {
+        assert!(update_pct <= 100);
+        IntSetWorkload {
+            initial_size,
+            key_range: initial_size * 2,
+            update_pct,
+        }
+    }
+}
+
+/// Pre-populate `set` with `initial_size` distinct keys from the range,
+/// deterministically from `seed`.
+pub fn populate<S: TxSet + ?Sized>(set: &S, w: &IntSetWorkload, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut inserted = 0;
+    while inserted < w.initial_size {
+        let key = rng.gen_range(1..=w.key_range);
+        if set.add(key) {
+            inserted += 1;
+        }
+    }
+}
+
+/// Per-thread operation state: the alternating add/remove toggle.
+pub struct IntSetOp<'a, S: TxSet + ?Sized> {
+    set: &'a S,
+    workload: IntSetWorkload,
+    /// `Some(k)` when the next update must remove `k`.
+    last_inserted: Option<u64>,
+}
+
+impl<'a, S: TxSet + ?Sized> IntSetOp<'a, S> {
+    /// Fresh per-thread state.
+    pub fn new(set: &'a S, workload: IntSetWorkload) -> IntSetOp<'a, S> {
+        IntSetOp {
+            set,
+            workload,
+            last_inserted: None,
+        }
+    }
+
+    /// Execute one harness operation.
+    pub fn step(&mut self, rng: &mut SmallRng) {
+        let w = &self.workload;
+        if rng.gen_range(0..100) < w.update_pct {
+            match self.last_inserted.take() {
+                Some(k) => {
+                    // Remove the element we inserted; if a collision with
+                    // another thread stole it, the transaction still ran.
+                    self.set.remove(k);
+                }
+                None => {
+                    // Insert a fresh element (retry keys until new).
+                    for _ in 0..64 {
+                        let k = rng.gen_range(1..=w.key_range);
+                        if self.set.add(k) {
+                            self.last_inserted = Some(k);
+                            break;
+                        }
+                    }
+                }
+            }
+        } else {
+            let k = rng.gen_range(1..=w.key_range);
+            let _ = self.set.contains(k);
+        }
+    }
+}
+
+/// Run the full intset benchmark: populate, then measure.
+pub fn run_intset<S: TxSet + ?Sized>(
+    set: &S,
+    workload: IntSetWorkload,
+    opts: MeasureOpts,
+    stats_fn: &(dyn Fn() -> stm_api::stats::BasicStats + Sync),
+) -> Measurement {
+    populate(set, &workload, opts.seed ^ 0xD1D1);
+    drive(opts, stats_fn, |_t| {
+        let mut op = IntSetOp::new(set, workload);
+        move |rng: &mut SmallRng| op.step(rng)
+    })
+}
+
+/// The overwrite workload of Figure 4 (right): `update_pct` percent of
+/// operations traverse-and-overwrite up to a random key; the rest are
+/// reads.
+pub fn run_overwrite<H: stm_api::TmHandle>(
+    list: &stm_structures::LinkedList<H>,
+    workload: IntSetWorkload,
+    opts: MeasureOpts,
+    stats_fn: &(dyn Fn() -> stm_api::stats::BasicStats + Sync),
+) -> Measurement {
+    populate(list, &workload, opts.seed ^ 0xD1D1);
+    drive(opts, stats_fn, |t| {
+        let w = workload;
+        let tag = t as u64;
+        move |rng: &mut SmallRng| {
+            let k = rng.gen_range(1..=w.key_range);
+            if rng.gen_range(0..100) < w.update_pct {
+                list.overwrite_to(k, tag);
+            } else {
+                let _ = list.contains(k);
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use stm_api::model::MutexTm;
+    use stm_api::TmHandle;
+    use stm_structures::LinkedList;
+
+    #[test]
+    fn populate_reaches_exact_size() {
+        let tm = MutexTm::new();
+        let list = LinkedList::new(tm);
+        let w = IntSetWorkload::new(64, 20);
+        populate(&list, &w, 7);
+        assert_eq!(list.snapshot_len(), 64);
+        // Deterministic: same seed, same content.
+        let list2 = LinkedList::new(MutexTm::new());
+        populate(&list2, &w, 7);
+        assert_eq!(list.keys(), list2.keys());
+    }
+
+    #[test]
+    fn updates_keep_size_nearly_constant() {
+        let tm = MutexTm::new();
+        let list = LinkedList::new(tm);
+        let w = IntSetWorkload::new(32, 100);
+        populate(&list, &w, 3);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut op = IntSetOp::new(&list, w);
+        for _ in 0..200 {
+            op.step(&mut rng);
+        }
+        let n = list.snapshot_len();
+        assert!(
+            (31..=33).contains(&n),
+            "size drifted to {n} under alternating updates"
+        );
+    }
+
+    #[test]
+    fn zero_update_pct_never_writes() {
+        let tm = MutexTm::new();
+        let list = LinkedList::new(tm.clone());
+        let w = IntSetWorkload::new(16, 0);
+        populate(&list, &w, 3);
+        let writes_before = tm.stats_snapshot().commits;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut op = IntSetOp::new(&list, w);
+        for _ in 0..50 {
+            op.step(&mut rng);
+        }
+        assert_eq!(list.snapshot_len(), 16);
+        assert!(tm.stats_snapshot().commits > writes_before);
+    }
+
+    #[test]
+    fn full_bench_roundtrip_smoke() {
+        let tm = MutexTm::new();
+        let list = LinkedList::new(tm.clone());
+        let opts = MeasureOpts::default()
+            .with_threads(2)
+            .with_warmup(Duration::from_millis(5))
+            .with_duration(Duration::from_millis(40));
+        let stats = {
+            let tm = tm.clone();
+            move || tm.stats_snapshot()
+        };
+        let m = run_intset(&list, IntSetWorkload::new(32, 20), opts, &stats);
+        assert!(m.commits > 0);
+        assert!(m.throughput > 0.0);
+    }
+
+    #[test]
+    fn overwrite_bench_smoke() {
+        let tm = MutexTm::new();
+        let list = LinkedList::new(tm.clone());
+        let opts = MeasureOpts::default()
+            .with_threads(2)
+            .with_warmup(Duration::from_millis(5))
+            .with_duration(Duration::from_millis(40));
+        let stats = {
+            let tm = tm.clone();
+            move || tm.stats_snapshot()
+        };
+        let m = run_overwrite(&list, IntSetWorkload::new(32, 5), opts, &stats);
+        assert!(m.commits > 0);
+        assert_eq!(list.snapshot_len(), 32, "overwrite must not change size");
+    }
+}

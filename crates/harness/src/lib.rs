@@ -1,0 +1,22 @@
+//! # stm-harness — the paper's workload harness
+//!
+//! Reproduces the measurement methodology of Section 3.3: pre-populated
+//! structures of (almost) constant size, per-thread deterministic random
+//! streams, update transactions that always write (alternating
+//! add/remove), throughput in committed transactions per second and
+//! abort rates per second, over configurable thread counts, sizes, and
+//! update percentages.
+//!
+//! * [`driver`] — thread spawning + windowed measurement;
+//! * [`intset`] — the red-black tree / linked list / overwrite harness;
+//! * [`vacation_mix`] — the STAMP-style vacation mix (Figure 7);
+//! * [`table`] — the series printer shared by the figure benches.
+
+pub mod driver;
+pub mod intset;
+pub mod table;
+pub mod vacation_mix;
+
+pub use driver::{drive, drive_with_coordinator, MeasureOpts, Measurement};
+pub use intset::{populate, run_intset, run_overwrite, IntSetOp, IntSetWorkload};
+pub use vacation_mix::{run_vacation, vacation_op, VacationWorkload};

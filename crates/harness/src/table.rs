@@ -1,0 +1,123 @@
+//! Plain-text series output for the benchmark harness.
+//!
+//! Every figure bench prints rows in a uniform, grep-able format:
+//! a `# fig...` header naming the experiment, a column header, then one
+//! comma-separated row per measured point — the same series the paper
+//! plots.
+
+use std::io::Write;
+
+/// A simple CSV-ish table writer.
+pub struct SeriesWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> SeriesWriter<W> {
+    /// Wrap a writer.
+    pub fn new(out: W) -> SeriesWriter<W> {
+        SeriesWriter { out }
+    }
+
+    /// Print the experiment header (`# <name>: <description>`).
+    pub fn experiment(&mut self, name: &str, description: &str) {
+        writeln!(self.out, "# {name}: {description}").expect("write");
+    }
+
+    /// Print the column header.
+    pub fn columns(&mut self, cols: &[&str]) {
+        writeln!(self.out, "{}", cols.join(",")).expect("write");
+    }
+
+    /// Print one row of cells.
+    pub fn row(&mut self, cells: &[Cell]) {
+        let line = cells.iter().map(Cell::render).collect::<Vec<_>>().join(",");
+        writeln!(self.out, "{line}").expect("write");
+    }
+
+    /// Blank separator line between series.
+    pub fn gap(&mut self) {
+        writeln!(self.out).expect("write");
+    }
+
+    /// Consume and return the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl Default for SeriesWriter<std::io::Stdout> {
+    fn default() -> Self {
+        SeriesWriter::new(std::io::stdout())
+    }
+}
+
+/// A table cell.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    /// Text label.
+    Str(String),
+    /// Integer value.
+    Int(u64),
+    /// Float rendered with one decimal.
+    F1(f64),
+    /// Float rendered with three decimals.
+    F3(f64),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Str(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::F1(v) => format!("{v:.1}"),
+            Cell::F3(v) => format!("{v:.3}"),
+        }
+    }
+}
+
+/// Shorthand constructors.
+pub fn s(v: impl Into<String>) -> Cell {
+    Cell::Str(v.into())
+}
+
+/// Integer cell.
+pub fn i(v: u64) -> Cell {
+    Cell::Int(v)
+}
+
+/// One-decimal float cell.
+pub fn f1(v: f64) -> Cell {
+    Cell::F1(v)
+}
+
+/// Three-decimal float cell.
+pub fn f3(v: f64) -> Cell {
+    Cell::F3(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_csv_rows() {
+        let mut w = SeriesWriter::new(Vec::new());
+        w.experiment("fig02", "red-black tree throughput");
+        w.columns(&["backend", "threads", "txs_per_sec"]);
+        w.row(&[s("tinystm-wb"), i(4), f1(123456.78)]);
+        w.gap();
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        assert_eq!(
+            text,
+            "# fig02: red-black tree throughput\nbackend,threads,txs_per_sec\ntinystm-wb,4,123456.8\n\n"
+        );
+    }
+
+    #[test]
+    fn cell_render_formats() {
+        assert_eq!(Cell::Int(7).render(), "7");
+        assert_eq!(Cell::F1(1.25).render(), "1.2");
+        assert_eq!(Cell::F3(0.12349).render(), "0.123");
+        assert_eq!(s("x").render(), "x");
+    }
+}

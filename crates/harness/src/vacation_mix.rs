@@ -1,0 +1,111 @@
+//! The Vacation workload driver (Figure 7): STAMP-style operation mix
+//! over the travel-reservation database.
+
+use crate::driver::{drive, MeasureOpts, Measurement};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use stm_api::TmHandle;
+use stm_structures::{ResourceKind, Vacation};
+
+/// Vacation workload parameters (STAMP's "low contention" defaults,
+/// scaled down).
+#[derive(Debug, Clone, Copy)]
+pub struct VacationWorkload {
+    /// Resources per table.
+    pub n_resources: u64,
+    /// Customers.
+    pub n_customers: u64,
+    /// Resource queries per reservation transaction.
+    pub queries_per_tx: usize,
+    /// Percent of operations that are reservations (the rest split
+    /// between customer deletions and table updates).
+    pub reserve_pct: u32,
+}
+
+impl Default for VacationWorkload {
+    fn default() -> Self {
+        VacationWorkload {
+            n_resources: 256,
+            n_customers: 64,
+            queries_per_tx: 4,
+            reserve_pct: 80,
+        }
+    }
+}
+
+/// One vacation operation, STAMP mix.
+pub fn vacation_op<H: TmHandle>(v: &Vacation<H>, w: &VacationWorkload, rng: &mut SmallRng) {
+    let roll = rng.gen_range(0..100);
+    if roll < w.reserve_pct {
+        let customer = rng.gen_range(1..=w.n_customers);
+        let kind = ResourceKind::from_index(rng.gen_range(0..3));
+        let ids: Vec<u64> = (0..w.queries_per_tx)
+            .map(|_| rng.gen_range(1..=w.n_resources))
+            .collect();
+        v.make_reservation(customer, kind, &ids);
+    } else if roll < w.reserve_pct + (100 - w.reserve_pct) / 2 {
+        let customer = rng.gen_range(1..=w.n_customers);
+        v.delete_customer(customer);
+    } else {
+        let kind = ResourceKind::from_index(rng.gen_range(0..3));
+        let id = rng.gen_range(1..=w.n_resources);
+        let price = rng.gen_range(100..600) as u32;
+        v.update_tables(&[(kind, id, Some(price))]);
+    }
+}
+
+/// Build the database and measure the mixed workload.
+pub fn run_vacation<H: TmHandle>(
+    tm: H,
+    workload: VacationWorkload,
+    opts: MeasureOpts,
+) -> Measurement {
+    let v = Vacation::new(
+        tm.clone(),
+        workload.n_resources,
+        workload.n_customers,
+        opts.seed ^ 0xACA7,
+    );
+    let stats = move || tm.stats_snapshot();
+    drive(opts, &stats, |_t| {
+        let v = &v;
+        let w = workload;
+        move |rng: &mut SmallRng| vacation_op(v, &w, rng)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::time::Duration;
+    use stm_api::model::MutexTm;
+
+    #[test]
+    fn vacation_mix_smoke() {
+        let tm = MutexTm::new();
+        let opts = MeasureOpts::default()
+            .with_threads(2)
+            .with_warmup(Duration::from_millis(5))
+            .with_duration(Duration::from_millis(50));
+        let m = run_vacation(tm, VacationWorkload::default(), opts);
+        assert!(m.commits > 0);
+    }
+
+    #[test]
+    fn vacation_ops_cover_all_kinds() {
+        let tm = MutexTm::new();
+        let w = VacationWorkload {
+            n_resources: 32,
+            n_customers: 8,
+            queries_per_tx: 3,
+            reserve_pct: 50,
+        };
+        let v = Vacation::new(tm, w.n_resources, w.n_customers, 5);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..200 {
+            vacation_op(&v, &w, &mut rng);
+        }
+        assert_eq!(v.outstanding_by_tables(), v.outstanding_by_customers());
+    }
+}

@@ -1,0 +1,94 @@
+//! Coarse-grained lock baseline: a `Mutex<BTreeSet>` behind the same
+//! [`TxSet`] interface.
+//!
+//! The TL2 paper (which the TinySTM paper defers to for lock-based
+//! comparisons) benchmarks hand-crafted locking; this baseline provides
+//! the equivalent series for our harness — zero aborts, full
+//! serialization — and doubles as a trivially correct differential
+//! reference that needs no STM at all.
+
+use crate::set::{check_key, TxSet};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+
+/// A single-lock sorted set.
+#[derive(Debug, Default)]
+pub struct CoarseLockSet {
+    inner: Mutex<BTreeSet<u64>>,
+}
+
+impl CoarseLockSet {
+    /// An empty set.
+    pub fn new() -> CoarseLockSet {
+        CoarseLockSet::default()
+    }
+
+    /// Sorted key list (tests/teardown).
+    pub fn keys(&self) -> Vec<u64> {
+        self.inner.lock().iter().copied().collect()
+    }
+}
+
+impl TxSet for CoarseLockSet {
+    fn add(&self, key: u64) -> bool {
+        check_key(key);
+        self.inner.lock().insert(key)
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        check_key(key);
+        self.inner.lock().remove(&key)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        check_key(key);
+        self.inner.lock().contains(&key)
+    }
+
+    fn snapshot_len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    fn structure_name(&self) -> &'static str {
+        "coarse-lock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_a_set() {
+        let s = CoarseLockSet::new();
+        assert!(s.add(3));
+        assert!(!s.add(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert_eq!(s.snapshot_len(), 1);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.keys(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn concurrent_use_is_serializable() {
+        let s = std::sync::Arc::new(CoarseLockSet::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let k = t * 1000 + i + 1;
+                        assert!(s.add(k));
+                        assert!(s.remove(k));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot_len(), 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! A transactional open-chaining hash set — an additional structure (not
+//! in the paper's figures) with *small* read and write sets: the
+//! opposite end of the access-pattern spectrum from the linked list.
+//! Useful for ablations: with O(1) transactions, per-access overhead and
+//! lock-array false sharing dominate, not validation.
+//!
+//! Fixed bucket array (no transactional resizing); each bucket is a
+//! sorted singly-linked chain of `[key, next]` nodes.
+
+use crate::set::{check_key, TxSet};
+use stm_api::mem::WordBlock;
+use stm_api::{field_ptr, TmHandle, TmTx, TxKind, TxResult};
+
+const KEY: usize = 0;
+const NEXT: usize = 1;
+/// Words per chain node.
+pub const NODE_WORDS: usize = 2;
+
+/// A transactional fixed-capacity hash set.
+pub struct HashSet<H: TmHandle> {
+    tm: H,
+    buckets: WordBlock,
+    n_buckets: usize,
+}
+
+// SAFETY: as for the other structures.
+unsafe impl<H: TmHandle> Send for HashSet<H> {}
+unsafe impl<H: TmHandle> Sync for HashSet<H> {}
+
+#[inline]
+fn hash(key: u64) -> u64 {
+    // splitmix64 finalizer.
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<H: TmHandle> HashSet<H> {
+    /// Create a set with `n_buckets` buckets (rounded up to a power of
+    /// two).
+    pub fn new(tm: H, n_buckets: usize) -> HashSet<H> {
+        let n = n_buckets.next_power_of_two().max(1);
+        HashSet {
+            tm,
+            buckets: WordBlock::new(n),
+            n_buckets: n,
+        }
+    }
+
+    /// The backend handle.
+    pub fn tm(&self) -> &H {
+        &self.tm
+    }
+
+    /// Number of buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.n_buckets
+    }
+
+    #[inline]
+    fn bucket_addr(&self, key: u64) -> *mut usize {
+        let b = (hash(key) as usize) & (self.n_buckets - 1);
+        stm_api::field_ptr(self.buckets.as_ptr(), b)
+    }
+
+    /// Walk the chain for `key`: returns `(prev_link_addr, node, k)`
+    /// where `prev_link_addr` is the word holding the pointer to `node`.
+    ///
+    /// # Safety
+    /// Must run inside a transaction of this set's backend.
+    unsafe fn search<T: TmTx>(
+        &self,
+        tx: &mut T,
+        key: u64,
+    ) -> TxResult<(*mut usize, *mut usize, u64)> {
+        let mut link = self.bucket_addr(key);
+        loop {
+            let node = tx.load_word(link)? as *mut usize;
+            if node.is_null() {
+                return Ok((link, node, u64::MAX));
+            }
+            let k = tx.load_word(field_ptr(node, KEY))? as u64;
+            if k >= key {
+                return Ok((link, node, k));
+            }
+            link = field_ptr(node, NEXT);
+        }
+    }
+}
+
+impl<H: TmHandle> TxSet for HashSet<H> {
+    fn add(&self, key: u64) -> bool {
+        check_key(key);
+        self.tm.run(TxKind::ReadWrite, |tx| {
+            // SAFETY: transactional accesses on this backend.
+            unsafe {
+                let (link, node, k) = self.search(tx, key)?;
+                if !node.is_null() && k == key {
+                    return Ok(false);
+                }
+                let fresh = tx.malloc(NODE_WORDS)?;
+                tx.store_word(field_ptr(fresh, KEY), key as usize)?;
+                tx.store_word(field_ptr(fresh, NEXT), node as usize)?;
+                tx.store_word(link, fresh as usize)?;
+                Ok(true)
+            }
+        })
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        check_key(key);
+        self.tm.run(TxKind::ReadWrite, |tx| {
+            // SAFETY: transactional accesses on this backend.
+            unsafe {
+                let (link, node, k) = self.search(tx, key)?;
+                if node.is_null() || k != key {
+                    return Ok(false);
+                }
+                let next = tx.load_word(field_ptr(node, NEXT))?;
+                tx.store_word(link, next)?;
+                tx.free(node, NODE_WORDS)?;
+                Ok(true)
+            }
+        })
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        check_key(key);
+        self.tm.run(TxKind::ReadOnly, |tx| {
+            // SAFETY: transactional accesses on this backend.
+            unsafe {
+                let (_, node, k) = self.search(tx, key)?;
+                Ok(!node.is_null() && k == key)
+            }
+        })
+    }
+
+    fn snapshot_len(&self) -> usize {
+        self.tm.run(TxKind::ReadOnly, |tx| {
+            let mut n = 0usize;
+            // SAFETY: transactional accesses on this backend.
+            unsafe {
+                for b in 0..self.n_buckets {
+                    let mut cur = tx.load_word(field_ptr(self.buckets.as_ptr(), b))? as *mut usize;
+                    while !cur.is_null() {
+                        n += 1;
+                        cur = tx.load_word(field_ptr(cur, NEXT))? as *mut usize;
+                    }
+                }
+            }
+            Ok(n)
+        })
+    }
+
+    fn structure_name(&self) -> &'static str {
+        "hashset"
+    }
+}
+
+impl<H: TmHandle> Drop for HashSet<H> {
+    fn drop(&mut self) {
+        for b in 0..self.n_buckets {
+            let mut cur = self.buckets.read(b) as *mut usize;
+            while !cur.is_null() {
+                // SAFETY: exclusive access at drop.
+                unsafe {
+                    let next = *field_ptr(cur, NEXT) as *mut usize;
+                    stm_api::mem::dealloc_words(cur, NODE_WORDS);
+                    cur = next;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_api::model::MutexTm;
+
+    fn set() -> HashSet<MutexTm> {
+        HashSet::new(MutexTm::new(), 16)
+    }
+
+    #[test]
+    fn bucket_count_rounds_to_power_of_two() {
+        let s = HashSet::new(MutexTm::new(), 10);
+        assert_eq!(s.n_buckets(), 16);
+        let s = HashSet::new(MutexTm::new(), 0);
+        assert_eq!(s.n_buckets(), 1);
+    }
+
+    #[test]
+    fn add_remove_contains() {
+        let s = set();
+        assert!(s.add(100));
+        assert!(!s.add(100));
+        assert!(s.contains(100));
+        assert!(!s.contains(101));
+        assert!(s.remove(100));
+        assert!(!s.remove(100));
+        assert_eq!(s.snapshot_len(), 0);
+    }
+
+    #[test]
+    fn colliding_keys_chain() {
+        // Single bucket → everything chains; order must still work.
+        let s = HashSet::new(MutexTm::new(), 1);
+        for k in [7u64, 3, 9, 1, 5] {
+            assert!(s.add(k));
+        }
+        for k in [1u64, 3, 5, 7, 9] {
+            assert!(s.contains(k));
+        }
+        assert_eq!(s.snapshot_len(), 5);
+        assert!(s.remove(3));
+        assert!(s.remove(9));
+        assert_eq!(s.snapshot_len(), 3);
+    }
+
+    #[test]
+    fn model_check_against_btreeset() {
+        use std::collections::BTreeSet;
+        let s = set();
+        let mut model = BTreeSet::new();
+        let mut seed = 0xDEAD_BEEFu64;
+        for _ in 0..3_000 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let k = seed % 64 + 1;
+            if seed & 0x40 == 0 {
+                assert_eq!(s.add(k), model.insert(k));
+            } else {
+                assert_eq!(s.remove(k), model.remove(&k));
+            }
+        }
+        assert_eq!(s.snapshot_len(), model.len());
+    }
+}

@@ -1,0 +1,37 @@
+//! # stm-structures — the paper's benchmark data structures
+//!
+//! Transactional data structures used in the TinySTM paper's evaluation
+//! (Section 3.3 and Section 4), generic over any word-based TM backend
+//! implementing [`stm_api::TmHandle`] — TinySTM (write-back or
+//! write-through), TL2, or the global-mutex reference model:
+//!
+//! * [`LinkedList`] — the sorted linked list (large read sets; plus the
+//!   "overwrite" variant of Figure 4 with large write sets);
+//! * [`RbTree`] — the red-black tree (short transactions, low conflict);
+//! * [`Vacation`] — a STAMP-vacation-style travel-reservation workload
+//!   (multi-tree transactions, Figure 7);
+//! * [`SkipList`] and [`HashSet`] — additional set implementations for
+//!   wider coverage of access patterns (not in the paper's figures);
+//! * [`CoarseLockSet`] — a single-mutex baseline for lock-vs-STM
+//!   comparisons and differential testing.
+//!
+//! All structures store nodes as word arrays allocated through the
+//! backend's transactional memory manager, exactly like the C original:
+//! aborts reclaim allocations, frees are deferred past commit, and
+//! physical reclamation is epoch-based.
+
+pub mod baseline;
+pub mod hashset;
+pub mod linkedlist;
+pub mod rbtree;
+pub mod set;
+pub mod skiplist;
+pub mod vacation;
+
+pub use baseline::CoarseLockSet;
+pub use hashset::HashSet;
+pub use linkedlist::LinkedList;
+pub use rbtree::RbTree;
+pub use set::{TxSet, KEY_MAX, KEY_MIN};
+pub use skiplist::SkipList;
+pub use vacation::{ResourceKind, Vacation};

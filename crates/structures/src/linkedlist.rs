@@ -1,0 +1,331 @@
+//! The sorted linked list benchmark (Section 3.3).
+//!
+//! "The list must be traversed in order to add, remove, or locate
+//! entries and read sets can grow large" — the workload that separates
+//! encounter-time from commit-time locking and motivates hierarchical
+//! validation.
+//!
+//! Nodes are word arrays `[key, value, next]` allocated through the
+//! transactional memory manager; `value` exists for the *overwrite*
+//! variant of Figure 4 (right), where update transactions write every
+//! node they traverse.
+
+use crate::set::{check_key, TxSet};
+use stm_api::mem::WordBlock;
+use stm_api::{field_ptr, TmHandle, TmTx, TxKind, TxResult};
+
+/// Node layout (in words).
+const KEY: usize = 0;
+const VALUE: usize = 1;
+const NEXT: usize = 2;
+/// Words per node.
+pub const NODE_WORDS: usize = 3;
+
+/// A sorted singly-linked integer set over any TM backend.
+///
+/// Head and tail sentinels carry keys `0` and `u64::MAX`; user keys are
+/// restricted to `[KEY_MIN, KEY_MAX]` (see `set.rs`).
+pub struct LinkedList<H: TmHandle> {
+    tm: H,
+    /// One word: pointer to the head sentinel node.
+    root: WordBlock,
+}
+
+// SAFETY: the raw node pointers inside are only dereferenced through
+// transactional accesses governed by the backend's concurrency control,
+// and node blocks are reclaimed through the backend's epoch scheme.
+unsafe impl<H: TmHandle> Send for LinkedList<H> {}
+unsafe impl<H: TmHandle> Sync for LinkedList<H> {}
+
+impl<H: TmHandle> LinkedList<H> {
+    /// Create an empty list on `tm`.
+    pub fn new(tm: H) -> LinkedList<H> {
+        let root = WordBlock::new(1);
+        // Build the sentinels inside a transaction so the nodes come
+        // from the transactional allocator like every other node.
+        let head = tm.run(TxKind::ReadWrite, |tx| {
+            let tail = tx.malloc(NODE_WORDS)?;
+            // SAFETY: fresh block owned by this transaction.
+            unsafe {
+                tx.store_word(field_ptr(tail, KEY), u64::MAX as usize)?;
+                tx.store_word(field_ptr(tail, NEXT), 0)?;
+            }
+            let head = tx.malloc(NODE_WORDS)?;
+            unsafe {
+                tx.store_word(field_ptr(head, KEY), 0)?;
+                tx.store_word(field_ptr(head, NEXT), tail as usize)?;
+            }
+            Ok(head as usize)
+        });
+        root.write(0, head);
+        LinkedList { tm, root }
+    }
+
+    /// The backend handle.
+    pub fn tm(&self) -> &H {
+        &self.tm
+    }
+
+    #[inline]
+    fn head(&self) -> *mut usize {
+        self.root.read(0) as *mut usize
+    }
+
+    /// Find the first node with `node.key >= key`, returning
+    /// `(predecessor, node, node.key)`. All loads transactional.
+    ///
+    /// # Safety
+    /// Must run inside a transaction of this list's backend.
+    unsafe fn search<T: TmTx>(
+        tx: &mut T,
+        head: *mut usize,
+        key: u64,
+    ) -> TxResult<(*mut usize, *mut usize, u64)> {
+        let mut prev = head;
+        let mut cur = tx.load_word(field_ptr(head, NEXT))? as *mut usize;
+        loop {
+            let k = tx.load_word(field_ptr(cur, KEY))? as u64;
+            if k >= key {
+                return Ok((prev, cur, k));
+            }
+            prev = cur;
+            cur = tx.load_word(field_ptr(cur, NEXT))? as *mut usize;
+        }
+    }
+
+    /// Insert `key` with an associated value (update transaction).
+    pub fn add_with_value(&self, key: u64, value: u64) -> bool {
+        check_key(key);
+        let head = self.head();
+        self.tm.run(TxKind::ReadWrite, |tx| {
+            // SAFETY: nodes reachable from head stay dereferenceable for
+            // the duration of the transaction (epoch reclamation).
+            let (prev, cur, k) = unsafe { Self::search(tx, head, key) }?;
+            if k == key {
+                return Ok(false);
+            }
+            let node = tx.malloc(NODE_WORDS)?;
+            unsafe {
+                tx.store_word(field_ptr(node, KEY), key as usize)?;
+                tx.store_word(field_ptr(node, VALUE), value as usize)?;
+                tx.store_word(field_ptr(node, NEXT), cur as usize)?;
+                tx.store_word(field_ptr(prev, NEXT), node as usize)?;
+            }
+            Ok(true)
+        })
+    }
+
+    /// The overwrite workload of Figure 4 (right): traverse towards a
+    /// random `key`, writing `value` into every node passed, stopping at
+    /// the first node with `node.key >= key`. Returns the number of
+    /// nodes overwritten. Produces large write sets.
+    pub fn overwrite_to(&self, key: u64, value: u64) -> usize {
+        check_key(key);
+        let head = self.head();
+        self.tm.run(TxKind::ReadWrite, |tx| {
+            let mut written = 0usize;
+            // SAFETY: as in `search`.
+            unsafe {
+                let mut cur = tx.load_word(field_ptr(head, NEXT))? as *mut usize;
+                loop {
+                    let k = tx.load_word(field_ptr(cur, KEY))? as u64;
+                    if k >= key {
+                        break;
+                    }
+                    tx.store_word(field_ptr(cur, VALUE), value as usize)?;
+                    written += 1;
+                    cur = tx.load_word(field_ptr(cur, NEXT))? as *mut usize;
+                }
+            }
+            Ok(written)
+        })
+    }
+
+    /// Read the value stored at `key`, if present (read-only).
+    pub fn get_value(&self, key: u64) -> Option<u64> {
+        check_key(key);
+        let head = self.head();
+        self.tm.run(TxKind::ReadOnly, |tx| {
+            // SAFETY: as in `search`.
+            let (_, cur, k) = unsafe { Self::search(tx, head, key) }?;
+            if k == key {
+                // SAFETY: cur is a live node.
+                let v = unsafe { tx.load_word(field_ptr(cur, VALUE)) }?;
+                Ok(Some(v as u64))
+            } else {
+                Ok(None)
+            }
+        })
+    }
+
+    /// Collect all keys via a read-only traversal (tests/teardown).
+    pub fn keys(&self) -> Vec<u64> {
+        let head = self.head();
+        self.tm.run(TxKind::ReadOnly, |tx| {
+            let mut out = Vec::new();
+            // SAFETY: as in `search`.
+            unsafe {
+                let mut cur = tx.load_word(field_ptr(head, NEXT))? as *mut usize;
+                loop {
+                    let k = tx.load_word(field_ptr(cur, KEY))? as u64;
+                    if k == u64::MAX {
+                        break;
+                    }
+                    out.push(k);
+                    cur = tx.load_word(field_ptr(cur, NEXT))? as *mut usize;
+                }
+            }
+            Ok(out)
+        })
+    }
+}
+
+impl<H: TmHandle> TxSet for LinkedList<H> {
+    fn add(&self, key: u64) -> bool {
+        self.add_with_value(key, 0)
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        check_key(key);
+        let head = self.head();
+        self.tm.run(TxKind::ReadWrite, |tx| {
+            // SAFETY: as in `search`.
+            let (prev, cur, k) = unsafe { Self::search(tx, head, key) }?;
+            if k != key {
+                return Ok(false);
+            }
+            // SAFETY: cur is a live node; unlink then free.
+            unsafe {
+                let next = tx.load_word(field_ptr(cur, NEXT))?;
+                tx.store_word(field_ptr(prev, NEXT), next)?;
+                tx.free(cur, NODE_WORDS)?;
+            }
+            Ok(true)
+        })
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        check_key(key);
+        let head = self.head();
+        self.tm.run(TxKind::ReadOnly, |tx| {
+            // SAFETY: as in `search`.
+            let (_, _, k) = unsafe { Self::search(tx, head, key) }?;
+            Ok(k == key)
+        })
+    }
+
+    fn snapshot_len(&self) -> usize {
+        self.keys().len()
+    }
+
+    fn structure_name(&self) -> &'static str {
+        "list"
+    }
+}
+
+impl<H: TmHandle> Drop for LinkedList<H> {
+    fn drop(&mut self) {
+        // Last owner: no transactions can be live on this list. Walk the
+        // raw links and release every node (sentinels included).
+        let mut cur = self.root.read(0) as *mut usize;
+        while !cur.is_null() {
+            // SAFETY: exclusive access; nodes were allocated with
+            // NODE_WORDS words via the transactional allocator.
+            unsafe {
+                let next = *field_ptr(cur, NEXT) as *mut usize;
+                stm_api::mem::dealloc_words(cur, NODE_WORDS);
+                cur = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_api::model::MutexTm;
+
+    fn list() -> LinkedList<MutexTm> {
+        LinkedList::new(MutexTm::new())
+    }
+
+    #[test]
+    fn empty_list_behaviour() {
+        let l = list();
+        assert!(!l.contains(5));
+        assert!(!l.remove(5));
+        assert_eq!(l.snapshot_len(), 0);
+        assert_eq!(l.keys(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn add_remove_contains() {
+        let l = list();
+        assert!(l.add(10));
+        assert!(l.add(5));
+        assert!(l.add(20));
+        assert!(!l.add(10), "duplicate insert must fail");
+        assert!(l.contains(10));
+        assert!(!l.contains(11));
+        assert_eq!(l.keys(), vec![5, 10, 20]);
+        assert!(l.remove(10));
+        assert!(!l.remove(10));
+        assert_eq!(l.keys(), vec![5, 20]);
+        assert_eq!(l.snapshot_len(), 2);
+    }
+
+    #[test]
+    fn keys_stay_sorted() {
+        let l = list();
+        for k in [9u64, 3, 7, 1, 5, 8, 2, 6, 4] {
+            assert!(l.add(k));
+        }
+        assert_eq!(l.keys(), (1..=9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        let l = list();
+        assert!(l.add_with_value(3, 33));
+        assert!(l.add_with_value(4, 44));
+        assert_eq!(l.get_value(3), Some(33));
+        assert_eq!(l.get_value(4), Some(44));
+        assert_eq!(l.get_value(5), None);
+    }
+
+    #[test]
+    fn overwrite_counts_traversed_nodes() {
+        let l = list();
+        for k in 1..=10u64 {
+            l.add(k);
+        }
+        // Overwrite everything strictly below 6 → 5 nodes.
+        assert_eq!(l.overwrite_to(6, 7), 5);
+        for k in 1..=5 {
+            assert_eq!(l.get_value(k), Some(7));
+        }
+        assert_eq!(l.get_value(6), Some(0));
+        // Overwriting towards key 1 touches nothing.
+        assert_eq!(l.overwrite_to(1, 9), 0);
+    }
+
+    #[test]
+    fn boundary_keys() {
+        use crate::set::{KEY_MAX, KEY_MIN};
+        let l = list();
+        assert!(l.add(KEY_MIN));
+        assert!(l.add(KEY_MAX));
+        assert!(l.contains(KEY_MIN));
+        assert!(l.contains(KEY_MAX));
+        assert_eq!(l.keys(), vec![KEY_MIN, KEY_MAX]);
+        assert!(l.remove(KEY_MIN));
+        assert!(l.remove(KEY_MAX));
+        assert_eq!(l.snapshot_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn sentinel_key_rejected() {
+        list().add(0);
+    }
+}

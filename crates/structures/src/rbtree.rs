@@ -1,0 +1,689 @@
+//! The red-black tree benchmark — the paper's primary workload
+//! ("the same red-black tree benchmark application as used for the
+//! evaluation of TL2", Section 3.3).
+//!
+//! A CLRS-style red-black tree with parent pointers, stored as word
+//! arrays `[key, value, left, right, parent, color]` and manipulated
+//! entirely through transactional loads/stores. The delete fix-up
+//! tracks `(x, x_parent)` explicitly so the shared NIL is never written
+//! (we use null for NIL), avoiding artificial contention.
+
+use crate::set::{check_key, TxSet};
+use stm_api::mem::WordBlock;
+use stm_api::{field_ptr, TmHandle, TmTx, TxKind, TxResult};
+
+const KEY: usize = 0;
+const VALUE: usize = 1;
+const LEFT: usize = 2;
+const RIGHT: usize = 3;
+const PARENT: usize = 4;
+const COLOR: usize = 5;
+/// Words per node.
+pub const NODE_WORDS: usize = 6;
+
+const RED: usize = 0;
+const BLACK: usize = 1;
+
+type Node = *mut usize;
+
+/// A transactional red-black tree map (`u64 → u64`) over any backend.
+pub struct RbTree<H: TmHandle> {
+    tm: H,
+    /// One word: pointer to the root node (0 when empty).
+    root: WordBlock,
+}
+
+// SAFETY: see LinkedList — raw pointers are only dereferenced through
+// transactional accesses; reclamation is epoch-based.
+unsafe impl<H: TmHandle> Send for RbTree<H> {}
+unsafe impl<H: TmHandle> Sync for RbTree<H> {}
+
+/// Field accessors. Every function runs inside a transaction; `n` must
+/// be a live node pointer (non-null).
+mod node {
+    use super::*;
+
+    #[inline]
+    pub unsafe fn get<T: TmTx>(tx: &mut T, n: Node, f: usize) -> TxResult<usize> {
+        debug_assert!(!n.is_null());
+        tx.load_word(field_ptr(n, f))
+    }
+
+    #[inline]
+    pub unsafe fn set<T: TmTx>(tx: &mut T, n: Node, f: usize, v: usize) -> TxResult<()> {
+        debug_assert!(!n.is_null());
+        tx.store_word(field_ptr(n, f), v)
+    }
+
+    #[inline]
+    pub unsafe fn key<T: TmTx>(tx: &mut T, n: Node) -> TxResult<u64> {
+        Ok(get(tx, n, KEY)? as u64)
+    }
+
+    /// Color of `n`, treating null as black (CLRS NIL).
+    #[inline]
+    pub unsafe fn color_or_black<T: TmTx>(tx: &mut T, n: Node) -> TxResult<usize> {
+        if n.is_null() {
+            Ok(BLACK)
+        } else {
+            get(tx, n, COLOR)
+        }
+    }
+}
+
+/// Root-pointer accessors (the root word itself is transactional data).
+#[inline]
+unsafe fn get_root<T: TmTx>(tx: &mut T, root_addr: *mut usize) -> TxResult<Node> {
+    Ok(tx.load_word(root_addr)? as Node)
+}
+
+#[inline]
+unsafe fn set_root<T: TmTx>(tx: &mut T, root_addr: *mut usize, n: Node) -> TxResult<()> {
+    tx.store_word(root_addr, n as usize)
+}
+
+/// Left-rotate around `x` (which must have a right child).
+unsafe fn rotate_left<T: TmTx>(tx: &mut T, root_addr: *mut usize, x: Node) -> TxResult<()> {
+    let y = node::get(tx, x, RIGHT)? as Node;
+    debug_assert!(!y.is_null());
+    let yl = node::get(tx, y, LEFT)? as Node;
+    node::set(tx, x, RIGHT, yl as usize)?;
+    if !yl.is_null() {
+        node::set(tx, yl, PARENT, x as usize)?;
+    }
+    let xp = node::get(tx, x, PARENT)? as Node;
+    node::set(tx, y, PARENT, xp as usize)?;
+    if xp.is_null() {
+        set_root(tx, root_addr, y)?;
+    } else if node::get(tx, xp, LEFT)? as Node == x {
+        node::set(tx, xp, LEFT, y as usize)?;
+    } else {
+        node::set(tx, xp, RIGHT, y as usize)?;
+    }
+    node::set(tx, y, LEFT, x as usize)?;
+    node::set(tx, x, PARENT, y as usize)
+}
+
+/// Right-rotate around `x` (which must have a left child).
+unsafe fn rotate_right<T: TmTx>(tx: &mut T, root_addr: *mut usize, x: Node) -> TxResult<()> {
+    let y = node::get(tx, x, LEFT)? as Node;
+    debug_assert!(!y.is_null());
+    let yr = node::get(tx, y, RIGHT)? as Node;
+    node::set(tx, x, LEFT, yr as usize)?;
+    if !yr.is_null() {
+        node::set(tx, yr, PARENT, x as usize)?;
+    }
+    let xp = node::get(tx, x, PARENT)? as Node;
+    node::set(tx, y, PARENT, xp as usize)?;
+    if xp.is_null() {
+        set_root(tx, root_addr, y)?;
+    } else if node::get(tx, xp, RIGHT)? as Node == x {
+        node::set(tx, xp, RIGHT, y as usize)?;
+    } else {
+        node::set(tx, xp, LEFT, y as usize)?;
+    }
+    node::set(tx, y, RIGHT, x as usize)?;
+    node::set(tx, x, PARENT, y as usize)
+}
+
+/// Restore red-black properties after inserting the red node `z`.
+unsafe fn insert_fixup<T: TmTx>(tx: &mut T, root_addr: *mut usize, mut z: Node) -> TxResult<()> {
+    loop {
+        let zp = node::get(tx, z, PARENT)? as Node;
+        if zp.is_null() || node::get(tx, zp, COLOR)? == BLACK {
+            break;
+        }
+        let zpp = node::get(tx, zp, PARENT)? as Node;
+        debug_assert!(!zpp.is_null(), "red root parent");
+        if node::get(tx, zpp, LEFT)? as Node == zp {
+            let uncle = node::get(tx, zpp, RIGHT)? as Node;
+            if node::color_or_black(tx, uncle)? == RED {
+                node::set(tx, zp, COLOR, BLACK)?;
+                node::set(tx, uncle, COLOR, BLACK)?;
+                node::set(tx, zpp, COLOR, RED)?;
+                z = zpp;
+            } else {
+                if node::get(tx, zp, RIGHT)? as Node == z {
+                    z = zp;
+                    rotate_left(tx, root_addr, z)?;
+                }
+                let zp = node::get(tx, z, PARENT)? as Node;
+                let zpp = node::get(tx, zp, PARENT)? as Node;
+                node::set(tx, zp, COLOR, BLACK)?;
+                node::set(tx, zpp, COLOR, RED)?;
+                rotate_right(tx, root_addr, zpp)?;
+            }
+        } else {
+            let uncle = node::get(tx, zpp, LEFT)? as Node;
+            if node::color_or_black(tx, uncle)? == RED {
+                node::set(tx, zp, COLOR, BLACK)?;
+                node::set(tx, uncle, COLOR, BLACK)?;
+                node::set(tx, zpp, COLOR, RED)?;
+                z = zpp;
+            } else {
+                if node::get(tx, zp, LEFT)? as Node == z {
+                    z = zp;
+                    rotate_right(tx, root_addr, z)?;
+                }
+                let zp = node::get(tx, z, PARENT)? as Node;
+                let zpp = node::get(tx, zp, PARENT)? as Node;
+                node::set(tx, zp, COLOR, BLACK)?;
+                node::set(tx, zpp, COLOR, RED)?;
+                rotate_left(tx, root_addr, zpp)?;
+            }
+        }
+    }
+    let root = get_root(tx, root_addr)?;
+    if !root.is_null() {
+        node::set(tx, root, COLOR, BLACK)?;
+    }
+    Ok(())
+}
+
+/// Replace the subtree rooted at `u` with `v` (CLRS transplant); `v` may
+/// be null, in which case only the parent link is rewritten.
+unsafe fn transplant<T: TmTx>(tx: &mut T, root_addr: *mut usize, u: Node, v: Node) -> TxResult<()> {
+    let up = node::get(tx, u, PARENT)? as Node;
+    if up.is_null() {
+        set_root(tx, root_addr, v)?;
+    } else if node::get(tx, up, LEFT)? as Node == u {
+        node::set(tx, up, LEFT, v as usize)?;
+    } else {
+        node::set(tx, up, RIGHT, v as usize)?;
+    }
+    if !v.is_null() {
+        node::set(tx, v, PARENT, up as usize)?;
+    }
+    Ok(())
+}
+
+/// Restore red-black properties after removing a black node; `x` (the
+/// doubly-black position, possibly null) hangs under `xp`.
+unsafe fn delete_fixup<T: TmTx>(
+    tx: &mut T,
+    root_addr: *mut usize,
+    mut x: Node,
+    mut xp: Node,
+) -> TxResult<()> {
+    loop {
+        let root = get_root(tx, root_addr)?;
+        if x == root || node::color_or_black(tx, x)? == RED {
+            break;
+        }
+        debug_assert!(!xp.is_null(), "non-root doubly-black without parent");
+        if node::get(tx, xp, LEFT)? as Node == x {
+            let mut w = node::get(tx, xp, RIGHT)? as Node;
+            debug_assert!(!w.is_null(), "doubly-black with null sibling");
+            if node::get(tx, w, COLOR)? == RED {
+                node::set(tx, w, COLOR, BLACK)?;
+                node::set(tx, xp, COLOR, RED)?;
+                rotate_left(tx, root_addr, xp)?;
+                w = node::get(tx, xp, RIGHT)? as Node;
+            }
+            let wl = node::get(tx, w, LEFT)? as Node;
+            let wr = node::get(tx, w, RIGHT)? as Node;
+            if node::color_or_black(tx, wl)? == BLACK && node::color_or_black(tx, wr)? == BLACK {
+                node::set(tx, w, COLOR, RED)?;
+                x = xp;
+                xp = node::get(tx, x, PARENT)? as Node;
+            } else {
+                if node::color_or_black(tx, wr)? == BLACK {
+                    if !wl.is_null() {
+                        node::set(tx, wl, COLOR, BLACK)?;
+                    }
+                    node::set(tx, w, COLOR, RED)?;
+                    rotate_right(tx, root_addr, w)?;
+                    w = node::get(tx, xp, RIGHT)? as Node;
+                }
+                let xpc = node::get(tx, xp, COLOR)?;
+                node::set(tx, w, COLOR, xpc)?;
+                node::set(tx, xp, COLOR, BLACK)?;
+                let wr = node::get(tx, w, RIGHT)? as Node;
+                if !wr.is_null() {
+                    node::set(tx, wr, COLOR, BLACK)?;
+                }
+                rotate_left(tx, root_addr, xp)?;
+                x = get_root(tx, root_addr)?;
+                xp = core::ptr::null_mut();
+            }
+        } else {
+            let mut w = node::get(tx, xp, LEFT)? as Node;
+            debug_assert!(!w.is_null(), "doubly-black with null sibling");
+            if node::get(tx, w, COLOR)? == RED {
+                node::set(tx, w, COLOR, BLACK)?;
+                node::set(tx, xp, COLOR, RED)?;
+                rotate_right(tx, root_addr, xp)?;
+                w = node::get(tx, xp, LEFT)? as Node;
+            }
+            let wl = node::get(tx, w, LEFT)? as Node;
+            let wr = node::get(tx, w, RIGHT)? as Node;
+            if node::color_or_black(tx, wl)? == BLACK && node::color_or_black(tx, wr)? == BLACK {
+                node::set(tx, w, COLOR, RED)?;
+                x = xp;
+                xp = node::get(tx, x, PARENT)? as Node;
+            } else {
+                if node::color_or_black(tx, wl)? == BLACK {
+                    if !wr.is_null() {
+                        node::set(tx, wr, COLOR, BLACK)?;
+                    }
+                    node::set(tx, w, COLOR, RED)?;
+                    rotate_left(tx, root_addr, w)?;
+                    w = node::get(tx, xp, LEFT)? as Node;
+                }
+                let xpc = node::get(tx, xp, COLOR)?;
+                node::set(tx, w, COLOR, xpc)?;
+                node::set(tx, xp, COLOR, BLACK)?;
+                let wl = node::get(tx, w, LEFT)? as Node;
+                if !wl.is_null() {
+                    node::set(tx, wl, COLOR, BLACK)?;
+                }
+                rotate_right(tx, root_addr, xp)?;
+                x = get_root(tx, root_addr)?;
+                xp = core::ptr::null_mut();
+            }
+        }
+    }
+    if !x.is_null() {
+        node::set(tx, x, COLOR, BLACK)?;
+    }
+    Ok(())
+}
+
+/// Find the node with `key`, or null.
+unsafe fn find<T: TmTx>(tx: &mut T, root_addr: *mut usize, key: u64) -> TxResult<Node> {
+    let mut cur = get_root(tx, root_addr)?;
+    while !cur.is_null() {
+        let k = node::key(tx, cur)?;
+        cur = if key == k {
+            return Ok(cur);
+        } else if key < k {
+            node::get(tx, cur, LEFT)? as Node
+        } else {
+            node::get(tx, cur, RIGHT)? as Node
+        };
+    }
+    Ok(core::ptr::null_mut())
+}
+
+/// Leftmost node of the subtree rooted at `n` (non-null).
+unsafe fn minimum<T: TmTx>(tx: &mut T, mut n: Node) -> TxResult<Node> {
+    loop {
+        let l = node::get(tx, n, LEFT)? as Node;
+        if l.is_null() {
+            return Ok(n);
+        }
+        n = l;
+    }
+}
+
+impl<H: TmHandle> RbTree<H> {
+    /// Create an empty tree on `tm`.
+    pub fn new(tm: H) -> RbTree<H> {
+        RbTree {
+            tm,
+            root: WordBlock::new(1),
+        }
+    }
+
+    /// The backend handle.
+    pub fn tm(&self) -> &H {
+        &self.tm
+    }
+
+    #[inline]
+    fn root_addr(&self) -> *mut usize {
+        self.root.as_ptr()
+    }
+
+    /// Insert or update; returns the previous value if the key existed.
+    pub fn put(&self, key: u64, value: u64) -> Option<u64> {
+        check_key(key);
+        self.tm.run(TxKind::ReadWrite, |tx| unsafe {
+            self.put_in(tx, key, value)
+        })
+    }
+
+    /// Remove `key`; returns its value if present.
+    pub fn delete(&self, key: u64) -> Option<u64> {
+        check_key(key);
+        self.tm
+            .run(TxKind::ReadWrite, |tx| unsafe { self.delete_in(tx, key) })
+    }
+
+    /// Look up `key` (read-only transaction).
+    pub fn get(&self, key: u64) -> Option<u64> {
+        check_key(key);
+        self.tm
+            .run(TxKind::ReadOnly, |tx| unsafe { self.get_in(tx, key) })
+    }
+
+    /// Transaction-level insert/update for composing multi-structure
+    /// transactions (e.g. the vacation workload).
+    ///
+    /// # Safety
+    /// `tx` must belong to the same TM instance as `self.tm()` — the
+    /// tree's words are governed by that instance's lock table.
+    pub unsafe fn put_in<T: TmTx>(
+        &self,
+        tx: &mut T,
+        key: u64,
+        value: u64,
+    ) -> TxResult<Option<u64>> {
+        let root_addr = self.root_addr();
+        // Descend, remembering the attachment point.
+        let mut parent: Node = core::ptr::null_mut();
+        let mut cur = get_root(tx, root_addr)?;
+        let mut went_left = false;
+        while !cur.is_null() {
+            let k = node::key(tx, cur)?;
+            if key == k {
+                let old = node::get(tx, cur, VALUE)? as u64;
+                node::set(tx, cur, VALUE, value as usize)?;
+                return Ok(Some(old));
+            }
+            parent = cur;
+            went_left = key < k;
+            cur = node::get(tx, cur, if went_left { LEFT } else { RIGHT })? as Node;
+        }
+        let z = tx.malloc(NODE_WORDS)?;
+        node::set(tx, z, KEY, key as usize)?;
+        node::set(tx, z, VALUE, value as usize)?;
+        node::set(tx, z, LEFT, 0)?;
+        node::set(tx, z, RIGHT, 0)?;
+        node::set(tx, z, PARENT, parent as usize)?;
+        node::set(tx, z, COLOR, RED)?;
+        if parent.is_null() {
+            set_root(tx, root_addr, z)?;
+        } else {
+            node::set(tx, parent, if went_left { LEFT } else { RIGHT }, z as usize)?;
+        }
+        insert_fixup(tx, root_addr, z)?;
+        Ok(None)
+    }
+
+    /// Transaction-level delete (see [`RbTree::put_in`]).
+    ///
+    /// # Safety
+    /// As for [`RbTree::put_in`].
+    pub unsafe fn delete_in<T: TmTx>(&self, tx: &mut T, key: u64) -> TxResult<Option<u64>> {
+        let root_addr = self.root_addr();
+        let z = find(tx, root_addr, key)?;
+        if z.is_null() {
+            return Ok(None);
+        }
+        let old = node::get(tx, z, VALUE)? as u64;
+        let zl = node::get(tx, z, LEFT)? as Node;
+        let zr = node::get(tx, z, RIGHT)? as Node;
+        let (x, xp, removed_color) = if zl.is_null() {
+            let xp = node::get(tx, z, PARENT)? as Node;
+            transplant(tx, root_addr, z, zr)?;
+            (zr, xp, node::get(tx, z, COLOR)?)
+        } else if zr.is_null() {
+            let xp = node::get(tx, z, PARENT)? as Node;
+            transplant(tx, root_addr, z, zl)?;
+            (zl, xp, node::get(tx, z, COLOR)?)
+        } else {
+            let y = minimum(tx, zr)?;
+            let y_color = node::get(tx, y, COLOR)?;
+            let x = node::get(tx, y, RIGHT)? as Node;
+            let mut xp;
+            if node::get(tx, y, PARENT)? as Node == z {
+                xp = y;
+            } else {
+                xp = node::get(tx, y, PARENT)? as Node;
+                transplant(tx, root_addr, y, x)?;
+                node::set(tx, y, RIGHT, zr as usize)?;
+                node::set(tx, zr, PARENT, y as usize)?;
+            }
+            transplant(tx, root_addr, z, y)?;
+            node::set(tx, y, LEFT, zl as usize)?;
+            node::set(tx, zl, PARENT, y as usize)?;
+            let zc = node::get(tx, z, COLOR)?;
+            node::set(tx, y, COLOR, zc)?;
+            if xp.is_null() {
+                xp = y;
+            }
+            (x, xp, y_color)
+        };
+        if removed_color == BLACK {
+            delete_fixup(tx, root_addr, x, xp)?;
+        }
+        tx.free(z, NODE_WORDS)?;
+        Ok(Some(old))
+    }
+
+    /// Transaction-level lookup (see [`RbTree::put_in`]).
+    ///
+    /// # Safety
+    /// As for [`RbTree::put_in`].
+    pub unsafe fn get_in<T: TmTx>(&self, tx: &mut T, key: u64) -> TxResult<Option<u64>> {
+        let root_addr = self.root_addr();
+        let n = find(tx, root_addr, key)?;
+        if n.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(node::get(tx, n, VALUE)? as u64))
+        }
+    }
+
+    /// In-order key list (read-only traversal; tests/teardown).
+    pub fn keys(&self) -> Vec<u64> {
+        let root_addr = self.root_addr();
+        self.tm.run(TxKind::ReadOnly, |tx| {
+            let mut out = Vec::new();
+            // SAFETY: as in `put`. Iterative in-order walk using an
+            // explicit stack (no recursion in transactions).
+            unsafe {
+                let mut stack: Vec<Node> = Vec::new();
+                let mut cur = get_root(tx, root_addr)?;
+                while !cur.is_null() || !stack.is_empty() {
+                    while !cur.is_null() {
+                        stack.push(cur);
+                        cur = node::get(tx, cur, LEFT)? as Node;
+                    }
+                    let n = stack.pop().expect("stack non-empty");
+                    out.push(node::key(tx, n)?);
+                    cur = node::get(tx, n, RIGHT)? as Node;
+                }
+            }
+            Ok(out)
+        })
+    }
+
+    /// Verify the red-black invariants via a read-only traversal:
+    /// BST order, no red node with a red child, equal black heights.
+    /// Returns the tree's black height. Panics on violation (test aid).
+    pub fn check_invariants(&self) -> usize {
+        let root_addr = self.root_addr();
+        self.tm.run(TxKind::ReadOnly, |tx| {
+            // SAFETY: as in `put`.
+            unsafe {
+                let root = get_root(tx, root_addr)?;
+                if root.is_null() {
+                    return Ok(0);
+                }
+                assert_eq!(node::get(tx, root, COLOR)?, BLACK, "root must be black");
+                // Iterative checker: (node, lo, hi) with post-order black
+                // height propagation via an explicit evaluation stack.
+                fn walk<T: TmTx>(tx: &mut T, n: Node, lo: u64, hi: u64) -> TxResult<usize> {
+                    if n.is_null() {
+                        return Ok(1);
+                    }
+                    // SAFETY: propagated from caller.
+                    unsafe {
+                        let k = node::key(tx, n)?;
+                        assert!(lo < k && k < hi, "BST order violated");
+                        let c = node::get(tx, n, COLOR)?;
+                        let l = node::get(tx, n, LEFT)? as Node;
+                        let r = node::get(tx, n, RIGHT)? as Node;
+                        if c == RED {
+                            assert_eq!(node::color_or_black(tx, l)?, BLACK, "red-red");
+                            assert_eq!(node::color_or_black(tx, r)?, BLACK, "red-red");
+                        }
+                        let bl = walk(tx, l, lo, k)?;
+                        let br = walk(tx, r, k, hi)?;
+                        assert_eq!(bl, br, "black height mismatch");
+                        Ok(bl + usize::from(c == BLACK))
+                    }
+                }
+                walk(tx, root, 0, u64::MAX)
+            }
+        })
+    }
+}
+
+impl<H: TmHandle> TxSet for RbTree<H> {
+    fn add(&self, key: u64) -> bool {
+        self.put(key, 0).is_none()
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        self.delete(key).is_some()
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn snapshot_len(&self) -> usize {
+        self.keys().len()
+    }
+
+    fn structure_name(&self) -> &'static str {
+        "rbtree"
+    }
+}
+
+impl<H: TmHandle> Drop for RbTree<H> {
+    fn drop(&mut self) {
+        // Last owner: release all nodes with a raw post-order walk.
+        unsafe fn release(n: Node) {
+            if n.is_null() {
+                return;
+            }
+            // SAFETY: exclusive access at drop.
+            unsafe {
+                release(*field_ptr(n, LEFT) as Node);
+                release(*field_ptr(n, RIGHT) as Node);
+                stm_api::mem::dealloc_words(n, NODE_WORDS);
+            }
+        }
+        // SAFETY: exclusive access at drop.
+        unsafe { release(self.root.read(0) as Node) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_api::model::MutexTm;
+
+    fn tree() -> RbTree<MutexTm> {
+        RbTree::new(MutexTm::new())
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = tree();
+        assert_eq!(t.get(7), None);
+        assert_eq!(t.delete(7), None);
+        assert_eq!(t.keys(), Vec::<u64>::new());
+        assert_eq!(t.check_invariants(), 0);
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let t = tree();
+        assert_eq!(t.put(5, 50), None);
+        assert_eq!(t.put(3, 30), None);
+        assert_eq!(t.put(8, 80), None);
+        assert_eq!(t.put(5, 55), Some(50), "update returns old value");
+        assert_eq!(t.get(5), Some(55));
+        assert_eq!(t.get(3), Some(30));
+        assert_eq!(t.get(9), None);
+        assert_eq!(t.delete(3), Some(30));
+        assert_eq!(t.delete(3), None);
+        assert_eq!(t.keys(), vec![5, 8]);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn ascending_inserts_stay_balanced() {
+        let t = tree();
+        for k in 1..=256u64 {
+            assert!(t.add(k));
+            if k % 64 == 0 {
+                t.check_invariants();
+            }
+        }
+        let bh = t.check_invariants();
+        // Black height of a 256-node RB tree is at most log2(n+1)+1.
+        assert!(bh <= 10, "degenerate tree: black height {bh}");
+        assert_eq!(t.keys(), (1..=256).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn descending_inserts_stay_balanced() {
+        let t = tree();
+        for k in (1..=256u64).rev() {
+            assert!(t.add(k));
+        }
+        t.check_invariants();
+        assert_eq!(t.snapshot_len(), 256);
+    }
+
+    #[test]
+    fn random_insert_delete_matches_btreeset() {
+        use std::collections::BTreeSet;
+        let t = tree();
+        let mut model = BTreeSet::new();
+        let mut seed = 0xACE1u64;
+        for step in 0..4_000 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let k = seed % 200 + 1;
+            if seed & 0x100 == 0 {
+                assert_eq!(t.add(k), model.insert(k), "add({k}) diverged");
+            } else {
+                assert_eq!(t.remove(k), model.remove(&k), "remove({k}) diverged");
+            }
+            if step % 500 == 0 {
+                t.check_invariants();
+                assert_eq!(t.keys(), model.iter().copied().collect::<Vec<_>>());
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.keys(), model.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn delete_every_shape() {
+        // Delete root, leaves, one-child and two-child nodes.
+        let t = tree();
+        for k in [50u64, 25, 75, 12, 37, 62, 87, 6, 18, 31, 43] {
+            t.add(k);
+        }
+        t.check_invariants();
+        for k in [50u64, 6, 87, 25, 37, 12, 75, 18, 31, 43, 62] {
+            assert!(t.remove(k), "remove({k})");
+            t.check_invariants();
+        }
+        assert_eq!(t.snapshot_len(), 0);
+    }
+
+    #[test]
+    fn interleaved_growth_and_shrink() {
+        let t = tree();
+        for round in 0..10u64 {
+            for k in 1..=100 {
+                t.add(round * 1000 + k);
+            }
+            for k in 1..=50 {
+                assert!(t.remove(round * 1000 + k));
+            }
+            t.check_invariants();
+        }
+        assert_eq!(t.snapshot_len(), 500);
+    }
+}

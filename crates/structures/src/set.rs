@@ -1,0 +1,63 @@
+//! The transactional-set abstraction shared by the benchmark
+//! structures and the workload harness.
+//!
+//! The paper's integer-set benchmarks (red-black tree, sorted linked
+//! list) expose exactly three operations; `add`/`remove` run as update
+//! transactions and `contains` as a read-only transaction — matching the
+//! harness's update-rate knob.
+
+/// Smallest usable key (sentinel floor).
+pub const KEY_MIN: u64 = 1;
+/// Largest usable key (sentinel ceiling is `u64::MAX`).
+pub const KEY_MAX: u64 = u64::MAX - 1;
+
+/// A concurrent set of `u64` keys backed by transactions.
+pub trait TxSet: Send + Sync {
+    /// Insert `key`; returns `false` if it was already present.
+    fn add(&self, key: u64) -> bool;
+
+    /// Remove `key`; returns `false` if it was absent.
+    fn remove(&self, key: u64) -> bool;
+
+    /// Membership test (read-only transaction).
+    fn contains(&self, key: u64) -> bool;
+
+    /// Number of elements, via a read-only traversal.
+    fn snapshot_len(&self) -> usize;
+
+    /// Short structure name for bench output ("list", "rbtree", ...).
+    fn structure_name(&self) -> &'static str;
+}
+
+/// Validates a key is within the usable range (sentinels excluded).
+#[inline]
+pub fn check_key(key: u64) {
+    assert!(
+        (KEY_MIN..=KEY_MAX).contains(&key),
+        "key {key} collides with a sentinel"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_bounds() {
+        check_key(KEY_MIN);
+        check_key(KEY_MAX);
+        check_key(12345);
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn zero_key_rejected() {
+        check_key(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn max_key_rejected() {
+        check_key(u64::MAX);
+    }
+}

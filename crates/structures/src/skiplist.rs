@@ -1,0 +1,297 @@
+//! A transactional skip list — an additional set implementation (not in
+//! the paper's figures) covering the middle ground between the linked
+//! list (O(n) traversals, huge read sets) and the red-black tree
+//! (O(log n), heavy rebalancing writes): O(log n) search with *no*
+//! structural rebalancing.
+//!
+//! Nodes are variable-length word arrays `[key, level, next_0, ...,
+//! next_{level-1}]`. Tower levels are chosen by a structure-level
+//! xorshift generator (geometric, p = 1/2) so node layout does not
+//! depend on transactional state.
+
+use crate::set::{check_key, TxSet};
+use core::sync::atomic::{AtomicU64, Ordering};
+use stm_api::mem::WordBlock;
+use stm_api::{field_ptr, TmHandle, TmTx, TxKind, TxResult};
+
+const KEY: usize = 0;
+const LEVEL: usize = 1;
+const NEXT0: usize = 2;
+
+/// Maximum tower height.
+pub const MAX_LEVEL: usize = 16;
+
+/// Words needed for a node of tower height `level`.
+#[inline]
+pub fn node_words(level: usize) -> usize {
+    NEXT0 + level
+}
+
+/// A transactional skip-list integer set.
+pub struct SkipList<H: TmHandle> {
+    tm: H,
+    /// Head sentinel: key 0, full-height tower.
+    head: WordBlock,
+    /// Level generator state.
+    rng: AtomicU64,
+}
+
+// SAFETY: as for the other structures — node pointers are only used
+// through transactional accesses with epoch reclamation.
+unsafe impl<H: TmHandle> Send for SkipList<H> {}
+unsafe impl<H: TmHandle> Sync for SkipList<H> {}
+
+impl<H: TmHandle> SkipList<H> {
+    /// Create an empty skip list.
+    pub fn new(tm: H, seed: u64) -> SkipList<H> {
+        let head = WordBlock::new(node_words(MAX_LEVEL));
+        head.write(KEY, 0);
+        head.write(LEVEL, MAX_LEVEL);
+        for l in 0..MAX_LEVEL {
+            head.write(NEXT0 + l, 0);
+        }
+        SkipList {
+            tm,
+            head,
+            rng: AtomicU64::new(seed | 1),
+        }
+    }
+
+    /// The backend handle.
+    pub fn tm(&self) -> &H {
+        &self.tm
+    }
+
+    /// Geometric tower height in `[1, MAX_LEVEL]`.
+    fn random_level(&self) -> usize {
+        let mut x = self.rng.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.store(x, Ordering::Relaxed);
+        ((x.trailing_ones() as usize) + 1).min(MAX_LEVEL)
+    }
+
+    /// Find predecessors at every level; returns `preds` and the node at
+    /// level 0 that follows them (candidate match).
+    ///
+    /// # Safety
+    /// Must run inside a transaction of this list's backend.
+    unsafe fn search<T: TmTx>(
+        &self,
+        tx: &mut T,
+        key: u64,
+        preds: &mut [*mut usize; MAX_LEVEL],
+    ) -> TxResult<*mut usize> {
+        let mut pred = self.head.as_ptr();
+        for l in (0..MAX_LEVEL).rev() {
+            loop {
+                let next = tx.load_word(field_ptr(pred, NEXT0 + l))? as *mut usize;
+                if next.is_null() {
+                    break;
+                }
+                let k = tx.load_word(field_ptr(next, KEY))? as u64;
+                if k < key {
+                    pred = next;
+                } else {
+                    break;
+                }
+            }
+            preds[l] = pred;
+        }
+        let cand = tx.load_word(field_ptr(pred, NEXT0))? as *mut usize;
+        Ok(cand)
+    }
+}
+
+impl<H: TmHandle> TxSet for SkipList<H> {
+    fn add(&self, key: u64) -> bool {
+        check_key(key);
+        let level = self.random_level();
+        self.tm.run(TxKind::ReadWrite, |tx| {
+            let mut preds = [core::ptr::null_mut(); MAX_LEVEL];
+            // SAFETY: transactional accesses on this backend.
+            unsafe {
+                let cand = self.search(tx, key, &mut preds)?;
+                if !cand.is_null() && tx.load_word(field_ptr(cand, KEY))? as u64 == key {
+                    return Ok(false);
+                }
+                let node = tx.malloc(node_words(level))?;
+                tx.store_word(field_ptr(node, KEY), key as usize)?;
+                tx.store_word(field_ptr(node, LEVEL), level)?;
+                for (l, &pred) in preds.iter().enumerate().take(level) {
+                    let succ = tx.load_word(field_ptr(pred, NEXT0 + l))?;
+                    tx.store_word(field_ptr(node, NEXT0 + l), succ)?;
+                    tx.store_word(field_ptr(pred, NEXT0 + l), node as usize)?;
+                }
+                Ok(true)
+            }
+        })
+    }
+
+    fn remove(&self, key: u64) -> bool {
+        check_key(key);
+        self.tm.run(TxKind::ReadWrite, |tx| {
+            let mut preds = [core::ptr::null_mut(); MAX_LEVEL];
+            // SAFETY: transactional accesses on this backend.
+            unsafe {
+                let cand = self.search(tx, key, &mut preds)?;
+                if cand.is_null() || tx.load_word(field_ptr(cand, KEY))? as u64 != key {
+                    return Ok(false);
+                }
+                let level = tx.load_word(field_ptr(cand, LEVEL))?;
+                for (l, &pred) in preds.iter().enumerate().take(level) {
+                    // The predecessor at level l links to cand iff cand's
+                    // tower reaches l.
+                    let pred_next = tx.load_word(field_ptr(pred, NEXT0 + l))? as *mut usize;
+                    if pred_next == cand {
+                        let succ = tx.load_word(field_ptr(cand, NEXT0 + l))?;
+                        tx.store_word(field_ptr(pred, NEXT0 + l), succ)?;
+                    }
+                }
+                tx.free(cand, node_words(level))?;
+                Ok(true)
+            }
+        })
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        check_key(key);
+        self.tm.run(TxKind::ReadOnly, |tx| {
+            // Read-only: descend without recording predecessors.
+            // SAFETY: transactional accesses on this backend.
+            unsafe {
+                let mut pred = self.head.as_ptr();
+                for l in (0..MAX_LEVEL).rev() {
+                    loop {
+                        let next = tx.load_word(field_ptr(pred, NEXT0 + l))? as *mut usize;
+                        if next.is_null() {
+                            break;
+                        }
+                        let k = tx.load_word(field_ptr(next, KEY))? as u64;
+                        match k.cmp(&key) {
+                            core::cmp::Ordering::Less => pred = next,
+                            core::cmp::Ordering::Equal => return Ok(true),
+                            core::cmp::Ordering::Greater => break,
+                        }
+                    }
+                }
+                Ok(false)
+            }
+        })
+    }
+
+    fn snapshot_len(&self) -> usize {
+        self.tm.run(TxKind::ReadOnly, |tx| {
+            // SAFETY: transactional accesses on this backend.
+            unsafe {
+                let mut n = 0usize;
+                let mut cur = tx.load_word(field_ptr(self.head.as_ptr(), NEXT0))? as *mut usize;
+                while !cur.is_null() {
+                    n += 1;
+                    cur = tx.load_word(field_ptr(cur, NEXT0))? as *mut usize;
+                }
+                Ok(n)
+            }
+        })
+    }
+
+    fn structure_name(&self) -> &'static str {
+        "skiplist"
+    }
+}
+
+impl<H: TmHandle> Drop for SkipList<H> {
+    fn drop(&mut self) {
+        // Walk level 0 raw and free every node.
+        let mut cur = self.head.read(NEXT0) as *mut usize;
+        while !cur.is_null() {
+            // SAFETY: exclusive access at drop.
+            unsafe {
+                let level = *field_ptr(cur, LEVEL);
+                let next = *field_ptr(cur, NEXT0) as *mut usize;
+                stm_api::mem::dealloc_words(cur, node_words(level));
+                cur = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_api::model::MutexTm;
+
+    fn skip() -> SkipList<MutexTm> {
+        SkipList::new(MutexTm::new(), 0xFEED)
+    }
+
+    #[test]
+    fn empty() {
+        let s = skip();
+        assert!(!s.contains(1));
+        assert!(!s.remove(1));
+        assert_eq!(s.snapshot_len(), 0);
+    }
+
+    #[test]
+    fn add_remove_contains() {
+        let s = skip();
+        for k in [5u64, 1, 9, 3, 7] {
+            assert!(s.add(k));
+        }
+        assert!(!s.add(5));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert_eq!(s.snapshot_len(), 5);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(!s.contains(5));
+        assert_eq!(s.snapshot_len(), 4);
+    }
+
+    #[test]
+    fn level_zero_order_is_sorted() {
+        let s = skip();
+        for k in [9u64, 2, 7, 4, 1, 8, 3, 6, 5] {
+            s.add(k);
+        }
+        // contains() of every key exercises all levels.
+        for k in 1..=9 {
+            assert!(s.contains(k), "missing {k}");
+        }
+        assert_eq!(s.snapshot_len(), 9);
+    }
+
+    #[test]
+    fn random_levels_bounded() {
+        let s = skip();
+        for _ in 0..1000 {
+            let l = s.random_level();
+            assert!((1..=MAX_LEVEL).contains(&l));
+        }
+    }
+
+    #[test]
+    fn model_check_against_btreeset() {
+        use std::collections::BTreeSet;
+        let s = skip();
+        let mut model = BTreeSet::new();
+        let mut seed = 0xBEEFu64;
+        for _ in 0..3_000 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let k = seed % 128 + 1;
+            if seed & 0x80 == 0 {
+                assert_eq!(s.add(k), model.insert(k));
+            } else {
+                assert_eq!(s.remove(k), model.remove(&k));
+            }
+        }
+        assert_eq!(s.snapshot_len(), model.len());
+        for k in 1..=128 {
+            assert_eq!(s.contains(k), model.contains(&k), "key {k}");
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! A Vacation-style travel-reservation workload (Figure 7).
+//!
+//! The paper runs STAMP's `vacation` benchmark (compiled through the
+//! TANGER transactifying compiler) to show the lock/shift tuning surface
+//! on a third, less regular workload. STAMP itself is C and its compiler
+//! path is out of scope, so this module rebuilds the workload's
+//! *transactional shape* natively (substitution documented in
+//! DESIGN.md §2): a travel agency with three resource tables and a
+//! customer table, all red-black trees, where each transaction touches
+//! several trees (medium-length transactions, read-mostly queries,
+//! pointer-chasing through tree nodes).
+//!
+//! Operations (mirroring STAMP's mix):
+//! * `make_reservation` — query `n` random resources of a random kind,
+//!   reserve the cheapest available one for a customer;
+//! * `delete_customer` — cancel all of a customer's reservations,
+//!   restoring availability;
+//! * `update_tables` — add/remove/reprice random resources.
+
+use crate::rbtree::RbTree;
+use stm_api::{field_ptr, TmHandle, TmTx, TxKind};
+
+/// Resource categories, as in STAMP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// Rental cars.
+    Car = 0,
+    /// Flight seats.
+    Flight = 1,
+    /// Hotel rooms.
+    Room = 2,
+}
+
+impl ResourceKind {
+    /// All kinds, for iteration.
+    pub const ALL: [ResourceKind; 3] =
+        [ResourceKind::Car, ResourceKind::Flight, ResourceKind::Room];
+
+    /// From a dense index (0..3).
+    pub fn from_index(i: usize) -> ResourceKind {
+        Self::ALL[i % 3]
+    }
+}
+
+/// Pack a resource record into one word: `price` (32 bits) | `avail`
+/// (16 bits) | `total` (16 bits).
+#[inline]
+pub fn pack_resource(price: u32, avail: u16, total: u16) -> u64 {
+    ((price as u64) << 32) | ((avail as u64) << 16) | total as u64
+}
+
+/// Unpack a resource record: `(price, avail, total)`.
+#[inline]
+pub fn unpack_resource(packed: u64) -> (u32, u16, u16) {
+    (
+        (packed >> 32) as u32,
+        ((packed >> 16) & 0xFFFF) as u16,
+        (packed & 0xFFFF) as u16,
+    )
+}
+
+/// Reservation-list node layout: `[kind, resource_id, price, next]`.
+const R_KIND: usize = 0;
+const R_ID: usize = 1;
+const R_PRICE: usize = 2;
+const R_NEXT: usize = 3;
+/// Words per reservation node.
+pub const RESERVATION_WORDS: usize = 4;
+
+/// The vacation database over any TM backend.
+pub struct Vacation<H: TmHandle> {
+    tm: H,
+    tables: [RbTree<H>; 3],
+    /// customer id → head pointer of the reservation list (0 = none).
+    customers: RbTree<H>,
+}
+
+impl<H: TmHandle> Vacation<H> {
+    /// Build a database with `n_resources` entries per table (ids
+    /// `1..=n`) and `n_customers` customers, deterministic pseudo-random
+    /// prices/capacities derived from `seed`.
+    pub fn new(tm: H, n_resources: u64, n_customers: u64, seed: u64) -> Vacation<H> {
+        let v = Vacation {
+            tables: [
+                RbTree::new(tm.clone()),
+                RbTree::new(tm.clone()),
+                RbTree::new(tm.clone()),
+            ],
+            customers: RbTree::new(tm.clone()),
+            tm,
+        };
+        let mut s = seed | 1;
+        let mut rand = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for table in &v.tables {
+            for id in 1..=n_resources {
+                let price = 100 + (rand() % 400) as u32;
+                let cap = 50 + (rand() % 50) as u16;
+                table.put(id, pack_resource(price, cap, cap));
+            }
+        }
+        for id in 1..=n_customers {
+            v.customers.put(id, 0);
+        }
+        v
+    }
+
+    /// The backend handle.
+    pub fn tm(&self) -> &H {
+        &self.tm
+    }
+
+    /// Table for `kind`.
+    pub fn table(&self, kind: ResourceKind) -> &RbTree<H> {
+        &self.tables[kind as usize]
+    }
+
+    /// Query `queries` random resource ids of `kind` (ids drawn from
+    /// `id_gen`) and reserve the cheapest available one for `customer`.
+    /// Returns the reserved resource id, or `None` when nothing was
+    /// available (still a committed transaction, as in STAMP).
+    pub fn make_reservation(&self, customer: u64, kind: ResourceKind, ids: &[u64]) -> Option<u64> {
+        let table = &self.tables[kind as usize];
+        self.tm.run(TxKind::ReadWrite, |tx| {
+            // SAFETY: all structures live on self.tm (put_in contract).
+            unsafe {
+                // Query phase: find the cheapest available resource.
+                let mut best: Option<(u64, u32, u64)> = None; // (id, price, packed)
+                for &id in ids {
+                    if let Some(packed) = table.get_in(tx, id)? {
+                        let (price, avail, _) = unpack_resource(packed);
+                        if avail > 0 && best.map(|(_, p, _)| price < p).unwrap_or(true) {
+                            best = Some((id, price, packed));
+                        }
+                    }
+                }
+                let Some((id, price, packed)) = best else {
+                    return Ok(None);
+                };
+                // Customer must exist.
+                let Some(head) = self.customers.get_in(tx, customer)? else {
+                    return Ok(None);
+                };
+                // Reserve: decrement availability.
+                let (p, avail, total) = unpack_resource(packed);
+                table.put_in(tx, id, pack_resource(p, avail - 1, total))?;
+                // Prepend a reservation node to the customer's list.
+                let node = tx.malloc(RESERVATION_WORDS)?;
+                tx.store_word(field_ptr(node, R_KIND), kind as usize)?;
+                tx.store_word(field_ptr(node, R_ID), id as usize)?;
+                tx.store_word(field_ptr(node, R_PRICE), price as usize)?;
+                tx.store_word(field_ptr(node, R_NEXT), head as usize)?;
+                self.customers.put_in(tx, customer, node as u64)?;
+                Ok(Some(id))
+            }
+        })
+    }
+
+    /// Cancel all reservations of `customer` (restoring availability)
+    /// and reset their list. Returns the released bill total, or `None`
+    /// if the customer does not exist.
+    pub fn delete_customer(&self, customer: u64) -> Option<u64> {
+        self.tm.run(TxKind::ReadWrite, |tx| {
+            // SAFETY: as in make_reservation.
+            unsafe {
+                let Some(mut head) = self.customers.get_in(tx, customer)? else {
+                    return Ok(None);
+                };
+                let mut bill = 0u64;
+                while head != 0 {
+                    let node = head as *mut usize;
+                    let kind = tx.load_word(field_ptr(node, R_KIND))?;
+                    let id = tx.load_word(field_ptr(node, R_ID))? as u64;
+                    let price = tx.load_word(field_ptr(node, R_PRICE))? as u64;
+                    let next = tx.load_word(field_ptr(node, R_NEXT))?;
+                    bill += price;
+                    // Restore availability (the resource may have been
+                    // deleted by update_tables; tolerate that).
+                    let table = &self.tables[kind % 3];
+                    if let Some(packed) = table.get_in(tx, id)? {
+                        let (p, avail, total) = unpack_resource(packed);
+                        table.put_in(tx, id, pack_resource(p, avail.saturating_add(1), total))?;
+                    }
+                    tx.free(node, RESERVATION_WORDS)?;
+                    head = next as u64;
+                }
+                self.customers.put_in(tx, customer, 0)?;
+                Ok(Some(bill))
+            }
+        })
+    }
+
+    /// Add, remove, or reprice `(kind, id)` pairs (the STAMP
+    /// "update tables" manager transaction). `ops` entries are
+    /// `(kind, id, new_price_or_none)`; `None` deletes the resource.
+    pub fn update_tables(&self, ops: &[(ResourceKind, u64, Option<u32>)]) {
+        self.tm.run(TxKind::ReadWrite, |tx| {
+            // SAFETY: as in make_reservation.
+            unsafe {
+                for &(kind, id, action) in ops {
+                    let table = &self.tables[kind as usize];
+                    match action {
+                        Some(price) => match table.get_in(tx, id)? {
+                            Some(packed) => {
+                                let (_, avail, total) = unpack_resource(packed);
+                                table.put_in(tx, id, pack_resource(price, avail, total))?;
+                            }
+                            None => {
+                                let cap = 50;
+                                table.put_in(tx, id, pack_resource(price, cap, cap))?;
+                            }
+                        },
+                        None => {
+                            table.delete_in(tx, id)?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+        })
+    }
+
+    /// Read-only audit: total outstanding reservations per kind derived
+    /// from the tables (`total - avail` summed), used by tests to check
+    /// conservation against customers' lists.
+    pub fn outstanding_by_tables(&self) -> [u64; 3] {
+        let mut out = [0u64; 3];
+        for (i, table) in self.tables.iter().enumerate() {
+            for key in table.keys() {
+                let packed = table.get(key).expect("key just listed");
+                let (_, avail, total) = unpack_resource(packed);
+                out[i] += (total - avail.min(total)) as u64;
+            }
+        }
+        out
+    }
+
+    /// Read-only audit: reservations per kind counted from customer
+    /// lists, in one consistent snapshot.
+    pub fn outstanding_by_customers(&self) -> [u64; 3] {
+        let ids = self.customers.keys();
+        self.tm.run(TxKind::ReadOnly, |tx| {
+            let mut out = [0u64; 3];
+            // SAFETY: as in make_reservation.
+            unsafe {
+                for &c in &ids {
+                    let Some(mut head) = self.customers.get_in(tx, c)? else {
+                        continue;
+                    };
+                    while head != 0 {
+                        let node = head as *mut usize;
+                        let kind = tx.load_word(field_ptr(node, R_KIND))?;
+                        out[kind % 3] += 1;
+                        head = tx.load_word(field_ptr(node, R_NEXT))? as u64;
+                    }
+                }
+            }
+            Ok(out)
+        })
+    }
+
+    /// Number of customers (read-only).
+    pub fn n_customers(&self) -> usize {
+        self.customers.keys().len()
+    }
+}
+
+impl<H: TmHandle> Drop for Vacation<H> {
+    fn drop(&mut self) {
+        // Release reservation-list nodes; the trees release themselves.
+        for c in self.customers.keys() {
+            let mut head = self.customers.get(c).unwrap_or(0);
+            while head != 0 {
+                let node = head as *mut usize;
+                // SAFETY: exclusive access at drop; nodes have
+                // RESERVATION_WORDS words.
+                unsafe {
+                    head = *field_ptr(node, R_NEXT) as u64;
+                    stm_api::mem::dealloc_words(node, RESERVATION_WORDS);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_api::model::MutexTm;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (p, a, t) in [
+            (0u32, 0u16, 0u16),
+            (100, 5, 50),
+            (u32::MAX, u16::MAX, u16::MAX),
+        ] {
+            assert_eq!(unpack_resource(pack_resource(p, a, t)), (p, a, t));
+        }
+    }
+
+    #[test]
+    fn setup_populates_tables() {
+        let v = Vacation::new(MutexTm::new(), 20, 5, 42);
+        for kind in ResourceKind::ALL {
+            assert_eq!(v.table(kind).keys().len(), 20);
+        }
+        assert_eq!(v.n_customers(), 5);
+        assert_eq!(v.outstanding_by_tables(), [0, 0, 0]);
+    }
+
+    #[test]
+    fn reservation_decrements_availability_and_links_node() {
+        let v = Vacation::new(MutexTm::new(), 10, 2, 7);
+        let got = v.make_reservation(1, ResourceKind::Flight, &[3, 5, 8]);
+        assert!(got.is_some());
+        assert_eq!(v.outstanding_by_tables(), [0, 1, 0]);
+        assert_eq!(v.outstanding_by_customers(), [0, 1, 0]);
+    }
+
+    #[test]
+    fn reservation_picks_cheapest_available() {
+        let v = Vacation::new(MutexTm::new(), 10, 1, 7);
+        let t = v.table(ResourceKind::Car);
+        t.put(1, pack_resource(300, 1, 1));
+        t.put(2, pack_resource(100, 1, 1));
+        t.put(3, pack_resource(200, 0, 1)); // cheapest-but-unavailable decoy
+        t.put(4, pack_resource(150, 1, 1));
+        let got = v.make_reservation(1, ResourceKind::Car, &[1, 2, 3, 4]);
+        assert_eq!(got, Some(2));
+        let (_, avail, _) = unpack_resource(t.get(2).unwrap());
+        assert_eq!(avail, 0);
+    }
+
+    #[test]
+    fn unknown_customer_reserves_nothing() {
+        let v = Vacation::new(MutexTm::new(), 5, 1, 7);
+        assert_eq!(v.make_reservation(99, ResourceKind::Room, &[1, 2]), None);
+        assert_eq!(v.outstanding_by_tables(), [0, 0, 0]);
+    }
+
+    #[test]
+    fn delete_customer_restores_availability() {
+        let v = Vacation::new(MutexTm::new(), 10, 2, 7);
+        v.make_reservation(1, ResourceKind::Car, &[1, 2, 3]);
+        v.make_reservation(1, ResourceKind::Room, &[4, 5]);
+        v.make_reservation(2, ResourceKind::Car, &[6]);
+        assert_eq!(v.outstanding_by_customers().iter().sum::<u64>(), 3);
+        let bill = v.delete_customer(1);
+        assert!(bill.unwrap() > 0);
+        assert_eq!(v.outstanding_by_customers().iter().sum::<u64>(), 1);
+        assert_eq!(v.outstanding_by_tables().iter().sum::<u64>(), 1);
+        // Deleting again releases nothing more.
+        assert_eq!(v.delete_customer(1), Some(0));
+        assert_eq!(v.delete_customer(42), None);
+    }
+
+    #[test]
+    fn update_tables_add_delete_reprice() {
+        let v = Vacation::new(MutexTm::new(), 5, 1, 7);
+        v.update_tables(&[
+            (ResourceKind::Car, 100, Some(999)), // add new id
+            (ResourceKind::Car, 1, Some(123)),   // reprice existing
+            (ResourceKind::Room, 2, None),       // delete
+        ]);
+        let (p, _, _) = unpack_resource(v.table(ResourceKind::Car).get(100).unwrap());
+        assert_eq!(p, 999);
+        let (p, _, _) = unpack_resource(v.table(ResourceKind::Car).get(1).unwrap());
+        assert_eq!(p, 123);
+        assert_eq!(v.table(ResourceKind::Room).get(2), None);
+    }
+
+    #[test]
+    fn conservation_under_mixed_ops() {
+        let v = Vacation::new(MutexTm::new(), 30, 8, 11);
+        let mut seed = 99u64;
+        let mut rand = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..200 {
+            let c = rand() % 8 + 1;
+            match rand() % 10 {
+                0..=6 => {
+                    let kind = ResourceKind::from_index(rand() as usize);
+                    let ids: Vec<u64> = (0..4).map(|_| rand() % 30 + 1).collect();
+                    v.make_reservation(c, kind, &ids);
+                }
+                7..=8 => {
+                    v.delete_customer(c);
+                }
+                _ => {
+                    let kind = ResourceKind::from_index(rand() as usize);
+                    let id = rand() % 30 + 1;
+                    v.update_tables(&[(kind, id, Some((rand() % 500) as u32 + 1))]);
+                }
+            }
+        }
+        // Reservations counted from tables and from customer lists must
+        // agree (no resource deletions in this run).
+        assert_eq!(v.outstanding_by_tables(), v.outstanding_by_customers());
+        for kind in ResourceKind::ALL {
+            v.table(kind).check_invariants();
+        }
+    }
+}

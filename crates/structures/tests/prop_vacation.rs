@@ -1,0 +1,136 @@
+//! Property-based tests of the vacation workload: random operation
+//! sequences must conserve reservations between the resource tables and
+//! the customers' reservation lists, on every backend.
+
+use proptest::prelude::*;
+use stm_structures::{ResourceKind, Vacation};
+
+const N_RESOURCES: u64 = 24;
+const N_CUSTOMERS: u64 = 6;
+
+/// An abstract vacation operation.
+#[derive(Debug, Clone)]
+enum VOp {
+    Reserve {
+        customer: u64,
+        kind: usize,
+        ids: Vec<u64>,
+    },
+    DeleteCustomer(u64),
+    Reprice {
+        kind: usize,
+        id: u64,
+        price: u32,
+    },
+}
+
+fn vop_strategy() -> impl Strategy<Value = VOp> {
+    prop_oneof![
+        5 => (
+            1..=N_CUSTOMERS,
+            0usize..3,
+            proptest::collection::vec(1..=N_RESOURCES, 1..5)
+        )
+            .prop_map(|(customer, kind, ids)| VOp::Reserve {
+                customer,
+                kind,
+                ids
+            }),
+        2 => (1..=N_CUSTOMERS).prop_map(VOp::DeleteCustomer),
+        1 => (0usize..3, 1..=N_RESOURCES, 1u32..999).prop_map(|(kind, id, price)| {
+            VOp::Reprice { kind, id, price }
+        }),
+    ]
+}
+
+fn apply_all<H: stm_api::TmHandle>(v: &Vacation<H>, ops: &[VOp]) {
+    for op in ops {
+        match op {
+            VOp::Reserve {
+                customer,
+                kind,
+                ids,
+            } => {
+                v.make_reservation(*customer, ResourceKind::from_index(*kind), ids);
+            }
+            VOp::DeleteCustomer(c) => {
+                v.delete_customer(*c);
+            }
+            VOp::Reprice { kind, id, price } => {
+                v.update_tables(&[(ResourceKind::from_index(*kind), *id, Some(*price))]);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn reservations_conserved_mutex(
+        ops in proptest::collection::vec(vop_strategy(), 1..80)
+    ) {
+        let v = Vacation::new(stm_api::model::MutexTm::new(), N_RESOURCES, N_CUSTOMERS, 3);
+        apply_all(&v, &ops);
+        prop_assert_eq!(v.outstanding_by_tables(), v.outstanding_by_customers());
+        for kind in ResourceKind::ALL {
+            v.table(kind).check_invariants();
+        }
+    }
+
+    #[test]
+    fn reservations_conserved_tinystm(
+        ops in proptest::collection::vec(vop_strategy(), 1..80)
+    ) {
+        let stm = tinystm::Stm::new(
+            tinystm::StmConfig::default().with_locks_log2(10).with_hier_log2(2),
+        ).unwrap();
+        let v = Vacation::new(stm, N_RESOURCES, N_CUSTOMERS, 3);
+        apply_all(&v, &ops);
+        prop_assert_eq!(v.outstanding_by_tables(), v.outstanding_by_customers());
+        for kind in ResourceKind::ALL {
+            v.table(kind).check_invariants();
+        }
+    }
+
+    #[test]
+    fn reservations_conserved_tl2(
+        ops in proptest::collection::vec(vop_strategy(), 1..80)
+    ) {
+        let tl2 = stm_tl2::Tl2::new(
+            stm_tl2::Tl2Config::default().with_locks_log2(10),
+        ).unwrap();
+        let v = Vacation::new(tl2, N_RESOURCES, N_CUSTOMERS, 3);
+        apply_all(&v, &ops);
+        prop_assert_eq!(v.outstanding_by_tables(), v.outstanding_by_customers());
+    }
+
+    #[test]
+    fn identical_ops_identical_outcome_across_backends(
+        ops in proptest::collection::vec(vop_strategy(), 1..60)
+    ) {
+        // Single-threaded determinism: the mutex model and TinySTM must
+        // produce identical databases for the same op sequence.
+        let reference = Vacation::new(
+            stm_api::model::MutexTm::new(), N_RESOURCES, N_CUSTOMERS, 3,
+        );
+        let stm = tinystm::Stm::new(
+            tinystm::StmConfig::default().with_locks_log2(10),
+        ).unwrap();
+        let subject = Vacation::new(stm, N_RESOURCES, N_CUSTOMERS, 3);
+        apply_all(&reference, &ops);
+        apply_all(&subject, &ops);
+        for kind in ResourceKind::ALL {
+            let rt = reference.table(kind);
+            let st = subject.table(kind);
+            prop_assert_eq!(rt.keys(), st.keys());
+            for k in rt.keys() {
+                prop_assert_eq!(rt.get(k), st.get(k), "table {:?} key {}", kind, k);
+            }
+        }
+        prop_assert_eq!(
+            reference.outstanding_by_customers(),
+            subject.outstanding_by_customers()
+        );
+    }
+}

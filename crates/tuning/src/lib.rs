@@ -1,0 +1,25 @@
+//! # stm-tuning — dynamic performance tuning (Section 4)
+//!
+//! The paper's headline contribution: a hill-climbing strategy with
+//! memory and forbidden areas that adapts TinySTM's three tuning
+//! parameters — the number of locks, the hash shift, and the size of the
+//! hierarchical array — to the running workload, switching
+//! configurations through the same quiesce mechanism as clock roll-over.
+//!
+//! * [`point`] — the `(#locks, #shifts, h)` space and its bounds;
+//! * [`moves`] — the eight moves of Section 4.2;
+//! * [`tuner`] — the hill climber (memory, 2%/10% reversal rules,
+//!   forbidden directions, second-best fallback);
+//! * [`runner`] — couples the tuner to a live [`tinystm::Stm`],
+//!   measuring each configuration three times and keeping the maximum,
+//!   as in Section 4.3.
+
+pub mod moves;
+pub mod point;
+pub mod runner;
+pub mod tuner;
+
+pub use moves::Move;
+pub use point::TuningPoint;
+pub use runner::{autotune, AutoTuneOpts, TuneRecord};
+pub use tuner::{Decision, LogEntry, Tuner};

@@ -1,0 +1,176 @@
+//! The eight tuning moves of Section 4.2:
+//! (1–2) double/halve `#locks`, (3–4) increase/decrease `#shifts`,
+//! (5–6) double/halve `h`, (7) nop, (8) reverse to the best measured
+//! configuration.
+
+use crate::point::{TuningPoint, HIER_LOG2_MAX, LOCKS_LOG2_MAX, LOCKS_LOG2_MIN, SHIFTS_MAX};
+
+/// One tuning move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Move {
+    /// Move 1: double the number of locks.
+    DoubleLocks,
+    /// Move 2: halve the number of locks.
+    HalveLocks,
+    /// Move 3: increase the shift count by one.
+    IncShifts,
+    /// Move 4: decrease the shift count by one.
+    DecShifts,
+    /// Move 5: double the hierarchical array.
+    DoubleHier,
+    /// Move 6: halve the hierarchical array.
+    HalveHier,
+    /// Move 7: no change.
+    Nop,
+    /// Move 8: reverse to the best configuration so far.
+    Reverse,
+}
+
+impl Move {
+    /// The six exploratory moves (1–6), in paper order.
+    pub const EXPLORATORY: [Move; 6] = [
+        Move::DoubleLocks,
+        Move::HalveLocks,
+        Move::IncShifts,
+        Move::DecShifts,
+        Move::DoubleHier,
+        Move::HalveHier,
+    ];
+
+    /// Paper move number (1–8).
+    pub fn number(self) -> u8 {
+        match self {
+            Move::DoubleLocks => 1,
+            Move::HalveLocks => 2,
+            Move::IncShifts => 3,
+            Move::DecShifts => 4,
+            Move::DoubleHier => 5,
+            Move::HalveHier => 6,
+            Move::Nop => 7,
+            Move::Reverse => 8,
+        }
+    }
+
+    /// Apply to a point; `None` when the result leaves the space.
+    pub fn apply(self, p: TuningPoint) -> Option<TuningPoint> {
+        let mut q = p;
+        match self {
+            Move::DoubleLocks => {
+                if p.locks_log2 >= LOCKS_LOG2_MAX {
+                    return None;
+                }
+                q.locks_log2 += 1;
+            }
+            Move::HalveLocks => {
+                if p.locks_log2 <= LOCKS_LOG2_MIN {
+                    return None;
+                }
+                q.locks_log2 -= 1;
+                if q.hier_log2 > q.locks_log2 {
+                    return None;
+                }
+            }
+            Move::IncShifts => {
+                if p.shifts >= SHIFTS_MAX {
+                    return None;
+                }
+                q.shifts += 1;
+            }
+            Move::DecShifts => {
+                if p.shifts == 0 {
+                    return None;
+                }
+                q.shifts -= 1;
+            }
+            Move::DoubleHier => {
+                if p.hier_log2 >= HIER_LOG2_MAX || p.hier_log2 >= p.locks_log2 {
+                    return None;
+                }
+                q.hier_log2 += 1;
+            }
+            Move::HalveHier => {
+                if p.hier_log2 == 0 {
+                    return None;
+                }
+                q.hier_log2 -= 1;
+            }
+            Move::Nop | Move::Reverse => {}
+        }
+        debug_assert!(q.in_space());
+        Some(q)
+    }
+
+    /// The figure-10/11 data-label convention: exploratory moves print
+    /// their number; "−x" (reverse then move x) is composed by the
+    /// tuner's log.
+    pub fn label(self) -> String {
+        self.number().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(l: u32, s: u32, h: u32) -> TuningPoint {
+        TuningPoint {
+            locks_log2: l,
+            shifts: s,
+            hier_log2: h,
+        }
+    }
+
+    #[test]
+    fn numbers_match_paper() {
+        assert_eq!(Move::DoubleLocks.number(), 1);
+        assert_eq!(Move::HalveLocks.number(), 2);
+        assert_eq!(Move::IncShifts.number(), 3);
+        assert_eq!(Move::DecShifts.number(), 4);
+        assert_eq!(Move::DoubleHier.number(), 5);
+        assert_eq!(Move::HalveHier.number(), 6);
+        assert_eq!(Move::Nop.number(), 7);
+        assert_eq!(Move::Reverse.number(), 8);
+    }
+
+    #[test]
+    fn moves_step_single_dimension() {
+        let x = p(10, 2, 3);
+        assert_eq!(Move::DoubleLocks.apply(x), Some(p(11, 2, 3)));
+        assert_eq!(Move::HalveLocks.apply(x), Some(p(9, 2, 3)));
+        assert_eq!(Move::IncShifts.apply(x), Some(p(10, 3, 3)));
+        assert_eq!(Move::DecShifts.apply(x), Some(p(10, 1, 3)));
+        assert_eq!(Move::DoubleHier.apply(x), Some(p(10, 2, 4)));
+        assert_eq!(Move::HalveHier.apply(x), Some(p(10, 2, 2)));
+        assert_eq!(Move::Nop.apply(x), Some(x));
+        assert_eq!(Move::Reverse.apply(x), Some(x));
+    }
+
+    #[test]
+    fn space_edges_rejected() {
+        assert_eq!(Move::HalveLocks.apply(p(LOCKS_LOG2_MIN, 0, 0)), None);
+        assert_eq!(Move::DoubleLocks.apply(p(LOCKS_LOG2_MAX, 0, 0)), None);
+        assert_eq!(Move::DecShifts.apply(p(10, 0, 0)), None);
+        assert_eq!(Move::IncShifts.apply(p(10, SHIFTS_MAX, 0)), None);
+        assert_eq!(Move::HalveHier.apply(p(10, 0, 0)), None);
+        assert_eq!(Move::DoubleHier.apply(p(10, 0, HIER_LOG2_MAX)), None);
+    }
+
+    #[test]
+    fn hier_cannot_exceed_locks() {
+        // Doubling h past the lock count is rejected...
+        assert_eq!(Move::DoubleHier.apply(p(8, 0, 8)), None);
+        // ...and halving locks below the hierarchy is rejected.
+        // p(9,0,8): halving gives locks=8 >= h=8, allowed.
+        assert_eq!(Move::HalveLocks.apply(p(9, 0, 8)), Some(p(8, 0, 8)));
+        assert_eq!(Move::HalveLocks.apply(p(8 + 1, 0, 9)), None);
+    }
+
+    #[test]
+    fn every_exploratory_move_changes_the_point() {
+        let x = p(12, 4, 4);
+        for m in Move::EXPLORATORY {
+            let y = m.apply(x).unwrap();
+            assert_ne!(x, y, "{m:?} must move");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The tuning configuration space: the triple `(#locks, #shifts, h)`
+//! of Section 4, navigated by the hill climber in `tuner.rs`.
+
+use tinystm::StmConfig;
+
+/// Hard bounds of the explored space (the paper sweeps 2^8–2^24 locks,
+/// 0–8 shifts, h up to 256).
+pub const LOCKS_LOG2_MIN: u32 = 8;
+/// Upper bound on the lock-array exponent.
+pub const LOCKS_LOG2_MAX: u32 = 24;
+/// Upper bound on the shift count.
+pub const SHIFTS_MAX: u32 = 8;
+/// Upper bound on the hierarchical-array exponent (2^8 = 256).
+pub const HIER_LOG2_MAX: u32 = 8;
+
+/// A point in the tuning space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TuningPoint {
+    /// log2 of the number of locks.
+    pub locks_log2: u32,
+    /// Hash shift count.
+    pub shifts: u32,
+    /// log2 of the hierarchical array size (0 = disabled).
+    pub hier_log2: u32,
+}
+
+impl TuningPoint {
+    /// The paper's tuning start for the experiments of Section 4.3:
+    /// 2^8 locks, shift 0, hierarchy disabled.
+    pub fn experiment_start() -> TuningPoint {
+        TuningPoint {
+            locks_log2: 8,
+            shifts: 0,
+            hier_log2: 0,
+        }
+    }
+
+    /// The production default start (2^16 locks).
+    pub fn default_start() -> TuningPoint {
+        TuningPoint {
+            locks_log2: 16,
+            shifts: 0,
+            hier_log2: 0,
+        }
+    }
+
+    /// Read the point out of an [`StmConfig`].
+    pub fn from_config(cfg: &StmConfig) -> TuningPoint {
+        TuningPoint {
+            locks_log2: cfg.locks_log2,
+            shifts: cfg.shifts,
+            hier_log2: cfg.hier_log2,
+        }
+    }
+
+    /// Apply the point to a configuration template.
+    pub fn apply(&self, template: StmConfig) -> StmConfig {
+        template
+            .with_locks_log2(self.locks_log2)
+            .with_shifts(self.shifts)
+            .with_hier_log2(self.hier_log2)
+    }
+
+    /// Compact display used in figure output: `(2^l, s, h)`.
+    pub fn label(&self) -> String {
+        format!(
+            "locks=2^{},shifts={},h={}",
+            self.locks_log2,
+            self.shifts,
+            1u64 << self.hier_log2
+        )
+    }
+
+    /// Whether the point lies inside the explored space (the hierarchy
+    /// may never exceed the lock count).
+    pub fn in_space(&self) -> bool {
+        (LOCKS_LOG2_MIN..=LOCKS_LOG2_MAX).contains(&self.locks_log2)
+            && self.shifts <= SHIFTS_MAX
+            && self.hier_log2 <= HIER_LOG2_MAX
+            && self.hier_log2 <= self.locks_log2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_are_in_space() {
+        assert!(TuningPoint::experiment_start().in_space());
+        assert!(TuningPoint::default_start().in_space());
+    }
+
+    #[test]
+    fn config_roundtrip() {
+        let p = TuningPoint {
+            locks_log2: 12,
+            shifts: 3,
+            hier_log2: 4,
+        };
+        let cfg = p.apply(StmConfig::default());
+        assert_eq!(TuningPoint::from_config(&cfg), p);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn out_of_space_points_detected() {
+        let mut p = TuningPoint::experiment_start();
+        p.locks_log2 = LOCKS_LOG2_MAX + 1;
+        assert!(!p.in_space());
+        let p = TuningPoint {
+            locks_log2: 8,
+            shifts: 0,
+            hier_log2: 9,
+        };
+        assert!(!p.in_space());
+        // hier larger than locks
+        let p = TuningPoint {
+            locks_log2: 8,
+            shifts: 0,
+            hier_log2: 8,
+        };
+        assert!(p.in_space());
+    }
+
+    #[test]
+    fn label_is_readable() {
+        let p = TuningPoint {
+            locks_log2: 16,
+            shifts: 2,
+            hier_log2: 4,
+        };
+        assert_eq!(p.label(), "locks=2^16,shifts=2,h=16");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the hill climber: whatever throughput
+//! sequence it observes, the tuner must stay inside the tuning space,
+//! respect its own forbidden bounds, and keep making decisions.
+
+use proptest::prelude::*;
+use stm_tuning::{Tuner, TuningPoint};
+
+fn start_strategy() -> impl Strategy<Value = TuningPoint> {
+    (8u32..=24, 0u32..=8, 0u32..=8).prop_filter_map("hier <= locks", |(l, s, h)| {
+        let p = TuningPoint {
+            locks_log2: l,
+            shifts: s,
+            hier_log2: h,
+        };
+        p.in_space().then_some(p)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tuner_never_leaves_the_space(
+        start in start_strategy(),
+        seed in any::<u64>(),
+        throughputs in proptest::collection::vec(0.0f64..1e7, 1..120),
+    ) {
+        let mut tuner = Tuner::new(start, seed);
+        for &t in &throughputs {
+            let d = tuner.record(t);
+            prop_assert!(d.next.in_space(), "left the space: {:?}", d.next);
+            prop_assert_eq!(tuner.current(), d.next);
+        }
+        prop_assert_eq!(tuner.log().len(), throughputs.len());
+    }
+
+    #[test]
+    fn labels_follow_paper_grammar(
+        start in start_strategy(),
+        seed in any::<u64>(),
+        throughputs in proptest::collection::vec(1.0f64..1e6, 1..60),
+    ) {
+        let mut tuner = Tuner::new(start, seed);
+        for &t in &throughputs {
+            let d = tuner.record(t);
+            let body = d.label.trim_start_matches('-');
+            let n: u8 = body.parse().expect("numeric label");
+            prop_assert!((1..=8).contains(&n), "label {}", d.label);
+            if d.label.starts_with('-') {
+                prop_assert!((1..=6).contains(&n), "composite label {}", d.label);
+            }
+        }
+    }
+
+    #[test]
+    fn best_tracks_maximum_observed(
+        start in start_strategy(),
+        seed in any::<u64>(),
+        throughputs in proptest::collection::vec(1.0f64..1e6, 2..60),
+    ) {
+        let mut tuner = Tuner::new(start, seed);
+        let mut seen: Vec<(TuningPoint, f64)> = Vec::new();
+        for &t in &throughputs {
+            let point = tuner.current();
+            tuner.record(t);
+            seen.retain(|(p, _)| *p != point);
+            seen.push((point, t));
+            let best = tuner.best().unwrap();
+            let expect = seen
+                .iter()
+                .map(|&(_, t)| t)
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((best.1 - expect).abs() < 1e-9,
+                "best {} != expected max {}", best.1, expect);
+        }
+    }
+
+    #[test]
+    fn constant_throughput_eventually_settles(
+        start in start_strategy(),
+        seed in any::<u64>(),
+    ) {
+        // With identical throughput everywhere, no reversal rule ever
+        // fires; the tuner explores and must not crash or cycle
+        // infinitely fast through reversals (labels stay exploratory or
+        // eventually nop).
+        let mut tuner = Tuner::new(start, seed);
+        let mut nops = 0;
+        for _ in 0..600 {
+            let d = tuner.record(1000.0);
+            if d.label == "7" {
+                nops += 1;
+                if nops > 3 {
+                    break;
+                }
+            }
+        }
+        // Either it settled into nops or it is still exploring the
+        // (large) space — both acceptable; the property is termination
+        // of each call, which reaching this line demonstrates.
+        prop_assert!(tuner.log().len() <= 600);
+    }
+}

@@ -1,0 +1,86 @@
+//! Live dynamic tuning demo (Section 4): watch the hill climber walk the
+//! configuration space while a linked-list workload runs.
+//!
+//! Usage:
+//!   cargo run --release --example autotune -- [size] [threads] [configs] [period_ms]
+//!
+//! Prints one line per measurement period: the configuration, its
+//! throughput, and the move the tuner took — the data behind Figures
+//! 10 and 11.
+
+use std::time::Duration;
+use stm_harness::{drive_with_coordinator, IntSetOp, IntSetWorkload, MeasureOpts};
+use stm_structures::LinkedList;
+use stm_tuning::{autotune, AutoTuneOpts, TuningPoint};
+use tinystm::{AccessStrategy, CmPolicy, Stm, StmConfig};
+
+fn arg<T: std::str::FromStr>(n: usize, default: T) -> T {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let size: u64 = arg(1, 4096);
+    let threads: usize = arg(2, 8);
+    let configs: usize = arg(3, 20);
+    let period_ms: u64 = arg(4, 150);
+
+    // Start from the paper's deliberately poor configuration.
+    let template = StmConfig::default()
+        .with_strategy(AccessStrategy::WriteBack)
+        .with_cm(CmPolicy::Backoff {
+            base: 16,
+            max_spins: 1 << 14,
+        });
+    let start = TuningPoint::experiment_start();
+    let stm = Stm::new(start.apply(template)).unwrap();
+    let list = LinkedList::new(stm.clone());
+    let workload = IntSetWorkload::new(size, 20);
+    stm_harness::populate(&list, &workload, 0xA070);
+
+    println!(
+        "# autotune: list size={size}, threads={threads}, start={}",
+        start.label()
+    );
+    println!("idx,config,txs_per_s,move");
+
+    let tune_opts = AutoTuneOpts {
+        period: Duration::from_millis(period_ms),
+        samples_per_config: 3,
+        max_configs: configs,
+        seed: 0xA070,
+    };
+    let records = drive_with_coordinator(
+        MeasureOpts::default().with_threads(threads),
+        |_t| {
+            let mut op = IntSetOp::new(&list, workload);
+            move |rng: &mut rand::rngs::SmallRng| op.step(rng)
+        },
+        || autotune(&stm, template, start, tune_opts),
+    );
+
+    for r in &records {
+        println!(
+            "{},{},{:.0},{}",
+            r.index,
+            r.point.label(),
+            r.throughput,
+            r.label
+        );
+    }
+    let first = &records[0];
+    let best = records
+        .iter()
+        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+        .unwrap();
+    println!(
+        "# tuned {} -> {}: {:.0} -> {:.0} txs/s ({:+.0}%)",
+        first.point.label(),
+        best.point.label(),
+        first.throughput,
+        best.throughput,
+        (best.throughput / first.throughput.max(1.0) - 1.0) * 100.0
+    );
+}

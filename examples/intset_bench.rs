@@ -1,0 +1,101 @@
+//! Integer-set benchmark CLI — the paper's Section 3.3 harness as a
+//! runnable example.
+//!
+//! Usage:
+//!   cargo run --release --example intset_bench -- \
+//!       [structure] [backend] [size] [update_pct] [threads] [ms]
+//!
+//! structure: list | rbtree | skiplist | hashset   (default rbtree)
+//! backend:   wb | wt | tl2 | mutex                (default wb)
+//!
+//! Example: `cargo run --release --example intset_bench -- list wb 4096 20 8 500`
+
+use std::time::Duration;
+use stm_api::model::MutexTm;
+use stm_api::TmHandle;
+use stm_harness::{run_intset, IntSetWorkload, MeasureOpts};
+use stm_structures::{HashSet, LinkedList, RbTree, SkipList, TxSet};
+use stm_tl2::{Tl2, Tl2Config};
+use tinystm::{AccessStrategy, CmPolicy, Stm, StmConfig};
+
+fn arg<T: std::str::FromStr>(n: usize, default: T) -> T {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn build_set<H: TmHandle>(tm: H, structure: &str) -> Box<dyn TxSet> {
+    match structure {
+        "list" => Box::new(LinkedList::new(tm)),
+        "rbtree" => Box::new(RbTree::new(tm)),
+        "skiplist" => Box::new(SkipList::new(tm, 42)),
+        "hashset" => Box::new(HashSet::new(tm, 1024)),
+        other => panic!("unknown structure {other} (list|rbtree|skiplist|hashset)"),
+    }
+}
+
+fn main() {
+    let structure: String = arg(1, "rbtree".to_string());
+    let backend: String = arg(2, "wb".to_string());
+    let size: u64 = arg(3, 4096);
+    let update_pct: u32 = arg(4, 20);
+    let threads: usize = arg(5, 8);
+    let ms: u64 = arg(6, 500);
+
+    let workload = IntSetWorkload::new(size, update_pct);
+    let opts = MeasureOpts::default()
+        .with_threads(threads)
+        .with_warmup(Duration::from_millis(ms / 4))
+        .with_duration(Duration::from_millis(ms));
+
+    let cm = CmPolicy::Backoff {
+        base: 16,
+        max_spins: 1 << 14,
+    };
+    let (set, stats): (
+        Box<dyn TxSet>,
+        Box<dyn Fn() -> stm_api::stats::BasicStats + Sync>,
+    ) = match backend.as_str() {
+        "wb" | "wt" => {
+            let strategy = if backend == "wb" {
+                AccessStrategy::WriteBack
+            } else {
+                AccessStrategy::WriteThrough
+            };
+            let stm = Stm::new(StmConfig::default().with_strategy(strategy).with_cm(cm)).unwrap();
+            let h = stm.clone();
+            (
+                build_set(stm, &structure),
+                Box::new(move || h.stats_snapshot()),
+            )
+        }
+        "tl2" => {
+            let tl2 = Tl2::new(Tl2Config::default().with_cm(cm)).unwrap();
+            let h = tl2.clone();
+            (
+                build_set(tl2, &structure),
+                Box::new(move || h.stats_snapshot()),
+            )
+        }
+        "mutex" => {
+            let tm = MutexTm::new();
+            let h = tm.clone();
+            (
+                build_set(tm, &structure),
+                Box::new(move || h.stats_snapshot()),
+            )
+        }
+        other => panic!("unknown backend {other} (wb|wt|tl2|mutex)"),
+    };
+
+    println!("# intset: {structure} on {backend}, size={size}, updates={update_pct}%, threads={threads}, window={ms}ms");
+    let m = run_intset(&*set, workload, opts, &*stats);
+    println!(
+        "throughput: {:>12.0} txs/s\naborts:     {:>12.0} /s  (ratio {:.2}%)\nfinal size: {:>12}",
+        m.throughput,
+        m.abort_rate,
+        m.abort_ratio * 100.0,
+        set.snapshot_len()
+    );
+}

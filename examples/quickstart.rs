@@ -1,0 +1,87 @@
+//! Quickstart: transactional bank transfers on TinySTM.
+//!
+//! Demonstrates the safe typed layer (`TCell`, `TxExt`): concurrent
+//! transfers between accounts with a read-only auditor that always sees
+//! a consistent total — the atomicity + opacity guarantees of the STM.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use stm_api::TxKind;
+use tinystm::{Stm, StmConfig, TCell, TxExt};
+
+fn main() {
+    let stm = Stm::new(StmConfig::default()).expect("valid config");
+    let n_accounts = 32;
+    let initial = 1_000i64;
+    let accounts: Arc<Vec<TCell<i64>>> =
+        Arc::new((0..n_accounts).map(|_| TCell::new(initial)).collect());
+    let expected_total = initial * n_accounts as i64;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    println!("quickstart: {n_accounts} accounts x {initial} = {expected_total} total");
+
+    // Four transfer threads.
+    let workers: Vec<_> = (0..4u64)
+        .map(|t| {
+            let stm = stm.clone();
+            let accounts = Arc::clone(&accounts);
+            std::thread::spawn(move || {
+                let mut seed = 0x5EED ^ (t << 16) | 1;
+                for _ in 0..20_000 {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    let from = (seed >> 32) as usize % n_accounts;
+                    let to = (seed >> 11) as usize % n_accounts;
+                    let amount = (seed % 100) as i64;
+                    stm.run(TxKind::ReadWrite, |tx| {
+                        let balance = tx.read(&accounts[from])?;
+                        tx.write(&accounts[from], balance - amount)?;
+                        let other = tx.read(&accounts[to])?;
+                        tx.write(&accounts[to], other + amount)
+                    });
+                }
+            })
+        })
+        .collect();
+
+    // One auditing thread: read-only snapshots are always consistent.
+    let auditor = {
+        let stm = stm.clone();
+        let accounts = Arc::clone(&accounts);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut audits = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let total: i64 = stm.run_ro(|tx| {
+                    let mut sum = 0;
+                    for a in accounts.iter() {
+                        sum += tx.read(a)?;
+                    }
+                    Ok(sum)
+                });
+                assert_eq!(total, expected_total, "torn snapshot!");
+                audits += 1;
+            }
+            audits
+        })
+    };
+
+    for w in workers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let audits = auditor.join().unwrap();
+
+    let final_total: i64 = (0..n_accounts).map(|i| accounts[i].read_direct()).sum();
+    let stats = stm.stats();
+    println!("final total: {final_total} (expected {expected_total})");
+    println!(
+        "commits: {} (read-only: {}), aborts: {}, audits: {audits}",
+        stats.totals.commits, stats.totals.ro_commits, stats.totals.aborts
+    );
+    assert_eq!(final_total, expected_total);
+    println!("OK — every snapshot was consistent.");
+}

@@ -1,0 +1,13 @@
+//! # tinystm-repro
+//!
+//! Umbrella crate for the TinySTM (PPoPP 2008) reproduction. Re-exports
+//! the workspace crates so examples and integration tests can `use
+//! tinystm_repro::...` uniformly. See README.md for the tour and
+//! DESIGN.md for the system inventory.
+
+pub use stm_api as api;
+pub use stm_harness as harness;
+pub use stm_structures as structures;
+pub use stm_tl2 as tl2;
+pub use stm_tuning as tuning;
+pub use tinystm;

@@ -1,0 +1,102 @@
+//! Property-based differential tests: random operation sequences applied
+//! to every transactional structure on the TinySTM backend must agree
+//! with `BTreeSet`, under both access strategies.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use tinystm_repro::structures::{HashSet, LinkedList, RbTree, SkipList, TxSet};
+use tinystm_repro::tinystm::{AccessStrategy, Stm, StmConfig};
+
+/// An abstract set operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Add(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Small key space to force collisions and removals of present keys.
+    let key = 1u64..64;
+    prop_oneof![
+        key.clone().prop_map(Op::Add),
+        key.clone().prop_map(Op::Remove),
+        key.prop_map(Op::Contains),
+    ]
+}
+
+fn check_against_model(set: &dyn TxSet, ops: &[Op]) {
+    let mut model = BTreeSet::new();
+    for &op in ops {
+        match op {
+            Op::Add(k) => assert_eq!(set.add(k), model.insert(k), "add({k})"),
+            Op::Remove(k) => assert_eq!(set.remove(k), model.remove(&k), "remove({k})"),
+            Op::Contains(k) => {
+                assert_eq!(set.contains(k), model.contains(&k), "contains({k})")
+            }
+        }
+    }
+    assert_eq!(set.snapshot_len(), model.len(), "final length");
+}
+
+fn stm(strategy: AccessStrategy) -> Stm {
+    Stm::new(
+        StmConfig::default()
+            .with_locks_log2(10)
+            .with_strategy(strategy)
+            .with_hier_log2(2),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn list_matches_model_wb(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let set = LinkedList::new(stm(AccessStrategy::WriteBack));
+        check_against_model(&set, &ops);
+    }
+
+    #[test]
+    fn list_matches_model_wt(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let set = LinkedList::new(stm(AccessStrategy::WriteThrough));
+        check_against_model(&set, &ops);
+    }
+
+    #[test]
+    fn rbtree_matches_model_wb(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let set = RbTree::new(stm(AccessStrategy::WriteBack));
+        check_against_model(&set, &ops);
+        set.check_invariants();
+    }
+
+    #[test]
+    fn rbtree_matches_model_wt(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let set = RbTree::new(stm(AccessStrategy::WriteThrough));
+        check_against_model(&set, &ops);
+        set.check_invariants();
+    }
+
+    #[test]
+    fn skiplist_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let set = SkipList::new(stm(AccessStrategy::WriteBack), 7);
+        check_against_model(&set, &ops);
+    }
+
+    #[test]
+    fn hashset_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let set = HashSet::new(stm(AccessStrategy::WriteBack), 8);
+        check_against_model(&set, &ops);
+    }
+
+    #[test]
+    fn rbtree_matches_model_tl2(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let tl2 = tinystm_repro::tl2::Tl2::new(
+            tinystm_repro::tl2::Tl2Config::default().with_locks_log2(10),
+        ).unwrap();
+        let set = RbTree::new(tl2);
+        check_against_model(&set, &ops);
+        set.check_invariants();
+    }
+}
