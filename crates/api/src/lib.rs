@@ -24,6 +24,38 @@
 //! the addressed word must stay allocated for the transaction's duration
 //! and must only ever be accessed transactionally (or after proper
 //! synchronization, e.g. once all threads have joined).
+//!
+//! ## Contract example
+//!
+//! Every backend — here the [`model::MutexTm`] reference model, but the
+//! same code runs unchanged on `tinystm::Stm` or `stm_tl2::Tl2` — obeys
+//! the same contract: the closure passed to [`TmHandle::run`] retries
+//! until it commits, `?` propagates aborts, and word accesses go through
+//! the transaction.
+//!
+//! ```
+//! use stm_api::mem::WordBlock;
+//! use stm_api::model::MutexTm;
+//! use stm_api::{TmHandle, TmTx, TxKind};
+//!
+//! let tm = MutexTm::new();
+//! let cell = WordBlock::new(1);
+//! let addr = cell.as_ptr();
+//!
+//! // An update transaction: read-modify-write of one word.
+//! tm.run(TxKind::ReadWrite, |tx| {
+//!     // SAFETY: `cell` outlives the run and is only accessed
+//!     // transactionally while transactions may touch it.
+//!     let v = unsafe { tx.load_word(addr) }?;
+//!     unsafe { tx.store_word(addr, v + 41) }?;
+//!     Ok(())
+//! });
+//!
+//! // A read-only transaction observes the committed state.
+//! let seen = tm.run(TxKind::ReadOnly, |tx| unsafe { tx.load_word(addr) });
+//! assert_eq!(seen, 41);
+//! assert_eq!(tm.stats_snapshot().commits, 2);
+//! ```
 
 pub mod mem;
 pub mod model;

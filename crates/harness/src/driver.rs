@@ -112,11 +112,11 @@ where
 {
     let stop = AtomicBool::new(false);
     let mut result = None;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..opts.threads {
             let stop = &stop;
             let make_op = &make_op;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(opts.seed.wrapping_add(t as u64));
                 let mut op = make_op(t);
                 while !stop.load(Ordering::Relaxed) {
@@ -136,8 +136,7 @@ where
             elapsed,
             opts.threads,
         ));
-    })
-    .expect("worker thread panicked");
+    });
     result.expect("scope completed")
 }
 
@@ -156,11 +155,11 @@ where
 {
     let stop = AtomicBool::new(false);
     let mut result = None;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..opts.threads {
             let stop = &stop;
             let make_op = &make_op;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(opts.seed.wrapping_add(t as u64));
                 let mut op = make_op(t);
                 while !stop.load(Ordering::Relaxed) {
@@ -170,8 +169,7 @@ where
         }
         result = Some(coordinator());
         stop.store(true, Ordering::SeqCst);
-    })
-    .expect("worker thread panicked");
+    });
     result.expect("coordinator ran")
 }
 

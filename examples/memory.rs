@@ -80,7 +80,10 @@ fn main() {
         }
         freed += 1;
     }
-    println!("freed {freed} nodes; limbo pending: {}", stm.stats().limbo_pending);
+    println!(
+        "freed {freed} nodes; limbo pending: {}",
+        stm.stats().limbo_pending
+    );
 
     let sum = reader.join().unwrap();
     println!("slow reader saw a consistent snapshot, sum = {sum}");

@@ -1,0 +1,83 @@
+//! Smoke test: every example must run to completion with tiny
+//! parameters. Examples are the repository's living documentation and
+//! are not exercised by unit tests, so without this gate a runtime
+//! panic (bad index, poisoned lock, misconfigured backend) could rot
+//! unnoticed even while `cargo test` stays green.
+//!
+//! `cargo test` builds the workspace's example binaries before running
+//! integration tests, so the binaries are located relative to this test
+//! executable (`target/<profile>/examples/…`) rather than re-entering
+//! cargo.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Directory holding the compiled example binaries for this profile.
+fn examples_dir() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary path");
+    // target/<profile>/deps/examples_smoke-<hash> → target/<profile>/examples
+    dir.pop();
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    dir.push("examples");
+    dir
+}
+
+/// Run one example with `args`, asserting success and returning stdout.
+fn run_example(name: &str, args: &[&str]) -> String {
+    let bin = examples_dir().join(name);
+    assert!(
+        bin.exists(),
+        "example binary {} not built (looked in {})",
+        name,
+        bin.display()
+    );
+    let out = Command::new(&bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+    assert!(
+        out.status.success(),
+        "example {name} {args:?} failed with {}\n--- stdout\n{}\n--- stderr\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn quickstart_runs() {
+    let out = run_example("quickstart", &[]);
+    assert!(out.contains("OK"), "unexpected output:\n{out}");
+}
+
+#[test]
+fn memory_runs() {
+    let out = run_example("memory", &[]);
+    assert!(out.contains("reclaimed"), "unexpected output:\n{out}");
+}
+
+#[test]
+fn intset_bench_runs_on_every_backend() {
+    // structure backend size update% threads window_ms
+    for backend in ["wb", "wt", "tl2", "mutex"] {
+        let out = run_example("intset_bench", &["rbtree", backend, "32", "20", "2", "40"]);
+        assert!(out.contains("throughput"), "unexpected output:\n{out}");
+    }
+}
+
+#[test]
+fn vacation_runs() {
+    // resources customers threads window_ms
+    let out = run_example("vacation", &["24", "6", "2", "40"]);
+    assert!(out.contains("conserved"), "unexpected output:\n{out}");
+}
+
+#[test]
+fn autotune_runs() {
+    // size threads configs period_ms
+    let out = run_example("autotune", &["64", "2", "3", "20"]);
+    assert!(out.contains("# tuned"), "unexpected output:\n{out}");
+}

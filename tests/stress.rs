@@ -47,7 +47,7 @@ fn kitchen_sink_stress() {
                 while !stop.load(Ordering::Relaxed) {
                     seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
                     let k = 1000 + t * 10_000 + (seed >> 40) % 500;
-                    if i % 2 == 0 {
+                    if i.is_multiple_of(2) {
                         if tree.add(k) {
                             assert!(tree.remove(k), "lost key {k} from tree");
                         }
@@ -89,7 +89,10 @@ fn kitchen_sink_stress() {
         assert_eq!(tree.snapshot_len(), tree_base, "tree size drifted");
         assert_eq!(list.snapshot_len(), list_base, "list size drifted");
         tree.check_invariants();
-        assert_eq!(list.keys(), (1..=64).filter(|k| k % 2 == 0).collect::<Vec<_>>());
+        assert_eq!(
+            list.keys(),
+            (1..=64).filter(|k| k % 2 == 0).collect::<Vec<_>>()
+        );
         let stats = stm.stats();
         // Reconfiguration resets the clock too, so roll-over may never
         // fire during the mixed phase; what must hold is that *some*

@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API used by this workspace's
+//! micro-benchmarks: `Criterion::benchmark_group`, group knobs
+//! (`sample_size`, `measurement_time`, `warm_up_time`),
+//! `bench_function`, `Bencher::{iter, iter_batched}`, `BatchSize`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is simple but real: each benchmark is warmed up, the
+//! iteration count is calibrated to the measurement window, and the
+//! harness reports mean time per iteration over the configured number of
+//! samples. There is no statistical analysis, HTML report, or baseline
+//! comparison — `cargo bench` prints one line per benchmark, and
+//! `cargo bench --no-run` type-checks everything, which is what CI pins.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: batch many per setup.
+    SmallInput,
+    /// Large per-iteration inputs: one per setup.
+    LargeInput,
+    /// Each iteration gets exactly one fresh input.
+    PerIteration,
+}
+
+/// Per-benchmark timing loop handed to the closure of `bench_function`.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: Duration,
+    _marker: core::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` over the calibrated number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named group of related benchmarks with shared measurement knobs.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target wall-clock budget for the timed samples.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Wall-clock budget for calibration before timing starts.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Run one benchmark and print its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Calibrate: run single iterations until the warm-up budget is
+        // spent, to estimate the per-iteration cost.
+        let mut probe = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+            _marker: core::marker::PhantomData,
+        };
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while warm_start.elapsed() < self.warm_up_time {
+            f(&mut probe);
+            per_iter = probe.elapsed.max(Duration::from_nanos(1));
+        }
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        let iters =
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+                _marker: core::marker::PhantomData,
+            };
+            f(&mut b);
+            total += b.elapsed;
+            total_iters += iters;
+        }
+        let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+        println!("{}/{:<32} {:>12.1} ns/iter", self.name, id, mean_ns);
+        self
+    }
+
+    /// End the group (marker for parity with criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(200),
+            warm_up_time: Duration::from_millis(50),
+            _criterion: self,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: String = id.into();
+        self.benchmark_group(id.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.measurement_time(Duration::from_millis(2));
+        g.warm_up_time(Duration::from_millis(1));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

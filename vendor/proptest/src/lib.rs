@@ -1,0 +1,611 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so this vendored crate
+//! implements the slice of proptest that the workspace's property tests
+//! use: the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_filter_map`, range / tuple / `any` strategies,
+//! [`collection::vec`], weighted [`prop_oneof!`], and the [`proptest!`] /
+//! [`prop_assert!`] macros. Inputs are generated deterministically from a
+//! per-test seed (derived from the test's module path and name), so
+//! failures reproduce across runs. Shrinking is intentionally not
+//! implemented: a failing case prints its full generated input instead.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic case generation and failure plumbing.
+
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// RNG handed to [`crate::strategy::Strategy::generate`].
+    #[derive(Debug, Clone)]
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        /// Deterministic construction from a 64-bit seed.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            TestRng(SmallRng::seed_from_u64(seed))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Per-`proptest!` block configuration (subset: case count).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// A failed property: carries the formatted assertion message.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Build a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Stable FNV-1a hash of a test's identity, used as its base seed.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+    use core::fmt::Debug;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object-safe so strategies can be boxed ([`BoxedStrategy`]); the
+    /// combinator methods are `Self: Sized`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Keep only values for which `f` returns `Some`.
+        fn prop_filter_map<U: Debug, F: Fn(Self::Value) -> Option<U>>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FilterMap {
+                base: self,
+                f,
+                whence,
+            }
+        }
+
+        /// Keep only values for which `f` returns `true`.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                base: self,
+                f,
+                whence,
+            }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Rejection cap for filtering combinators before the test errors out.
+    const MAX_REJECTS: u32 = 10_000;
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        base: S,
+        f: F,
+        whence: &'static str,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            for _ in 0..MAX_REJECTS {
+                if let Some(v) = (self.f)(self.base.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter_map rejected {MAX_REJECTS} inputs: {}",
+                self.whence
+            );
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        base: S,
+        f: F,
+        whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..MAX_REJECTS {
+                let v = self.base.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected {MAX_REJECTS} inputs: {}", self.whence);
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F2);
+
+    /// Always yields a clone of the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Debug + Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice between boxed alternatives (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// Build from `(weight, strategy)` arms; weights must not all be zero.
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof!: all weights are zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut roll = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if roll < *w as u64 {
+                    return s.generate(rng);
+                }
+                roll -= *w as u64;
+            }
+            unreachable!("weighted roll exceeded total")
+        }
+    }
+
+    /// Full-range generation for primitive types (see [`crate::arbitrary::any`]).
+    pub trait Arbitrary: Debug + Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    use rand::RngCore;
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            use rand::RngCore;
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    #[derive(Debug, Clone, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        /// Construct (used by `any()`).
+        pub fn new() -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — unconstrained values of a primitive type.
+
+    use crate::strategy::{Any, Arbitrary};
+
+    /// Strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::new()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (subset: `vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::fmt::Debug;
+    use rand::Rng;
+
+    /// Length specification for [`vec`].
+    pub trait SizeRange {
+        /// Draw a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// Generate vectors of values from `element` with lengths in `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// `proptest::prelude::prop` namespace alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the harness can report the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Weighted (or unweighted) choice between strategies with a common
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over deterministically
+/// generated inputs (seeded from the test's path, so failures reproduce).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let base = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::seed_from_u64(
+                    base.wrapping_add(case as u64),
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                let desc = format!(
+                    concat!($(stringify!($arg), " = {:?} "),+),
+                    $(&$arg),+
+                );
+                let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1, config.cases, e, desc,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(1);
+        let s = (0usize..100).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v < 200 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight_arms() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(2);
+        let s = prop_oneof![5 => 0u32..1, 1 => 10u32..11];
+        let mut saw_low = false;
+        let mut saw_high = false;
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                0 => saw_low = true,
+                10 => saw_high = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(saw_low && saw_high);
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(3);
+        let s = crate::collection::vec(0u8..255, 1..7);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..7).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn the_macro_itself_works(x in 1u64..=64, ys in crate::collection::vec(0u32..10, 0..5)) {
+            prop_assert!((1..=64).contains(&x));
+            for y in &ys {
+                prop_assert!(*y < 10, "y = {}", y);
+            }
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}

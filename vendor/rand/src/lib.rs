@@ -1,0 +1,233 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access, so the workspace vendors
+//! the narrow slice of `rand`'s API that the harness and benches use:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] over integer ranges. The generator is
+//! xoshiro256++, which matches the statistical quality class of the real
+//! `SmallRng` and is fully deterministic per seed — exactly what the
+//! reproducible benchmark driver needs.
+
+#![forbid(unsafe_code)]
+
+/// Core random-number-generator interface (subset).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Seedable construction (subset: `seed_from_u64` and `from_seed`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Construct from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanded with SplitMix64 as upstream does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_exact_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            chunk.copy_from_slice(&(z ^ (z >> 31)).to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types uniform sampling is defined for (the `SampleUniform` analogue).
+///
+/// The blanket [`SampleRange`] impls below are generic over this trait —
+/// one impl per range shape, as in real `rand` — so integer-literal
+/// ranges unify with the surrounding expression's type instead of
+/// defaulting to `i32`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Sample uniformly from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Sample uniformly from `[lo, hi]`.
+    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + uniform_u64(rng, span) as i128) as $t
+            }
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_u64(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        Self::sample_half_open(rng, lo, f64::from_bits(hi.to_bits() + 1))
+    }
+}
+
+/// Types that can parameterize [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_closed(rng, *self.start(), *self.end())
+    }
+}
+
+/// Debiased bounded sample in `[0, bound)` (Lemire-style rejection).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % bound) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+/// User-facing convenience methods (subset).
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer or float range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators (subset: `SmallRng`).
+
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, deterministic RNG (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // An all-zero state is a fixed point for xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(1u64..=64);
+            assert!((1..=64).contains(&v));
+            let w = rng.gen_range(0..100);
+            assert!((0..100).contains(&w));
+            let f = rng.gen_range(0.0f64..1e7);
+            assert!((0.0..1e7).contains(&f));
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_not_stuck() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let a = rng.gen_range(0u64..u64::MAX);
+        let b = rng.gen_range(0u64..u64::MAX);
+        assert_ne!(a, b);
+    }
+}
