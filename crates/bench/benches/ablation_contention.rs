@@ -1,47 +1,68 @@
-//! Ablation: early vs late conflict detection under *forced* overlap.
+//! Ablation: conflict-detection timing under contention.
 //!
-//! The paper's 8-core testbed overlaps transactions in time; this host
-//! has a single core, so short transactions almost never conflict and
-//! the encounter-time advantage (Section 3: "transactions do not
-//! perform useless work") is invisible in Figures 2–4. This bench
-//! restores the overlap synthetically (substitution per DESIGN.md §2):
-//! every transaction (a) writes one word of a small hot region — the
-//! conflict point — then (b) performs a long stretch of transactional
-//! read work, then commits. Preemption inside (b) guarantees that
-//! concurrent transactions overlap the held lock.
+//! Four sections, all emitted as perf records
+//! (`target/perf/ablation-contention.jsonl`):
 //!
-//! * TinySTM (encounter-time): the loser aborts at step (a), before
-//!   wasting the read work.
-//! * TL2 (commit-time): the write is buffered; the loser performs all of
-//!   (b) and aborts at commit.
+//! 1. **forced-overlap** — early vs late conflict detection under
+//!    *forced* overlap. The paper's 8-core testbed overlaps
+//!    transactions in time; this host may have a single core, so short
+//!    transactions almost never conflict and the encounter-time
+//!    advantage (Section 3: "transactions do not perform useless work")
+//!    is invisible in Figures 2–4. This section restores the overlap
+//!    synthetically (substitution per DESIGN.md §2): every transaction
+//!    (a) writes one word of a small hot region — the conflict point —
+//!    then (b) performs a long stretch of transactional read work, then
+//!    commits. Preemption inside (b) guarantees that concurrent
+//!    transactions overlap the held lock. TinySTM (encounter-time)
+//!    aborts the loser at step (a); TL2 (commit-time) buffers the write
+//!    and the loser performs all of (b) before aborting. The
+//!    `wasted_reads_per_abort` extra shows the mechanism directly.
+//!    Note the throughput column inverts on a single-core host: an
+//!    encounter-time lock held across a preemption convoys every other
+//!    thread, so read goodput favours TL2 here — see EXPERIMENTS.md.
 //!
-//! Expected shape: the *wasted-work* column shows the paper's mechanism
-//! directly — TinySTM wastes ≈ 1 read per abort (the conflict is caught
-//! at the first access) while TL2 wastes the entire read phase (≈
-//! `reads_per_tx` reads per abort). Note the throughput column inverts
-//! on a single-core host: an encounter-time lock held across a
-//! preemption convoys every other thread (the paper's testbed keeps the
-//! holder running on its own core), so read goodput favours TL2 here —
-//! see EXPERIMENTS.md for the discussion.
+//! 2. **small-range** — the whole key space fits in a cache line's
+//!    worth of structure: 64 elements, 128 keys, 50% updates. Every
+//!    update collides with high probability.
+//!
+//! 3. **write-heavy** — 90% update mix on a 256-element tree: the
+//!    paper's "high update rate" axis pushed to the end stop.
+//!
+//! 4. **overwrite-loop** — Figure 4's overwrite transactions at 20%
+//!    (4× the figure's rate): each one writes every node it traverses,
+//!    so write sets span the structure and write-write conflicts
+//!    dominate. Write-through vs write-back abort taxonomies diverge
+//!    here the way Section 3.1 predicts (encounter-time writes abort on
+//!    locked words; write-back aborts at validation) — the divergence
+//!    shape check in `perf-diff --shape` reads these records.
 
 use std::sync::Arc;
 use stm_api::mem::WordBlock;
 use stm_api::{TmHandle, TmTx, TxKind};
-use stm_bench::{default_opts, make_tiny, make_tl2};
-use stm_harness::table::{f1, i, s, SeriesWriter};
+use stm_bench::{
+    bench_record, default_opts, make_tiny, make_tl2, perf_emitter, run_cell, run_overwrite_cell,
+    Backend, Structure,
+};
+use stm_harness::{IntSetWorkload, Measurement};
 use tinystm::{AccessStrategy, StatsSnapshot};
 
-/// Hot region: every transaction writes one of these words.
+/// Hot region: every forced-overlap transaction writes one of these.
 const HOT_WORDS: usize = 4;
 /// Cold region: read-work array.
 const COLD_WORDS: usize = 4096;
 
-fn run_backend<H: TmHandle>(
+const EXPERIMENT: &str = "ablation-contention";
+
+/// Thread counts for the contention sections (fixed, not `STM_THREADS`:
+/// the ablation is about overlap, not the scaling sweep).
+const CONTENTION_THREADS: [usize; 2] = [2, 4];
+
+fn run_forced_overlap<H: TmHandle>(
     tm: H,
     reads: usize,
     threads: usize,
     rich: impl Fn() -> StatsSnapshot,
-) -> (f64, f64, f64) {
+) -> (Measurement, StatsSnapshot) {
     let hot = Arc::new(WordBlock::new(HOT_WORDS));
     let cold = Arc::new(WordBlock::new(COLD_WORDS));
     let opts = default_opts(threads);
@@ -74,7 +95,15 @@ fn run_backend<H: TmHandle>(
             });
         }
     });
-    let d = rich().since(&rich_before);
+    (m, rich().since(&rich_before))
+}
+
+fn overlap_record(
+    backend: &str,
+    reads: usize,
+    m: &Measurement,
+    d: &StatsSnapshot,
+) -> stm_perf::BenchRecord {
     // Reads performed by attempts that aborted, per abort: the "useless
     // work" metric. Encounter-time conflicts abort early (few wasted
     // reads); commit-time conflicts abort after the full read phase.
@@ -83,36 +112,95 @@ fn run_backend<H: TmHandle>(
     } else {
         0.0
     };
-    (m.throughput, m.abort_ratio * 100.0, wasted_per_abort)
+    let workload = IntSetWorkload {
+        initial_size: HOT_WORDS as u64,
+        key_range: COLD_WORDS as u64,
+        update_pct: 100,
+    };
+    let mut rec = bench_record(
+        EXPERIMENT,
+        &format!("forced-overlap-reads-{reads}"),
+        "hot-cold",
+        backend,
+        workload,
+        m,
+    );
+    rec.extras
+        .insert("wasted_reads_per_abort".to_string(), wasted_per_abort);
+    rec
 }
 
 fn main() {
-    let mut out = SeriesWriter::default();
-    out.experiment(
-        "ablation-contention",
-        "encounter vs commit-time locking with forced overlap (hot write + N reads, 8 thr)",
+    let mut out = perf_emitter(
+        EXPERIMENT,
+        "contention ablation: forced overlap, small key range, write-heavy, overwrite loop",
     );
-    out.columns(&[
-        "backend",
-        "reads_per_tx",
-        "txs_per_s",
-        "abort_ratio_pct",
-        "wasted_reads_per_abort",
-    ]);
+
+    // §1 forced overlap: hot write + N reads, 8 threads.
     for &reads in &[64usize, 256, 1024, 4096] {
-        let tiny = make_tiny(AccessStrategy::WriteBack, 16, 0, 0);
-        let rich = {
-            let tiny = tiny.clone();
-            move || tiny.stats().totals
-        };
-        let (t, a, w) = run_backend(tiny, reads, 8, rich);
-        out.row(&[s("tinystm-wb"), i(reads as u64), f1(t), f1(a), f1(w)]);
+        for strategy in [AccessStrategy::WriteBack, AccessStrategy::WriteThrough] {
+            let tiny = make_tiny(strategy, 16, 0, 0);
+            let rich = {
+                let tiny = tiny.clone();
+                move || tiny.stats().totals
+            };
+            let label = if strategy == AccessStrategy::WriteBack {
+                "tinystm-wb"
+            } else {
+                "tinystm-wt"
+            };
+            let (m, d) = run_forced_overlap(tiny, reads, 8, rich);
+            out.record(overlap_record(label, reads, &m, &d));
+        }
         let tl2 = make_tl2(20, 0);
         let rich = {
             let tl2 = tl2.clone();
             move || tl2.stats().totals
         };
-        let (t, a, w) = run_backend(tl2, reads, 8, rich);
-        out.row(&[s("tl2"), i(reads as u64), f1(t), f1(a), f1(w)]);
+        let (m, d) = run_forced_overlap(tl2, reads, 8, rich);
+        out.record(overlap_record("tl2", reads, &m, &d));
     }
+    out.gap();
+
+    // §2 small key range + §3 write-heavy mix: ordinary intset cells at
+    // deliberately hostile workload points.
+    for (panel, structure, size, updates) in [
+        ("small-range", Structure::List, 64u64, 50u32),
+        ("small-range", Structure::Rbtree, 64, 50),
+        ("write-heavy", Structure::Rbtree, 256, 90),
+    ] {
+        let workload = IntSetWorkload::new(size, updates);
+        for backend in Backend::ALL {
+            for &threads in &CONTENTION_THREADS {
+                let m = run_cell(backend, structure, workload, default_opts(threads));
+                out.record(bench_record(
+                    EXPERIMENT,
+                    panel,
+                    structure.label(),
+                    backend.label(),
+                    workload,
+                    &m,
+                ));
+            }
+        }
+        out.gap();
+    }
+
+    // §4 overwrite loop: 20% overwrite transactions on a 128-element
+    // list — large write sets, write-write conflicts dominate.
+    let workload = IntSetWorkload::new(128, 20);
+    for backend in Backend::ALL {
+        for &threads in &CONTENTION_THREADS {
+            let m = run_overwrite_cell(backend, workload, default_opts(threads));
+            out.record(bench_record(
+                EXPERIMENT,
+                "overwrite-loop",
+                "list-overwrite",
+                backend.label(),
+                workload,
+                &m,
+            ));
+        }
+    }
+    out.finish();
 }

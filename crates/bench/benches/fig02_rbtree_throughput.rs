@@ -7,32 +7,37 @@
 //! Paper shape: all designs scale with cores, 64-bit TinySTM above TL2,
 //! larger trees slightly *faster* at high thread counts (less
 //! contention), higher update rates moderately slower.
+//!
+//! Results go to stdout (CSV) and `target/perf/fig02.jsonl` for the
+//! `perf-diff` regression gate.
 
-use stm_bench::{default_opts, run_cell, thread_list, Backend, Structure};
-use stm_harness::table::{f1, i, s, SeriesWriter};
+use stm_bench::{
+    bench_record, default_opts, perf_emitter, run_cell, thread_list, Backend, Structure,
+};
 use stm_harness::IntSetWorkload;
 
 fn main() {
-    let mut out = SeriesWriter::default();
-    out.experiment(
+    let mut out = perf_emitter(
         "fig02",
         "red-black tree throughput vs threads (panels: size/update%)",
     );
-    out.columns(&["panel", "backend", "threads", "txs_per_s", "aborts_per_s"]);
     for (size, updates) in [(256u64, 20u32), (4096, 20), (4096, 60)] {
         let workload = IntSetWorkload::new(size, updates);
+        let panel = format!("{size}/{updates}%");
         for backend in Backend::ALL {
             for &threads in &thread_list() {
                 let m = run_cell(backend, Structure::Rbtree, workload, default_opts(threads));
-                out.row(&[
-                    s(format!("{size}/{updates}%")),
-                    s(backend.label()),
-                    i(threads as u64),
-                    f1(m.throughput),
-                    f1(m.abort_rate),
-                ]);
+                out.record(bench_record(
+                    "fig02",
+                    &panel,
+                    Structure::Rbtree.label(),
+                    backend.label(),
+                    workload,
+                    &m,
+                ));
             }
         }
         out.gap();
     }
+    out.finish();
 }

@@ -6,32 +6,37 @@
 //! with updates, throughput and scalability collapse (every transaction
 //! traverses the same nodes); TL2 trails TinySTM because commit-time
 //! locking wastes full traversals on doomed transactions.
+//!
+//! Results go to stdout (CSV) and `target/perf/fig03.jsonl` for the
+//! `perf-diff` regression gate.
 
-use stm_bench::{default_opts, run_cell, thread_list, Backend, Structure};
-use stm_harness::table::{f1, i, s, SeriesWriter};
+use stm_bench::{
+    bench_record, default_opts, perf_emitter, run_cell, thread_list, Backend, Structure,
+};
 use stm_harness::IntSetWorkload;
 
 fn main() {
-    let mut out = SeriesWriter::default();
-    out.experiment(
+    let mut out = perf_emitter(
         "fig03",
         "sorted linked list throughput vs threads (panels: size/update%)",
     );
-    out.columns(&["panel", "backend", "threads", "txs_per_s", "aborts_per_s"]);
     for (size, updates) in [(256u64, 0u32), (256, 20), (4096, 20)] {
         let workload = IntSetWorkload::new(size, updates);
+        let panel = format!("{size}/{updates}%");
         for backend in Backend::ALL {
             for &threads in &thread_list() {
                 let m = run_cell(backend, Structure::List, workload, default_opts(threads));
-                out.row(&[
-                    s(format!("{size}/{updates}%")),
-                    s(backend.label()),
-                    i(threads as u64),
-                    f1(m.throughput),
-                    f1(m.abort_rate),
-                ]);
+                out.record(bench_record(
+                    "fig03",
+                    &panel,
+                    Structure::List.label(),
+                    backend.label(),
+                    workload,
+                    &m,
+                ));
             }
         }
         out.gap();
     }
+    out.finish();
 }

@@ -9,36 +9,40 @@
 //! Paper shape: list aborts an order of magnitude above the tree; no
 //! design scales on the overwrite workload; TL2 suffers most
 //! (write-write conflicts discovered only at commit).
+//!
+//! Results go to stdout (CSV) and `target/perf/fig04.jsonl` for the
+//! `perf-diff` regression gate; the per-reason abort taxonomy carried
+//! by every record is what the Section 3.1 divergence check reads.
 
-use stm_bench::{default_opts, make_tiny, make_tl2, run_cell, thread_list, Backend, Structure};
-use stm_harness::table::{f1, i, s, SeriesWriter};
+use stm_bench::{
+    bench_record, default_opts, perf_emitter, run_cell, run_overwrite_cell, thread_list, Backend,
+    Structure,
+};
 use stm_harness::IntSetWorkload;
-use stm_structures::LinkedList;
-use tinystm::AccessStrategy;
 
 fn main() {
-    let mut out = SeriesWriter::default();
-    out.experiment(
+    let mut out = perf_emitter(
         "fig04",
         "abort rates (rbtree 4096/20%, list 256/20%) and overwrite-list throughput (256, 5%)",
     );
-    out.columns(&["panel", "backend", "threads", "txs_per_s", "aborts_per_s"]);
 
     for (structure, size, updates) in [
         (Structure::Rbtree, 4096u64, 20u32),
         (Structure::List, 256, 20),
     ] {
         let workload = IntSetWorkload::new(size, updates);
+        let panel = format!("aborts-{}-{size}/{updates}%", structure.label());
         for backend in Backend::ALL {
             for &threads in &thread_list() {
                 let m = run_cell(backend, structure, workload, default_opts(threads));
-                out.row(&[
-                    s(format!("aborts-{}-{size}/{updates}%", structure.label())),
-                    s(backend.label()),
-                    i(threads as u64),
-                    f1(m.throughput),
-                    f1(m.abort_rate),
-                ]);
+                out.record(bench_record(
+                    "fig04",
+                    &panel,
+                    structure.label(),
+                    backend.label(),
+                    workload,
+                    &m,
+                ));
             }
         }
         out.gap();
@@ -48,39 +52,16 @@ fn main() {
     let workload = IntSetWorkload::new(256, 5);
     for backend in Backend::ALL {
         for &threads in &thread_list() {
-            let opts = default_opts(threads);
-            let m = match backend {
-                Backend::TinyWb | Backend::TinyWt => {
-                    let strategy = if backend == Backend::TinyWb {
-                        AccessStrategy::WriteBack
-                    } else {
-                        AccessStrategy::WriteThrough
-                    };
-                    let stm = make_tiny(strategy, 16, 0, 0);
-                    let list = LinkedList::new(stm.clone());
-                    let stats = {
-                        let stm = stm.clone();
-                        move || stm_api::TmHandle::stats_snapshot(&stm)
-                    };
-                    stm_harness::run_overwrite(&list, workload, opts, &stats)
-                }
-                Backend::Tl2 => {
-                    let tl2 = make_tl2(20, 0);
-                    let list = LinkedList::new(tl2.clone());
-                    let stats = {
-                        let tl2 = tl2.clone();
-                        move || stm_api::TmHandle::stats_snapshot(&tl2)
-                    };
-                    stm_harness::run_overwrite(&list, workload, opts, &stats)
-                }
-            };
-            out.row(&[
-                s("overwrite-list-256/5%"),
-                s(backend.label()),
-                i(threads as u64),
-                f1(m.throughput),
-                f1(m.abort_rate),
-            ]);
+            let m = run_overwrite_cell(backend, workload, default_opts(threads));
+            out.record(bench_record(
+                "fig04",
+                "overwrite-list-256/5%",
+                "list-overwrite",
+                backend.label(),
+                workload,
+                &m,
+            ));
         }
     }
+    out.finish();
 }

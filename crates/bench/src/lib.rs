@@ -14,6 +14,7 @@
 use std::time::Duration;
 use stm_api::stats::BasicStats;
 use stm_harness::{IntSetWorkload, MeasureOpts, Measurement};
+use stm_perf::{BenchRecord, PerfEmitter};
 use stm_structures::{LinkedList, RbTree, TxSet};
 use stm_tl2::{Tl2, Tl2Config};
 use tinystm::{AccessStrategy, CmPolicy, Stm, StmConfig};
@@ -190,12 +191,84 @@ pub fn run_structure_on<H: stm_api::TmHandle>(
     }
 }
 
+/// Run the overwrite-list workload (Figure 4 right, the contention
+/// ablation's overwrite loop) for one backend using the backends'
+/// default tuning parameters.
+pub fn run_overwrite_cell(
+    backend: Backend,
+    workload: IntSetWorkload,
+    opts: MeasureOpts,
+) -> Measurement {
+    match backend {
+        Backend::TinyWb | Backend::TinyWt => {
+            let strategy = if backend == Backend::TinyWb {
+                AccessStrategy::WriteBack
+            } else {
+                AccessStrategy::WriteThrough
+            };
+            let stm = make_tiny(strategy, 16, 0, 0);
+            let list = LinkedList::new(stm.clone());
+            let stats = {
+                let stm = stm.clone();
+                move || stm_api::TmHandle::stats_snapshot(&stm)
+            };
+            stm_harness::run_overwrite(&list, workload, opts, &stats)
+        }
+        Backend::Tl2 => {
+            let tl2 = make_tl2(20, 0);
+            let list = LinkedList::new(tl2.clone());
+            let stats = {
+                let tl2 = tl2.clone();
+                move || stm_api::TmHandle::stats_snapshot(&tl2)
+            };
+            stm_harness::run_overwrite(&list, workload, opts, &stats)
+        }
+    }
+}
+
 /// Build a `TxSet` on a TinySTM handle (for tuning benches that need the
 /// set alive alongside the coordinator).
 pub fn build_set_on_stm(stm: &Stm, structure: Structure) -> Box<dyn TxSet> {
     match structure {
         Structure::Rbtree => Box::new(RbTree::new(stm.clone())),
         Structure::List => Box::new(LinkedList::new(stm.clone())),
+    }
+}
+
+/// Start a [`PerfEmitter`] stamped with this process's measurement mode
+/// (quick vs `STM_FULL=1` paper-scale) and point duration.
+pub fn perf_emitter(experiment: &str, description: &str) -> PerfEmitter {
+    let mode = if full_mode() { "full" } else { "quick" };
+    PerfEmitter::new(experiment, description, mode, point_ms())
+}
+
+/// Translate one measured point into the shared record schema.
+pub fn bench_record(
+    experiment: &str,
+    panel: &str,
+    structure: &str,
+    backend_label: &str,
+    workload: IntSetWorkload,
+    m: &Measurement,
+) -> BenchRecord {
+    BenchRecord {
+        experiment: experiment.to_string(),
+        panel: panel.to_string(),
+        structure: structure.to_string(),
+        backend: backend_label.to_string(),
+        threads: m.threads,
+        initial_size: workload.initial_size,
+        key_range: workload.key_range,
+        update_pct: workload.update_pct,
+        ops_per_sec: m.throughput,
+        aborts_per_sec: m.abort_rate,
+        abort_ratio: m.abort_ratio,
+        commits: m.commits,
+        aborts: m.aborts,
+        elapsed_ms: m.elapsed.as_secs_f64() * 1000.0,
+        aborts_by_reason: BenchRecord::taxonomy_from_array(&m.aborts_by_reason),
+        worker_panics: m.worker_panics,
+        extras: Default::default(),
     }
 }
 
@@ -213,6 +286,26 @@ mod tests {
     fn backends_have_distinct_labels() {
         let labels: std::collections::HashSet<_> = Backend::ALL.iter().map(|b| b.label()).collect();
         assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn bench_record_maps_measurement_fields() {
+        let w = IntSetWorkload::new(32, 20);
+        let opts = MeasureOpts::default()
+            .with_threads(2)
+            .with_warmup(Duration::from_millis(5))
+            .with_duration(Duration::from_millis(30));
+        let m = run_cell(Backend::TinyWb, Structure::Rbtree, w, opts);
+        let rec = bench_record("figXX", "32/20%", "rbtree", "tinystm-wb", w, &m);
+        assert_eq!(rec.threads, 2);
+        assert_eq!(rec.initial_size, 32);
+        assert_eq!(rec.key_range, 64);
+        assert_eq!(rec.update_pct, 20);
+        assert_eq!(rec.commits, m.commits);
+        assert!((rec.ops_per_sec - m.throughput).abs() < 1e-9);
+        assert_eq!(rec.worker_panics, 0);
+        let taxonomy_total: u64 = rec.aborts_by_reason.values().sum();
+        assert_eq!(taxonomy_total, rec.aborts, "taxonomy must sum to aborts");
     }
 
     #[test]

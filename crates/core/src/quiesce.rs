@@ -12,7 +12,7 @@
 //! a short timeout as a belt-and-braces against lost-wakeup races between
 //! the lock-free counters and the blocking slow path.
 
-use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use parking_lot::{Condvar, Mutex};
 use std::time::Duration;
 
@@ -79,6 +79,21 @@ impl Quiesce {
         }
     }
 
+    /// Enter the gate and return an RAII guard that, on drop — including
+    /// a panic unwinding out of the transaction body — clears the
+    /// thread's `active_start` oldest-reader marker and exits the gate.
+    /// Without this, a panicking worker (tolerated by the harness
+    /// driver's `catch_unwind`) would leave `active` permanently
+    /// non-zero and wedge every later [`Quiesce::fence`].
+    #[inline]
+    pub fn enter_guarded<'a>(&'a self, active_start: &'a AtomicU64) -> ActiveGuard<'a> {
+        self.enter();
+        ActiveGuard {
+            quiesce: self,
+            active_start,
+        }
+    }
+
     /// Number of transactions currently inside (diagnostics/tests).
     pub fn active(&self) -> usize {
         self.active.load(Ordering::SeqCst)
@@ -120,6 +135,24 @@ impl Quiesce {
     }
 }
 
+/// Guard for one entered transaction attempt; see
+/// [`Quiesce::enter_guarded`].
+#[derive(Debug)]
+pub struct ActiveGuard<'a> {
+    quiesce: &'a Quiesce,
+    /// The owning thread's oldest-active-snapshot marker (`u64::MAX`
+    /// when idle); pinning it past the attempt would freeze limbo
+    /// reclamation.
+    active_start: &'a AtomicU64,
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.active_start.store(u64::MAX, Ordering::SeqCst);
+        self.quiesce.exit();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +172,23 @@ mod tests {
         assert_eq!(q.active(), 1);
         q.exit();
         assert_eq!(q.active(), 0);
+    }
+
+    #[test]
+    fn guard_exits_even_when_the_attempt_panics() {
+        let q = Arc::new(Quiesce::new());
+        let active_start = AtomicU64::new(7);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = q.enter_guarded(&active_start);
+            assert_eq!(q.active(), 1);
+            panic!("intentional test panic: attempt body");
+        }));
+        assert!(caught.is_err());
+        assert_eq!(q.active(), 0, "guard must exit on unwind");
+        assert_eq!(active_start.load(Ordering::SeqCst), u64::MAX);
+        // A later fence must not hang.
+        let saw = q.fence(|| q.active());
+        assert_eq!(saw, 0);
     }
 
     #[test]

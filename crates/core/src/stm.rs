@@ -198,7 +198,10 @@ impl Stm {
             if inner.clock.overflowed() {
                 self.handle_overflow();
             }
-            inner.quiesce.enter();
+            // The guard exits the gate on drop even if `body` panics:
+            // the harness tolerates panicking workers, and a leaked
+            // enter would wedge every later fence.
+            let active = inner.quiesce.enter_guarded(&ts.active_start);
             // The mapping is pinned for the attempt: reconfiguration
             // swaps it only inside a fence, which excludes entered
             // transactions.
@@ -233,8 +236,7 @@ impl Stm {
                 }
             };
 
-            ts.active_start.store(u64::MAX, Ordering::SeqCst);
-            inner.quiesce.exit();
+            drop(active);
 
             // SAFETY: tx is gone; re-borrow for the epilogue.
             let ctx = unsafe { &mut *ts.ctx.get() };

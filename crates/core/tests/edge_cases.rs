@@ -384,3 +384,29 @@ fn wasted_reads_accounting() {
     assert_eq!(t.reads, 20, "10 reads per attempt, 2 attempts");
     assert_eq!(t.wasted_reads, 10, "only the aborted attempt's reads");
 }
+
+#[test]
+fn panicking_transaction_body_does_not_wedge_the_fence() {
+    // The bench harness tolerates panicking workers (catch_unwind), so
+    // an unwind through `Stm::run` must release the quiesce gate and
+    // the oldest-reader marker; otherwise the next fence (clock
+    // roll-over or reconfiguration) would spin forever.
+    let stm = Stm::with_defaults();
+    let c = TCell::new(0u64);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        stm.run(TxKind::ReadWrite, |tx| {
+            let _ = tx.read(&c)?;
+            panic!("intentional test panic: tx body");
+            #[allow(unreachable_code)]
+            Ok(())
+        })
+    }));
+    assert!(caught.is_err());
+    // Reconfiguration runs a full quiesce fence: it must complete.
+    stm.reconfigure(StmConfig::default().with_locks_log2(10))
+        .expect("fence completed after a panicked attempt");
+    // And the instance still commits transactions afterwards.
+    stm.run(TxKind::ReadWrite, |tx| tx.write(&c, 9));
+    let seen = stm.run(TxKind::ReadOnly, |tx| tx.read(&c));
+    assert_eq!(seen, 9);
+}

@@ -5,11 +5,13 @@
 //! random streams, a fixed measurement duration, throughput reported as
 //! transactions per second, aborts reported alongside (Figure 4).
 
-use core::sync::atomic::{AtomicBool, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::panic::AssertUnwindSafe;
 use std::time::{Duration, Instant};
 use stm_api::stats::BasicStats;
+use stm_api::AbortReason;
 
 /// Driver options.
 #[derive(Debug, Clone, Copy)]
@@ -70,6 +72,9 @@ pub struct Measurement {
     pub commits: u64,
     /// Aborts inside the window.
     pub aborts: u64,
+    /// Aborts broken down by reason, indexed per [`AbortReason::ALL`]
+    /// (the taxonomy the perf records persist).
+    pub aborts_by_reason: [u64; AbortReason::ALL.len()],
     /// Commits per second.
     pub throughput: f64,
     /// Aborts per second (Figure 4's unit).
@@ -78,20 +83,36 @@ pub struct Measurement {
     pub abort_ratio: f64,
     /// Threads used.
     pub threads: usize,
+    /// Workers that panicked during the run. Non-zero means the window
+    /// was cut short and the counters are *partial* — still emitted so
+    /// a failed run leaves a diagnosable record instead of nothing.
+    pub worker_panics: u64,
 }
 
 impl Measurement {
-    fn from_stats(delta: BasicStats, elapsed: Duration, threads: usize) -> Measurement {
+    fn from_stats(
+        delta: BasicStats,
+        elapsed: Duration,
+        threads: usize,
+        worker_panics: u64,
+    ) -> Measurement {
         let secs = elapsed.as_secs_f64().max(1e-9);
         Measurement {
             elapsed,
             commits: delta.commits,
             aborts: delta.aborts,
+            aborts_by_reason: delta.aborts_by_reason,
             throughput: delta.commits as f64 / secs,
             abort_rate: delta.aborts as f64 / secs,
             abort_ratio: delta.abort_ratio(),
             threads,
+            worker_panics,
         }
+    }
+
+    /// True when a worker died and the counters cover a partial window.
+    pub fn is_partial(&self) -> bool {
+        self.worker_panics > 0
     }
 }
 
@@ -111,16 +132,26 @@ where
     G: Fn(usize) -> F + Sync,
 {
     let stop = AtomicBool::new(false);
+    let panics = AtomicU64::new(0);
     let mut result = None;
     std::thread::scope(|scope| {
         for t in 0..opts.threads {
             let stop = &stop;
+            let panics = &panics;
             let make_op = &make_op;
             scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(opts.seed.wrapping_add(t as u64));
                 let mut op = make_op(t);
                 while !stop.load(Ordering::Relaxed) {
-                    op(&mut rng);
+                    // A panicking worker must not take the whole
+                    // measurement down (a panic escaping a scoped thread
+                    // re-panics on join): record it, stop every worker,
+                    // and let the driver report the partial window.
+                    if std::panic::catch_unwind(AssertUnwindSafe(|| op(&mut rng))).is_err() {
+                        panics.fetch_add(1, Ordering::Relaxed);
+                        stop.store(true, Ordering::SeqCst);
+                        break;
+                    }
                 }
             });
         }
@@ -135,9 +166,14 @@ where
             after.since(&before),
             elapsed,
             opts.threads,
+            panics.load(Ordering::Relaxed),
         ));
     });
-    result.expect("scope completed")
+    let mut m = result.expect("scope completed");
+    // Workers may still panic between the post-window snapshot and
+    // scope exit; fold those in so the record reflects every failure.
+    m.worker_panics = panics.load(Ordering::Relaxed);
+    m
 }
 
 /// Drive workers indefinitely while a coordinator closure runs (used by
@@ -154,22 +190,32 @@ where
     G: Fn(usize) -> F + Sync,
 {
     let stop = AtomicBool::new(false);
+    let panics = AtomicU64::new(0);
     let mut result = None;
     std::thread::scope(|scope| {
         for t in 0..opts.threads {
             let stop = &stop;
+            let panics = &panics;
             let make_op = &make_op;
             scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(opts.seed.wrapping_add(t as u64));
                 let mut op = make_op(t);
                 while !stop.load(Ordering::Relaxed) {
-                    op(&mut rng);
+                    if std::panic::catch_unwind(AssertUnwindSafe(|| op(&mut rng))).is_err() {
+                        panics.fetch_add(1, Ordering::Relaxed);
+                        stop.store(true, Ordering::SeqCst);
+                        break;
+                    }
                 }
             });
         }
         result = Some(coordinator());
         stop.store(true, Ordering::SeqCst);
     });
+    let worker_panics = panics.load(Ordering::Relaxed);
+    if worker_panics > 0 {
+        eprintln!("stm-harness: {worker_panics} worker(s) panicked; coordinator result is partial");
+    }
     result.expect("coordinator ran")
 }
 
@@ -232,9 +278,47 @@ mod tests {
             aborts: 100,
             aborts_by_reason: [100, 0, 0, 0, 0, 0, 0],
         };
-        let m = Measurement::from_stats(delta, Duration::from_secs(2), 4);
+        let m = Measurement::from_stats(delta, Duration::from_secs(2), 4, 0);
         assert!((m.throughput - 500.0).abs() < 1e-9);
         assert!((m.abort_rate - 50.0).abs() < 1e-9);
         assert!((m.abort_ratio - 100.0 / 1100.0).abs() < 1e-9);
+        assert_eq!(m.aborts_by_reason[AbortReason::ReadLocked.index()], 100);
+        assert!(!m.is_partial());
+    }
+
+    #[test]
+    fn worker_panic_yields_partial_measurement_not_a_crash() {
+        // One worker panics after a few ops; the driver must survive and
+        // still report the work the other worker committed, flagged as
+        // partial.
+        let commits = AtomicU64::new(0);
+        let stats = || BasicStats {
+            commits: commits.load(Ordering::Relaxed),
+            ..BasicStats::ZERO
+        };
+        let opts = MeasureOpts::default()
+            .with_threads(2)
+            .with_warmup(Duration::from_millis(5))
+            .with_duration(Duration::from_millis(40));
+        let m = drive(opts, &stats, |t| {
+            let commits = &commits;
+            let mut steps = 0u32;
+            move |_rng: &mut SmallRng| {
+                commits.fetch_add(1, Ordering::Relaxed);
+                if t == 1 {
+                    steps += 1;
+                    if steps > 3 {
+                        panic!("intentional test panic: worker failure injection");
+                    }
+                }
+                std::thread::yield_now();
+            }
+        });
+        assert!(m.is_partial(), "panic must be recorded");
+        assert_eq!(m.worker_panics, 1);
+        assert_eq!(m.threads, 2);
+        // The pre-panic commits are still visible in the totals the
+        // stats closure sees (partial, but diagnosable).
+        assert!(commits.load(Ordering::Relaxed) >= 4);
     }
 }

@@ -1,0 +1,124 @@
+//! `perf-diff` — the CI regression gate over bench result sets.
+//!
+//! ```text
+//! perf-diff <BASELINE> <CURRENT> [options]
+//!
+//! <BASELINE>, <CURRENT>   a .jsonl file or a directory of them
+//!   --tolerance <frac>    allowed throughput drop (default 0.25)
+//!   --abort-tolerance <frac>
+//!                         also gate abort rate (+frac; off by default)
+//!   --require-all         fail if a baseline config was not measured
+//!   --shape               check paper-shape invariants on CURRENT
+//!   --scaling-slack <frac>    shape: max-threads vs 1-thread floor (0.5)
+//!   --tl2-slack <frac>        shape: TinySTM vs TL2 floor (0.8)
+//! ```
+//!
+//! Exit codes: 0 pass, 1 regression or shape violation, 2 usage/IO
+//! error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use stm_perf::{check_all, diff_records, load_records, render_markdown, ShapeOpts, Tolerance};
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    tolerance: Tolerance,
+    require_all: bool,
+    shape: bool,
+    shape_opts: ShapeOpts,
+}
+
+fn usage() -> String {
+    "usage: perf-diff <BASELINE> <CURRENT> [--tolerance F] [--abort-tolerance F] \
+     [--require-all] [--shape] [--scaling-slack F] [--tl2-slack F]"
+        .to_string()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut positional: Vec<PathBuf> = Vec::new();
+    let mut tolerance = Tolerance::default();
+    let mut require_all = false;
+    let mut shape = false;
+    let mut shape_opts = ShapeOpts::default();
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        let mut frac = |name: &str| -> Result<f64, String> {
+            iter.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<f64>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--tolerance" => tolerance.throughput_drop = frac("--tolerance")?,
+            "--abort-tolerance" => tolerance.abort_rate_increase = Some(frac("--abort-tolerance")?),
+            "--require-all" => require_all = true,
+            "--shape" => shape = true,
+            "--scaling-slack" => shape_opts.scaling_slack = frac("--scaling-slack")?,
+            "--tl2-slack" => shape_opts.tiny_vs_tl2_slack = frac("--tl2-slack")?,
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => positional.push(PathBuf::from(other)),
+        }
+    }
+    if positional.len() != 2 {
+        return Err(usage());
+    }
+    let mut positional = positional.into_iter();
+    Ok(Args {
+        baseline: positional.next().expect("checked len"),
+        current: positional.next().expect("checked len"),
+        tolerance,
+        require_all,
+        shape,
+        shape_opts,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match load_records(&args.baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf-diff: baseline {}: {e}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+    };
+    let current = match load_records(&args.current) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf-diff: current {}: {e}", args.current.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = diff_records(&baseline, &current, &args.tolerance);
+    print!("{}", render_markdown(&report, &args.tolerance));
+
+    let mut failed = report.failed(args.require_all);
+    if args.shape {
+        let violations = check_all(&current, &args.shape_opts);
+        if violations.is_empty() {
+            println!("\nShape invariants: all pass.");
+        } else {
+            println!("\nShape invariant violations:");
+            for v in &violations {
+                println!("- [{}] {}: {}", v.check, v.key, v.detail);
+            }
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

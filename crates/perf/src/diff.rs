@@ -1,0 +1,365 @@
+//! Compare two result sets: match records by configuration key, apply
+//! per-metric tolerance bands, and render a markdown comparison table.
+//!
+//! Tolerance policy (documented in the README):
+//!
+//! * `ops_per_sec` is the gated metric: a matched record regresses when
+//!   `current < baseline * (1 - throughput_drop)`. Improvements never
+//!   fail the gate.
+//! * `aborts_per_sec` is gated only when an abort tolerance is set
+//!   (noise in abort counts is far larger than in throughput), and only
+//!   above an absolute floor so near-zero baselines don't amplify.
+//! * Partial records (worker panics) on the *current* side always
+//!   count as regressions — a crashed bench must never pass the gate.
+//! * Configs present on one side only are reported; they fail the gate
+//!   only under `require_all` (CI quick mode intentionally measures a
+//!   subset of a full baseline sweep).
+
+use crate::record::BenchRecord;
+use std::collections::BTreeMap;
+
+/// Per-metric tolerance bands.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Allowed fractional throughput drop (0.25 == 25% below baseline).
+    pub throughput_drop: f64,
+    /// Allowed fractional abort-rate increase; `None` disables gating.
+    pub abort_rate_increase: Option<f64>,
+    /// Abort gating only applies when the baseline rate exceeds this
+    /// floor (aborts/s); below it the signal is pure noise.
+    pub abort_rate_floor: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Tolerance {
+        Tolerance {
+            throughput_drop: 0.25,
+            abort_rate_increase: None,
+            abort_rate_floor: 100.0,
+        }
+    }
+}
+
+/// Verdict for one compared metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the tolerance band.
+    Ok,
+    /// Better than baseline beyond the band (reported, never fatal).
+    Improved,
+    /// Worse than baseline beyond the band.
+    Regressed,
+}
+
+/// One compared metric of one matched config.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// The matched [`BenchRecord::config_key`].
+    pub key: String,
+    /// Metric name (`ops_per_sec`, `aborts_per_sec`, `partial`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed percent change relative to baseline.
+    pub delta_pct: f64,
+    /// The verdict under the tolerance band.
+    pub verdict: Verdict,
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Per-metric rows for matched configs.
+    pub rows: Vec<DiffRow>,
+    /// Configs in the baseline with no current counterpart.
+    pub missing_in_current: Vec<String>,
+    /// Configs in the current set with no baseline counterpart.
+    pub new_in_current: Vec<String>,
+}
+
+impl DiffReport {
+    /// Rows that regressed.
+    pub fn regressions(&self) -> impl Iterator<Item = &DiffRow> {
+        self.rows.iter().filter(|r| r.verdict == Verdict::Regressed)
+    }
+
+    /// Gate decision: true when the comparison should fail.
+    pub fn failed(&self, require_all: bool) -> bool {
+        self.regressions().next().is_some() || (require_all && !self.missing_in_current.is_empty())
+    }
+
+    /// Process exit code for the gate.
+    pub fn exit_code(&self, require_all: bool) -> i32 {
+        if self.failed(require_all) {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+fn pct_change(baseline: f64, current: f64) -> f64 {
+    if baseline.abs() < f64::EPSILON {
+        if current.abs() < f64::EPSILON {
+            0.0
+        } else {
+            100.0
+        }
+    } else {
+        (current - baseline) / baseline * 100.0
+    }
+}
+
+/// Compare `current` against `baseline` under `tol`.
+pub fn diff_records(
+    baseline: &[BenchRecord],
+    current: &[BenchRecord],
+    tol: &Tolerance,
+) -> DiffReport {
+    let base_by_key: BTreeMap<String, &BenchRecord> =
+        baseline.iter().map(|r| (r.config_key(), r)).collect();
+    let cur_by_key: BTreeMap<String, &BenchRecord> =
+        current.iter().map(|r| (r.config_key(), r)).collect();
+
+    let mut report = DiffReport::default();
+    for (key, base) in &base_by_key {
+        let Some(cur) = cur_by_key.get(key) else {
+            report.missing_in_current.push(key.clone());
+            continue;
+        };
+
+        // Throughput: the gated metric.
+        let verdict = if cur.ops_per_sec < base.ops_per_sec * (1.0 - tol.throughput_drop) {
+            Verdict::Regressed
+        } else if cur.ops_per_sec > base.ops_per_sec * (1.0 + tol.throughput_drop) {
+            Verdict::Improved
+        } else {
+            Verdict::Ok
+        };
+        report.rows.push(DiffRow {
+            key: key.clone(),
+            metric: "ops_per_sec".to_string(),
+            baseline: base.ops_per_sec,
+            current: cur.ops_per_sec,
+            delta_pct: pct_change(base.ops_per_sec, cur.ops_per_sec),
+            verdict,
+        });
+
+        // Abort rate: opt-in gating above the noise floor.
+        if let Some(allowed) = tol.abort_rate_increase {
+            if base.aborts_per_sec > tol.abort_rate_floor {
+                let verdict = if cur.aborts_per_sec > base.aborts_per_sec * (1.0 + allowed) {
+                    Verdict::Regressed
+                } else if cur.aborts_per_sec < base.aborts_per_sec * (1.0 - allowed) {
+                    Verdict::Improved
+                } else {
+                    Verdict::Ok
+                };
+                report.rows.push(DiffRow {
+                    key: key.clone(),
+                    metric: "aborts_per_sec".to_string(),
+                    baseline: base.aborts_per_sec,
+                    current: cur.aborts_per_sec,
+                    delta_pct: pct_change(base.aborts_per_sec, cur.aborts_per_sec),
+                    verdict,
+                });
+            }
+        }
+
+        // A crashed current run never passes, whatever its numbers say.
+        if cur.is_partial() {
+            report.rows.push(DiffRow {
+                key: key.clone(),
+                metric: "partial".to_string(),
+                baseline: base.worker_panics as f64,
+                current: cur.worker_panics as f64,
+                delta_pct: 0.0,
+                verdict: Verdict::Regressed,
+            });
+        }
+    }
+    for key in cur_by_key.keys() {
+        if !base_by_key.contains_key(key) {
+            report.new_in_current.push(key.clone());
+        }
+    }
+    report
+}
+
+/// Render the report as a markdown document (table plus notes).
+pub fn render_markdown(report: &DiffReport, tol: &Tolerance) -> String {
+    let mut out = String::new();
+    out.push_str("## perf-diff report\n\n");
+    out.push_str(&format!(
+        "Tolerance: throughput −{:.0}%{}\n\n",
+        tol.throughput_drop * 100.0,
+        match tol.abort_rate_increase {
+            Some(a) => format!(
+                ", abort rate +{:.0}% above {:.0}/s",
+                a * 100.0,
+                tol.abort_rate_floor
+            ),
+            None => ", abort rate not gated".to_string(),
+        }
+    ));
+    out.push_str("| config | metric | baseline | current | Δ% | verdict |\n");
+    out.push_str("|---|---|---:|---:|---:|---|\n");
+    for row in &report.rows {
+        let verdict = match row.verdict {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "**REGRESSED**",
+        };
+        out.push_str(&format!(
+            "| {} | {} | {:.1} | {:.1} | {:+.1} | {} |\n",
+            row.key, row.metric, row.baseline, row.current, row.delta_pct, verdict
+        ));
+    }
+    if !report.missing_in_current.is_empty() {
+        out.push_str("\nConfigs in baseline but not measured now:\n");
+        for key in &report.missing_in_current {
+            out.push_str(&format!("- {key}\n"));
+        }
+    }
+    if !report.new_in_current.is_empty() {
+        out.push_str("\nConfigs measured now with no baseline (consider refreshing):\n");
+        for key in &report.new_in_current {
+            out.push_str(&format!("- {key}\n"));
+        }
+    }
+    let regressions = report.regressions().count();
+    out.push_str(&format!(
+        "\n{} matched metric(s), {} regression(s).\n",
+        report.rows.len(),
+        regressions
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::sample_record;
+
+    fn with_throughput(panel: &str, threads: usize, ops: f64) -> BenchRecord {
+        let mut r = sample_record(panel, "tinystm-wb", threads);
+        r.ops_per_sec = ops;
+        r
+    }
+
+    #[test]
+    fn unchanged_run_passes() {
+        let base = vec![
+            with_throughput("a", 1, 1000.0),
+            with_throughput("a", 2, 1500.0),
+        ];
+        let report = diff_records(&base, &base, &Tolerance::default());
+        assert!(!report.failed(true));
+        assert_eq!(report.exit_code(true), 0);
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows.iter().all(|r| r.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn drop_beyond_band_regresses_and_within_band_passes() {
+        let tol = Tolerance {
+            throughput_drop: 0.25,
+            ..Tolerance::default()
+        };
+        let base = vec![with_throughput("a", 1, 1000.0)];
+        // 80% of baseline: inside the 25% band.
+        let ok = vec![with_throughput("a", 1, 800.0)];
+        assert!(!diff_records(&base, &ok, &tol).failed(true));
+        // 70% of baseline: outside the band.
+        let bad = vec![with_throughput("a", 1, 700.0)];
+        let report = diff_records(&base, &bad, &tol);
+        assert!(report.failed(false));
+        assert_eq!(report.exit_code(false), 1);
+        let row = report.regressions().next().unwrap();
+        assert_eq!(row.metric, "ops_per_sec");
+        assert!((row.delta_pct - -30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_never_fails() {
+        let base = vec![with_throughput("a", 1, 1000.0)];
+        let faster = vec![with_throughput("a", 1, 5000.0)];
+        let report = diff_records(&base, &faster, &Tolerance::default());
+        assert!(!report.failed(true));
+        assert_eq!(report.rows[0].verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn missing_config_fails_only_under_require_all() {
+        let base = vec![
+            with_throughput("a", 1, 1000.0),
+            with_throughput("a", 2, 1000.0),
+        ];
+        let cur = vec![with_throughput("a", 1, 1000.0)];
+        let report = diff_records(&base, &cur, &Tolerance::default());
+        assert_eq!(report.missing_in_current.len(), 1);
+        assert!(!report.failed(false), "subset runs pass by default");
+        assert!(report.failed(true), "require_all escalates missing configs");
+    }
+
+    #[test]
+    fn new_config_is_reported_but_never_fatal() {
+        let base = vec![with_throughput("a", 1, 1000.0)];
+        let cur = vec![
+            with_throughput("a", 1, 1000.0),
+            with_throughput("b", 1, 9.0),
+        ];
+        let report = diff_records(&base, &cur, &Tolerance::default());
+        assert_eq!(report.new_in_current.len(), 1);
+        assert!(!report.failed(true));
+    }
+
+    #[test]
+    fn abort_gating_is_opt_in_and_floored() {
+        let mut base = with_throughput("a", 1, 1000.0);
+        base.aborts_per_sec = 50.0; // below the 100/s floor
+        let mut cur = base.clone();
+        cur.aborts_per_sec = 5000.0;
+        let tol = Tolerance {
+            abort_rate_increase: Some(0.5),
+            ..Tolerance::default()
+        };
+        // Below the floor: not gated even when enabled.
+        assert!(!diff_records(&[base.clone()], &[cur.clone()], &tol).failed(true));
+        // Above the floor: gated.
+        base.aborts_per_sec = 1000.0;
+        assert!(diff_records(&[base.clone()], &[cur.clone()], &tol).failed(false));
+        // Disabled (default): never gated.
+        assert!(!diff_records(&[base], &[cur], &Tolerance::default()).failed(true));
+    }
+
+    #[test]
+    fn partial_current_record_always_regresses() {
+        let base = with_throughput("a", 1, 1000.0);
+        let mut cur = base.clone();
+        cur.worker_panics = 1;
+        let report = diff_records(&[base], &[cur], &Tolerance::default());
+        assert!(report.failed(false));
+        assert!(report.rows.iter().any(|r| r.metric == "partial"));
+    }
+
+    #[test]
+    fn markdown_mentions_regressed_rows() {
+        let base = vec![with_throughput("a", 1, 1000.0)];
+        let bad = vec![with_throughput("a", 1, 100.0)];
+        let tol = Tolerance::default();
+        let report = diff_records(&base, &bad, &tol);
+        let md = render_markdown(&report, &tol);
+        assert!(md.contains("**REGRESSED**"), "{md}");
+        assert!(md.contains("| ops_per_sec |"), "{md}");
+        assert!(md.contains("1 regression(s)"), "{md}");
+    }
+
+    #[test]
+    fn pct_change_handles_zero_baseline() {
+        assert_eq!(pct_change(0.0, 0.0), 0.0);
+        assert_eq!(pct_change(0.0, 5.0), 100.0);
+    }
+}

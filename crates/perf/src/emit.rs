@@ -1,0 +1,120 @@
+//! The emitter the figure benches write through: each record is printed
+//! as a human-readable CSV row on stdout (the pre-existing table
+//! format) *and* collected into a [`BenchRun`] that `finish()` writes
+//! as `<experiment>.jsonl` under the perf output directory.
+//!
+//! Output directory resolution: `$STM_PERF_DIR` when set, otherwise
+//! `<workspace>/target/perf` (bench processes run with the package
+//! directory as cwd, so a relative default would scatter files).
+
+use crate::record::{BenchRecord, BenchRun};
+use std::path::PathBuf;
+use stm_harness::table::{f1, f3, i, s, SeriesWriter};
+
+/// Where result files go (see module docs).
+pub fn perf_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("STM_PERF_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    // crates/perf/../.. == the workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target/perf")
+}
+
+/// Collects [`BenchRecord`]s, mirroring them to stdout as CSV.
+pub struct PerfEmitter {
+    run: BenchRun,
+    table: SeriesWriter<std::io::Stdout>,
+}
+
+/// The stdout columns every wired bench shares.
+const COLUMNS: [&str; 8] = [
+    "panel",
+    "structure",
+    "backend",
+    "threads",
+    "txs_per_s",
+    "aborts_per_s",
+    "abort_ratio",
+    "panics",
+];
+
+impl PerfEmitter {
+    /// Start an emitter: prints the experiment header and column row.
+    pub fn new(experiment: &str, description: &str, mode: &str, point_ms: u64) -> PerfEmitter {
+        let mut table = SeriesWriter::default();
+        table.experiment(experiment, description);
+        table.columns(&COLUMNS);
+        PerfEmitter {
+            run: BenchRun::new(experiment, description, mode, point_ms),
+            table,
+        }
+    }
+
+    /// Emit one measured point.
+    pub fn record(&mut self, rec: BenchRecord) {
+        self.table.row(&[
+            s(rec.panel.clone()),
+            s(rec.structure.clone()),
+            s(rec.backend.clone()),
+            i(rec.threads as u64),
+            f1(rec.ops_per_sec),
+            f1(rec.aborts_per_sec),
+            f3(rec.abort_ratio),
+            i(rec.worker_panics),
+        ]);
+        self.run.records.push(rec);
+    }
+
+    /// Blank separator line between stdout series (JSONL is unaffected).
+    pub fn gap(&mut self) {
+        self.table.gap();
+    }
+
+    /// Write `<perf_dir>/<experiment>.jsonl` and report the path on
+    /// stdout. Benches call this last; failing to persist results is a
+    /// hard error (the CI gate depends on the file).
+    pub fn finish(mut self) -> PathBuf {
+        let dir = perf_dir();
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("create perf dir {}: {e}", dir.display()));
+        let path = dir.join(format!("{}.jsonl", self.run.experiment));
+        std::fs::write(&path, self.run.to_jsonl())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        self.table.gap();
+        self.table
+            .experiment(&self.run.experiment, &format!("wrote {}", path.display()));
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::sample_record;
+
+    #[test]
+    fn perf_dir_honours_env_override() {
+        // Env vars are process-global; restore to avoid cross-test bleed.
+        let saved = std::env::var("STM_PERF_DIR").ok();
+        std::env::set_var("STM_PERF_DIR", "/tmp/stm-perf-test");
+        assert_eq!(perf_dir(), PathBuf::from("/tmp/stm-perf-test"));
+        match saved {
+            Some(v) => std::env::set_var("STM_PERF_DIR", v),
+            None => std::env::remove_var("STM_PERF_DIR"),
+        }
+    }
+
+    #[test]
+    fn emitter_collects_records() {
+        let mut e = PerfEmitter::new("figXX", "test", "quick", 10);
+        e.record(sample_record("p", "tl2", 1));
+        e.record(sample_record("p", "tl2", 2));
+        e.gap();
+        assert_eq!(e.run.records.len(), 2);
+        assert_eq!(e.run.experiment, "figXX");
+    }
+}

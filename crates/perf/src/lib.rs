@@ -1,0 +1,39 @@
+//! # stm-perf — machine-readable bench results and the regression gate
+//!
+//! The figure benches used to print human-oriented tables that nothing
+//! recorded or compared; the paper's claims (scaling, TinySTM ≥ TL2,
+//! write-through vs write-back abort profiles) were unverifiable. This
+//! crate makes throughput trajectories first-class, diffable artifacts:
+//!
+//! * [`record`] — the [`record::BenchRecord`]/[`record::BenchRun`]
+//!   schema plus line-delimited JSON persistence;
+//! * [`json`] — the tiny vendored-style JSON serializer/parser (the
+//!   build environment is offline, so no serde);
+//! * [`emit`] — the [`emit::PerfEmitter`] the wired benches write
+//!   through (stdout CSV + `target/perf/<experiment>.jsonl`);
+//! * [`diff`] — config-keyed comparison with per-metric tolerance
+//!   bands and a markdown report;
+//! * [`shape`] — opt-in paper-shape invariants (scaling monotonicity,
+//!   TinySTM vs TL2, abort-profile divergence per Section 3.1).
+//!
+//! The `perf-diff` binary glues these together:
+//!
+//! ```text
+//! perf-diff baselines/ target/perf [--tolerance 0.25] [--shape] ...
+//! ```
+//!
+//! exiting non-zero when a throughput record degrades beyond tolerance
+//! (or, with `--shape`, when an invariant is violated). `baselines/`
+//! holds checked-in snapshots; see `baselines/README.md` for the
+//! refresh procedure.
+
+pub mod diff;
+pub mod emit;
+pub mod json;
+pub mod record;
+pub mod shape;
+
+pub use diff::{diff_records, render_markdown, DiffReport, Tolerance, Verdict};
+pub use emit::{perf_dir, PerfEmitter};
+pub use record::{load_records, BenchRecord, BenchRun, SCHEMA_VERSION};
+pub use shape::{check_all, ShapeOpts, ShapeViolation};

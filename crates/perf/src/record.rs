@@ -1,0 +1,465 @@
+//! The shared bench-result schema: one [`BenchRecord`] per measured
+//! point, grouped into a [`BenchRun`] per bench target, serialized as
+//! line-delimited JSON (`*.jsonl`, one object per line, first line the
+//! run header).
+//!
+//! The schema is deliberately flat and machine-independent: records are
+//! matched between result sets by [`BenchRecord::config_key`], which
+//! covers the workload configuration but none of the measured values,
+//! so a baseline captured on one host diffs cleanly against a CI run on
+//! another (with an appropriately wide tolerance).
+
+use crate::json::{self, Json};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use stm_api::AbortReason;
+
+/// Version stamped into every run header; bump on breaking schema
+/// changes so `perf-diff` can refuse to compare incompatible files.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One measured point: a workload configuration plus its results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Experiment id (`fig02`, `ablation-contention`, ...).
+    pub experiment: String,
+    /// Panel / series within the experiment (`4096/20%`, `reads-256`).
+    pub panel: String,
+    /// Data structure under test (`rbtree`, `list`, `hot-cold`).
+    pub structure: String,
+    /// STM design (`tinystm-wb`, `tinystm-wt`, `tl2`).
+    pub backend: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Elements pre-populated before measurement.
+    pub initial_size: u64,
+    /// Keys drawn from `[1, key_range]`.
+    pub key_range: u64,
+    /// Percentage of operations that are updates.
+    pub update_pct: u32,
+    /// Committed transactions per second — the gated metric.
+    pub ops_per_sec: f64,
+    /// Aborted attempts per second (Figure 4's unit).
+    pub aborts_per_sec: f64,
+    /// Aborts / attempts in `[0, 1]`.
+    pub abort_ratio: f64,
+    /// Raw commits inside the window.
+    pub commits: u64,
+    /// Raw aborts inside the window.
+    pub aborts: u64,
+    /// Measured wall time in milliseconds.
+    pub elapsed_ms: f64,
+    /// Abort taxonomy, keyed by [`AbortReason::label`].
+    pub aborts_by_reason: BTreeMap<String, u64>,
+    /// Workers that panicked; non-zero marks the record as partial.
+    pub worker_panics: u64,
+    /// Bench-specific extra metrics (reported, never gated).
+    pub extras: BTreeMap<String, f64>,
+}
+
+impl BenchRecord {
+    /// The identity used to match records across result sets: workload
+    /// configuration only, no measured values.
+    pub fn config_key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|t{}|n{}|r{}|u{}",
+            self.experiment,
+            self.panel,
+            self.structure,
+            self.backend,
+            self.threads,
+            self.initial_size,
+            self.key_range,
+            self.update_pct
+        )
+    }
+
+    /// True when a worker died and the counters cover a cut-short window.
+    pub fn is_partial(&self) -> bool {
+        self.worker_panics > 0
+    }
+
+    /// Translate a dense per-reason counter array (indexed per
+    /// [`AbortReason::ALL`]) into the labelled map the schema stores.
+    pub fn taxonomy_from_array(by_reason: &[u64; AbortReason::ALL.len()]) -> BTreeMap<String, u64> {
+        AbortReason::ALL
+            .iter()
+            .zip(by_reason.iter())
+            .filter(|(_, &count)| count > 0)
+            .map(|(reason, &count)| (reason.label().to_string(), count))
+            .collect()
+    }
+
+    fn to_json(&self) -> Json {
+        let taxonomy = Json::Obj(
+            self.aborts_by_reason
+                .iter()
+                .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+                .collect(),
+        );
+        let extras = Json::Obj(
+            self.extras
+                .iter()
+                .map(|(k, &v)| (k.clone(), Json::Num(v)))
+                .collect(),
+        );
+        Json::obj([
+            ("kind".to_string(), Json::Str("record".to_string())),
+            ("experiment".to_string(), Json::Str(self.experiment.clone())),
+            ("panel".to_string(), Json::Str(self.panel.clone())),
+            ("structure".to_string(), Json::Str(self.structure.clone())),
+            ("backend".to_string(), Json::Str(self.backend.clone())),
+            ("threads".to_string(), Json::Num(self.threads as f64)),
+            (
+                "initial_size".to_string(),
+                Json::Num(self.initial_size as f64),
+            ),
+            ("key_range".to_string(), Json::Num(self.key_range as f64)),
+            ("update_pct".to_string(), Json::Num(self.update_pct as f64)),
+            ("ops_per_sec".to_string(), Json::Num(self.ops_per_sec)),
+            ("aborts_per_sec".to_string(), Json::Num(self.aborts_per_sec)),
+            ("abort_ratio".to_string(), Json::Num(self.abort_ratio)),
+            ("commits".to_string(), Json::Num(self.commits as f64)),
+            ("aborts".to_string(), Json::Num(self.aborts as f64)),
+            ("elapsed_ms".to_string(), Json::Num(self.elapsed_ms)),
+            ("aborts_by_reason".to_string(), taxonomy),
+            (
+                "worker_panics".to_string(),
+                Json::Num(self.worker_panics as f64),
+            ),
+            ("extras".to_string(), extras),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<BenchRecord, SchemaError> {
+        let str_field = |key: &str| -> Result<String, SchemaError> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| SchemaError::missing(key))
+        };
+        let num_field = |key: &str| -> Result<f64, SchemaError> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| SchemaError::missing(key))
+        };
+        let u64_field = |key: &str| -> Result<u64, SchemaError> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| SchemaError::missing(key))
+        };
+        let map_field = |key: &str| -> BTreeMap<String, Json> {
+            match v.get(key) {
+                Some(Json::Obj(map)) => map.clone(),
+                _ => BTreeMap::new(),
+            }
+        };
+        Ok(BenchRecord {
+            experiment: str_field("experiment")?,
+            panel: str_field("panel")?,
+            structure: str_field("structure")?,
+            backend: str_field("backend")?,
+            threads: u64_field("threads")? as usize,
+            initial_size: u64_field("initial_size")?,
+            key_range: u64_field("key_range")?,
+            update_pct: u64_field("update_pct")? as u32,
+            ops_per_sec: num_field("ops_per_sec")?,
+            aborts_per_sec: num_field("aborts_per_sec")?,
+            abort_ratio: num_field("abort_ratio")?,
+            commits: u64_field("commits")?,
+            aborts: u64_field("aborts")?,
+            elapsed_ms: num_field("elapsed_ms")?,
+            aborts_by_reason: map_field("aborts_by_reason")
+                .into_iter()
+                .filter_map(|(k, v)| v.as_u64().map(|n| (k, n)))
+                .collect(),
+            // Required like every other field: a record missing its
+            // partial-run marker must be rejected, not assumed healthy.
+            worker_panics: u64_field("worker_panics")?,
+            extras: map_field("extras")
+                .into_iter()
+                .filter_map(|(k, v)| v.as_f64().map(|n| (k, n)))
+                .collect(),
+        })
+    }
+}
+
+/// One bench target's worth of records plus run metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRun {
+    /// Experiment id, also the output file stem.
+    pub experiment: String,
+    /// Human description (mirrors the stdout header).
+    pub description: String,
+    /// `quick` or `full` (paper-scale) measurement mode.
+    pub mode: String,
+    /// Milliseconds per measured point.
+    pub point_ms: u64,
+    /// The measured points.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchRun {
+    /// Empty run with metadata.
+    pub fn new(experiment: &str, description: &str, mode: &str, point_ms: u64) -> BenchRun {
+        BenchRun {
+            experiment: experiment.to_string(),
+            description: description.to_string(),
+            mode: mode.to_string(),
+            point_ms,
+            records: Vec::new(),
+        }
+    }
+
+    /// Serialize as line-delimited JSON: header line, then one record
+    /// per line.
+    pub fn to_jsonl(&self) -> String {
+        let header = Json::obj([
+            ("kind".to_string(), Json::Str("run".to_string())),
+            (
+                "schema_version".to_string(),
+                Json::Num(SCHEMA_VERSION as f64),
+            ),
+            ("experiment".to_string(), Json::Str(self.experiment.clone())),
+            (
+                "description".to_string(),
+                Json::Str(self.description.clone()),
+            ),
+            ("mode".to_string(), Json::Str(self.mode.clone())),
+            ("point_ms".to_string(), Json::Num(self.point_ms as f64)),
+        ]);
+        let mut out = header.to_line();
+        out.push('\n');
+        for rec in &self.records {
+            out.push_str(&rec.to_json().to_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a `.jsonl` document produced by [`BenchRun::to_jsonl`].
+    pub fn from_jsonl(text: &str) -> Result<BenchRun, SchemaError> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header_line = lines.next().ok_or_else(|| SchemaError::missing("header"))?;
+        let header = json::parse(header_line)?;
+        if header.get("kind").and_then(Json::as_str) != Some("run") {
+            return Err(SchemaError::other("first line is not a run header"));
+        }
+        let version = header
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| SchemaError::missing("schema_version"))?;
+        if version != SCHEMA_VERSION {
+            return Err(SchemaError::other(&format!(
+                "schema version {version} != supported {SCHEMA_VERSION}"
+            )));
+        }
+        let mut run = BenchRun {
+            experiment: header
+                .get("experiment")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            description: header
+                .get("description")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            mode: header
+                .get("mode")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            point_ms: header.get("point_ms").and_then(Json::as_u64).unwrap_or(0),
+            records: Vec::new(),
+        };
+        for line in lines {
+            let v = json::parse(line)?;
+            match v.get("kind").and_then(Json::as_str) {
+                Some("record") => run.records.push(BenchRecord::from_json(&v)?),
+                other => {
+                    return Err(SchemaError::other(&format!(
+                        "unexpected line kind {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(run)
+    }
+}
+
+/// A schema or parse failure while reading a result set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl SchemaError {
+    fn missing(field: &str) -> SchemaError {
+        SchemaError {
+            message: format!("missing or mistyped field '{field}'"),
+        }
+    }
+
+    fn other(message: &str) -> SchemaError {
+        SchemaError {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl From<json::ParseError> for SchemaError {
+    fn from(e: json::ParseError) -> SchemaError {
+        SchemaError {
+            message: e.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Load every record from `path`: a single `.jsonl` file or a directory
+/// of them (sorted by file name for deterministic output).
+pub fn load_records(path: &Path) -> io::Result<Vec<BenchRecord>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    if path.is_dir() {
+        for entry in std::fs::read_dir(path)? {
+            let p = entry?.path();
+            if p.extension().is_some_and(|e| e == "jsonl") {
+                files.push(p);
+            }
+        }
+        files.sort();
+    } else {
+        files.push(path.to_path_buf());
+    }
+    if files.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no .jsonl result files under {}", path.display()),
+        ));
+    }
+    let mut records = Vec::new();
+    for file in files {
+        let text = std::fs::read_to_string(&file)?;
+        let run = BenchRun::from_jsonl(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {}", file.display(), e.message),
+            )
+        })?;
+        records.extend(run.records);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+pub(crate) fn sample_record(panel: &str, backend: &str, threads: usize) -> BenchRecord {
+    BenchRecord {
+        experiment: "figXX".to_string(),
+        panel: panel.to_string(),
+        structure: "rbtree".to_string(),
+        backend: backend.to_string(),
+        threads,
+        initial_size: 4096,
+        key_range: 8192,
+        update_pct: 20,
+        ops_per_sec: 100_000.0,
+        aborts_per_sec: 250.5,
+        abort_ratio: 0.0025,
+        commits: 50_000,
+        aborts: 125,
+        elapsed_ms: 500.25,
+        aborts_by_reason: [
+            ("read-locked".to_string(), 100),
+            ("write-locked".to_string(), 25),
+        ]
+        .into_iter()
+        .collect(),
+        worker_panics: 0,
+        extras: [("wasted_reads_per_abort".to_string(), 3.5)]
+            .into_iter()
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let rec = sample_record("4096/20%", "tinystm-wb", 4);
+        let parsed = BenchRecord::from_json(&json::parse(&rec.to_json().to_line()).unwrap());
+        assert_eq!(parsed.unwrap(), rec);
+    }
+
+    #[test]
+    fn run_round_trips_through_jsonl() {
+        let mut run = BenchRun::new("figXX", "sample experiment", "quick", 120);
+        run.records.push(sample_record("a", "tinystm-wb", 1));
+        run.records.push(sample_record("a", "tl2", 8));
+        let text = run.to_jsonl();
+        assert_eq!(text.lines().count(), 3, "header + 2 records");
+        assert_eq!(BenchRun::from_jsonl(&text).unwrap(), run);
+    }
+
+    #[test]
+    fn config_key_ignores_measured_values() {
+        let mut a = sample_record("p", "tl2", 2);
+        let mut b = a.clone();
+        b.ops_per_sec = 1.0;
+        b.commits = 7;
+        assert_eq!(a.config_key(), b.config_key());
+        a.threads = 4;
+        assert_ne!(a.config_key(), b.config_key());
+    }
+
+    #[test]
+    fn taxonomy_array_conversion_drops_zero_rows() {
+        let mut by_reason = [0u64; AbortReason::ALL.len()];
+        by_reason[AbortReason::ReadLocked.index()] = 3;
+        by_reason[AbortReason::Explicit.index()] = 1;
+        let map = BenchRecord::taxonomy_from_array(&by_reason);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["read-locked"], 3);
+        assert_eq!(map["explicit"], 1);
+    }
+
+    #[test]
+    fn rejects_record_missing_worker_panics() {
+        let mut line = sample_record("p", "tl2", 1).to_json().to_line();
+        line = line.replace("\"worker_panics\":0", "\"worker_panics\":null");
+        let err = BenchRecord::from_json(&json::parse(&line).unwrap()).unwrap_err();
+        assert!(err.message.contains("worker_panics"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let text = "{\"kind\":\"run\",\"schema_version\":99,\"experiment\":\"x\"}\n";
+        let err = BenchRun::from_jsonl(text).unwrap_err();
+        assert!(err.message.contains("schema version"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_headerless_file() {
+        let rec = sample_record("p", "tl2", 1).to_json().to_line();
+        assert!(BenchRun::from_jsonl(&format!("{rec}\n")).is_err());
+    }
+
+    #[test]
+    fn partial_flag_follows_worker_panics() {
+        let mut rec = sample_record("p", "tl2", 1);
+        assert!(!rec.is_partial());
+        rec.worker_panics = 1;
+        assert!(rec.is_partial());
+    }
+}

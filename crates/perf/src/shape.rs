@@ -1,0 +1,347 @@
+//! Paper-shape invariants: structural claims of the paper that a result
+//! set can be checked against, independent of absolute numbers.
+//!
+//! * **Scaling** (Figures 2–3): within one series, throughput at the
+//!   highest thread count must not collapse below the single-thread
+//!   point by more than a slack factor. On the paper's 8-core Xeon this
+//!   asserts real scaling; on a single-core CI host the slack has to be
+//!   generous, which is why the checks are opt-in (`perf-diff
+//!   --shape`).
+//! * **TinySTM ≥ TL2** (Figures 2–3): at every matched configuration
+//!   the better TinySTM variant must reach at least `slack ×` the TL2
+//!   throughput.
+//! * **Abort-profile divergence** (Section 3.1, Figure 4): under
+//!   contention, write-through and write-back produce *different* abort
+//!   taxonomies (write-through detects conflicts at encounter time and
+//!   via incarnation changes; write-back aborts on validation). The
+//!   check compares normalized abort-reason distributions at matched
+//!   configs and requires an L1 distance above a threshold.
+
+use crate::record::BenchRecord;
+use std::collections::BTreeMap;
+
+/// One violated invariant.
+#[derive(Debug, Clone)]
+pub struct ShapeViolation {
+    /// Which check fired (`scaling`, `tiny-vs-tl2`, `abort-divergence`).
+    pub check: String,
+    /// The series or config the violation is about.
+    pub key: String,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// Knobs for the shape checks.
+#[derive(Debug, Clone, Copy)]
+pub struct ShapeOpts {
+    /// Throughput at max threads must be ≥ `scaling_slack ×` the
+    /// single-thread throughput (1.0 demands true non-degradation;
+    /// < 1.0 tolerates single-core hosts).
+    pub scaling_slack: f64,
+    /// Best TinySTM variant must be ≥ `tiny_vs_tl2_slack ×` TL2.
+    pub tiny_vs_tl2_slack: f64,
+    /// Minimum L1 distance between WT and WB abort distributions.
+    pub divergence_min_l1: f64,
+    /// Ignore configs with fewer aborts than this on either side
+    /// (distributions over a handful of aborts are noise).
+    pub divergence_min_aborts: u64,
+}
+
+impl Default for ShapeOpts {
+    fn default() -> ShapeOpts {
+        ShapeOpts {
+            scaling_slack: 0.5,
+            tiny_vs_tl2_slack: 0.8,
+            divergence_min_l1: 0.25,
+            divergence_min_aborts: 200,
+        }
+    }
+}
+
+/// Run every shape check over `records`.
+pub fn check_all(records: &[BenchRecord], opts: &ShapeOpts) -> Vec<ShapeViolation> {
+    let mut v = check_scaling(records, opts);
+    v.extend(check_tiny_vs_tl2(records, opts));
+    v.extend(check_abort_divergence(records, opts));
+    v
+}
+
+fn series_key(r: &BenchRecord) -> String {
+    format!(
+        "{}|{}|{}|{}|n{}|u{}",
+        r.experiment, r.panel, r.structure, r.backend, r.initial_size, r.update_pct
+    )
+}
+
+fn config_sans_backend(r: &BenchRecord) -> String {
+    format!(
+        "{}|{}|{}|t{}|n{}|u{}",
+        r.experiment, r.panel, r.structure, r.threads, r.initial_size, r.update_pct
+    )
+}
+
+/// The paper's comparative claims (Figures 2–4, Section 3.1) are about
+/// the intset structures. Synthetic ablation workloads — e.g. the
+/// forced-overlap `hot-cold` cell, whose bench header documents that
+/// its throughput ordering *inverts* on a single-core host and whose
+/// conflict point is a load under both access strategies — are out of
+/// scope for the backend-comparison checks.
+fn in_paper_scope(r: &BenchRecord) -> bool {
+    matches!(r.structure.as_str(), "rbtree" | "list" | "list-overwrite")
+}
+
+/// Scaling check (see module docs).
+pub fn check_scaling(records: &[BenchRecord], opts: &ShapeOpts) -> Vec<ShapeViolation> {
+    let mut series: BTreeMap<String, Vec<&BenchRecord>> = BTreeMap::new();
+    for r in records {
+        series.entry(series_key(r)).or_default().push(r);
+    }
+    let mut violations = Vec::new();
+    for (key, mut points) in series {
+        points.sort_by_key(|r| r.threads);
+        let (Some(first), Some(last)) = (points.first(), points.last()) else {
+            continue;
+        };
+        if first.threads == last.threads {
+            continue; // single point, nothing to check
+        }
+        let floor = first.ops_per_sec * opts.scaling_slack;
+        if last.ops_per_sec < floor {
+            violations.push(ShapeViolation {
+                check: "scaling".to_string(),
+                key,
+                detail: format!(
+                    "throughput at {} threads ({:.1}/s) fell below {:.2}x the \
+                     {}-thread point ({:.1}/s)",
+                    last.threads,
+                    last.ops_per_sec,
+                    opts.scaling_slack,
+                    first.threads,
+                    first.ops_per_sec
+                ),
+            });
+        }
+    }
+    violations
+}
+
+/// TinySTM-above-TL2 check (see module docs).
+pub fn check_tiny_vs_tl2(records: &[BenchRecord], opts: &ShapeOpts) -> Vec<ShapeViolation> {
+    let mut configs: BTreeMap<String, Vec<&BenchRecord>> = BTreeMap::new();
+    for r in records.iter().filter(|r| in_paper_scope(r)) {
+        configs.entry(config_sans_backend(r)).or_default().push(r);
+    }
+    let mut violations = Vec::new();
+    for (key, points) in configs {
+        let tl2 = points.iter().find(|r| r.backend == "tl2");
+        let best_tiny = points
+            .iter()
+            .filter(|r| r.backend.starts_with("tinystm"))
+            .map(|r| r.ops_per_sec)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            });
+        let (Some(tl2), Some(tiny)) = (tl2, best_tiny) else {
+            continue;
+        };
+        if tiny < tl2.ops_per_sec * opts.tiny_vs_tl2_slack {
+            violations.push(ShapeViolation {
+                check: "tiny-vs-tl2".to_string(),
+                key,
+                detail: format!(
+                    "best TinySTM ({tiny:.1}/s) below {:.2}x TL2 ({:.1}/s)",
+                    opts.tiny_vs_tl2_slack, tl2.ops_per_sec
+                ),
+            });
+        }
+    }
+    violations
+}
+
+/// L1 distance between two normalized abort-reason distributions.
+fn taxonomy_l1(a: &BTreeMap<String, u64>, b: &BTreeMap<String, u64>) -> f64 {
+    let total_a: u64 = a.values().sum();
+    let total_b: u64 = b.values().sum();
+    if total_a == 0 || total_b == 0 {
+        return 0.0;
+    }
+    let mut reasons: Vec<&String> = a.keys().chain(b.keys()).collect();
+    reasons.sort();
+    reasons.dedup();
+    reasons
+        .into_iter()
+        .map(|reason| {
+            let fa = a.get(reason).copied().unwrap_or(0) as f64 / total_a as f64;
+            let fb = b.get(reason).copied().unwrap_or(0) as f64 / total_b as f64;
+            (fa - fb).abs()
+        })
+        .sum()
+}
+
+/// Abort-profile divergence check (see module docs).
+pub fn check_abort_divergence(records: &[BenchRecord], opts: &ShapeOpts) -> Vec<ShapeViolation> {
+    let mut configs: BTreeMap<String, (Option<&BenchRecord>, Option<&BenchRecord>)> =
+        BTreeMap::new();
+    for r in records.iter().filter(|r| in_paper_scope(r)) {
+        let slot = configs.entry(config_sans_backend(r)).or_default();
+        match r.backend.as_str() {
+            "tinystm-wt" => slot.0 = Some(r),
+            "tinystm-wb" => slot.1 = Some(r),
+            _ => {}
+        }
+    }
+    let mut violations = Vec::new();
+    for (key, (wt, wb)) in configs {
+        let (Some(wt), Some(wb)) = (wt, wb) else {
+            continue;
+        };
+        if wt.aborts < opts.divergence_min_aborts || wb.aborts < opts.divergence_min_aborts {
+            continue;
+        }
+        let l1 = taxonomy_l1(&wt.aborts_by_reason, &wb.aborts_by_reason);
+        if l1 < opts.divergence_min_l1 {
+            violations.push(ShapeViolation {
+                check: "abort-divergence".to_string(),
+                key,
+                detail: format!(
+                    "WT and WB abort taxonomies nearly identical \
+                     (L1 distance {l1:.3} < {:.3}; WT {:?}, WB {:?})",
+                    opts.divergence_min_l1, wt.aborts_by_reason, wb.aborts_by_reason
+                ),
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::sample_record;
+
+    fn rec(backend: &str, threads: usize, ops: f64) -> BenchRecord {
+        let mut r = sample_record("p", backend, threads);
+        r.ops_per_sec = ops;
+        r
+    }
+
+    #[test]
+    fn scaling_violation_detected_and_slack_respected() {
+        let opts = ShapeOpts {
+            scaling_slack: 0.5,
+            ..ShapeOpts::default()
+        };
+        // 8 threads at 60% of 1 thread: above the 0.5 slack → fine.
+        let fine = vec![rec("tl2", 1, 1000.0), rec("tl2", 8, 600.0)];
+        assert!(check_scaling(&fine, &opts).is_empty());
+        // 8 threads at 30%: collapse → violation.
+        let bad = vec![rec("tl2", 1, 1000.0), rec("tl2", 8, 300.0)];
+        let v = check_scaling(&bad, &opts);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "scaling");
+    }
+
+    #[test]
+    fn single_point_series_never_violates_scaling() {
+        let one = vec![rec("tl2", 4, 10.0)];
+        assert!(check_scaling(&one, &ShapeOpts::default()).is_empty());
+    }
+
+    #[test]
+    fn tiny_vs_tl2_uses_best_variant_and_slack() {
+        let opts = ShapeOpts {
+            tiny_vs_tl2_slack: 0.8,
+            ..ShapeOpts::default()
+        };
+        // WT is slow but WB beats TL2: fine.
+        let fine = vec![
+            rec("tinystm-wb", 4, 1200.0),
+            rec("tinystm-wt", 4, 100.0),
+            rec("tl2", 4, 1000.0),
+        ];
+        assert!(check_tiny_vs_tl2(&fine, &opts).is_empty());
+        // Both TinySTM variants below 0.8 × TL2: violation.
+        let bad = vec![
+            rec("tinystm-wb", 4, 700.0),
+            rec("tinystm-wt", 4, 650.0),
+            rec("tl2", 4, 1000.0),
+        ];
+        let v = check_tiny_vs_tl2(&bad, &opts);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "tiny-vs-tl2");
+    }
+
+    #[test]
+    fn synthetic_structures_are_out_of_scope_for_backend_checks() {
+        // A hot-cold cell where TL2 wins and WT/WB taxonomies coincide:
+        // both checks must ignore it (the bench documents the inversion).
+        let mut wt = rec("tinystm-wt", 8, 100.0);
+        let mut wb = rec("tinystm-wb", 8, 100.0);
+        let mut tl2 = rec("tl2", 8, 10_000.0);
+        for r in [&mut wt, &mut wb, &mut tl2] {
+            r.structure = "hot-cold".to_string();
+            r.aborts = 1000;
+            r.aborts_by_reason = [("read-locked".to_string(), 1000)].into_iter().collect();
+        }
+        let records = vec![wt, wb, tl2];
+        assert!(check_tiny_vs_tl2(&records, &ShapeOpts::default()).is_empty());
+        assert!(check_abort_divergence(&records, &ShapeOpts::default()).is_empty());
+    }
+
+    #[test]
+    fn divergence_passes_when_profiles_differ() {
+        let mut wt = rec("tinystm-wt", 4, 100.0);
+        wt.aborts = 1000;
+        wt.aborts_by_reason = [
+            ("write-locked".to_string(), 900),
+            ("read-locked".to_string(), 100),
+        ]
+        .into_iter()
+        .collect();
+        let mut wb = rec("tinystm-wb", 4, 100.0);
+        wb.aborts = 1000;
+        wb.aborts_by_reason = [
+            ("validation-failed".to_string(), 800),
+            ("write-locked".to_string(), 200),
+        ]
+        .into_iter()
+        .collect();
+        assert!(check_abort_divergence(&[wt, wb], &ShapeOpts::default()).is_empty());
+    }
+
+    #[test]
+    fn divergence_fires_when_profiles_coincide() {
+        let taxonomy: BTreeMap<String, u64> =
+            [("write-locked".to_string(), 500)].into_iter().collect();
+        let mut wt = rec("tinystm-wt", 4, 100.0);
+        wt.aborts = 500;
+        wt.aborts_by_reason = taxonomy.clone();
+        let mut wb = rec("tinystm-wb", 4, 100.0);
+        wb.aborts = 500;
+        wb.aborts_by_reason = taxonomy;
+        let v = check_abort_divergence(&[wt, wb], &ShapeOpts::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "abort-divergence");
+    }
+
+    #[test]
+    fn divergence_skips_low_abort_counts() {
+        let taxonomy: BTreeMap<String, u64> =
+            [("write-locked".to_string(), 5)].into_iter().collect();
+        let mut wt = rec("tinystm-wt", 4, 100.0);
+        wt.aborts = 5;
+        wt.aborts_by_reason = taxonomy.clone();
+        let mut wb = rec("tinystm-wb", 4, 100.0);
+        wb.aborts = 5;
+        wb.aborts_by_reason = taxonomy;
+        assert!(check_abort_divergence(&[wt, wb], &ShapeOpts::default()).is_empty());
+    }
+
+    #[test]
+    fn l1_distance_is_zero_for_identical_and_two_for_disjoint() {
+        let a: BTreeMap<String, u64> = [("x".to_string(), 10)].into_iter().collect();
+        let b: BTreeMap<String, u64> = [("y".to_string(), 3)].into_iter().collect();
+        assert_eq!(taxonomy_l1(&a, &a), 0.0);
+        assert!((taxonomy_l1(&a, &b) - 2.0).abs() < 1e-12);
+    }
+}

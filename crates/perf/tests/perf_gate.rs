@@ -1,0 +1,115 @@
+//! End-to-end test of the perf gate: write result sets as real `.jsonl`
+//! files, load them back through the directory loader, and check the
+//! gate decision — the same path `perf-diff baselines/ target/perf`
+//! exercises in CI.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use stm_perf::{diff_records, load_records, BenchRecord, BenchRun, Tolerance};
+
+fn record(experiment: &str, backend: &str, threads: usize, ops: f64) -> BenchRecord {
+    BenchRecord {
+        experiment: experiment.to_string(),
+        panel: "256/20%".to_string(),
+        structure: "rbtree".to_string(),
+        backend: backend.to_string(),
+        threads,
+        initial_size: 256,
+        key_range: 512,
+        update_pct: 20,
+        ops_per_sec: ops,
+        aborts_per_sec: ops / 100.0,
+        abort_ratio: 0.01,
+        commits: ops as u64,
+        aborts: (ops / 100.0) as u64,
+        elapsed_ms: 1000.0,
+        aborts_by_reason: BTreeMap::new(),
+        worker_panics: 0,
+        extras: BTreeMap::new(),
+    }
+}
+
+fn write_set(dir: &Path, experiment: &str, scale: f64) {
+    std::fs::create_dir_all(dir).unwrap();
+    let mut run = BenchRun::new(experiment, "gate test", "quick", 10);
+    for backend in ["tinystm-wb", "tinystm-wt", "tl2"] {
+        for threads in [1usize, 2] {
+            run.records
+                .push(record(experiment, backend, threads, 50_000.0 * scale));
+        }
+    }
+    std::fs::write(dir.join(format!("{experiment}.jsonl")), run.to_jsonl()).unwrap();
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stm-perf-gate-{}-{tag}", std::process::id()));
+    // A fresh directory per test invocation; stale files would corrupt
+    // the record sets, so clear any leftover.
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn unchanged_run_passes_gate_via_files() {
+    let root = temp_dir("unchanged");
+    let baseline = root.join("baselines");
+    let current = root.join("current");
+    write_set(&baseline, "fig02", 1.0);
+    write_set(&baseline, "fig03", 1.0);
+    write_set(&current, "fig02", 1.0);
+    write_set(&current, "fig03", 1.0);
+
+    let base = load_records(&baseline).unwrap();
+    let cur = load_records(&current).unwrap();
+    assert_eq!(base.len(), 12, "2 experiments x 3 backends x 2 threads");
+    let report = diff_records(&base, &cur, &Tolerance::default());
+    assert_eq!(report.exit_code(true), 0);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn degraded_run_fails_gate_via_files() {
+    let root = temp_dir("degraded");
+    let baseline = root.join("baselines");
+    let current = root.join("current");
+    write_set(&baseline, "fig02", 1.0);
+    // 40% of baseline throughput: outside even a wide 50% band.
+    write_set(&current, "fig02", 0.4);
+
+    let base = load_records(&baseline).unwrap();
+    let cur = load_records(&current).unwrap();
+    let wide = Tolerance {
+        throughput_drop: 0.5,
+        ..Tolerance::default()
+    };
+    let report = diff_records(&base, &cur, &wide);
+    assert_eq!(report.exit_code(false), 1);
+    assert!(report.regressions().count() >= 1);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn loader_rejects_empty_directory() {
+    let root = temp_dir("empty");
+    std::fs::create_dir_all(&root).unwrap();
+    assert!(load_records(&root).is_err());
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn quick_subset_against_full_baseline_passes_without_require_all() {
+    let root = temp_dir("subset");
+    let baseline = root.join("baselines");
+    let current = root.join("current");
+    write_set(&baseline, "fig02", 1.0);
+    write_set(&baseline, "fig03", 1.0);
+    write_set(&current, "fig02", 1.0); // fig03 not re-measured
+
+    let base = load_records(&baseline).unwrap();
+    let cur = load_records(&current).unwrap();
+    let report = diff_records(&base, &cur, &Tolerance::default());
+    assert_eq!(report.missing_in_current.len(), 6);
+    assert_eq!(report.exit_code(false), 0, "subset passes by default");
+    assert_eq!(report.exit_code(true), 1, "--require-all escalates");
+    std::fs::remove_dir_all(&root).unwrap();
+}

@@ -302,7 +302,10 @@ impl Tl2 {
             if inner.clock.overflowed() {
                 self.handle_overflow();
             }
-            inner.quiesce.enter();
+            // Guard form: exits the gate on drop even if `body` panics
+            // (the harness tolerates panicking workers; a leaked enter
+            // would wedge every later fence).
+            let active = inner.quiesce.enter_guarded(&ts.active_start);
             let rv = inner.clock.now();
             // SAFETY: ctx belongs to this thread exclusively.
             let ctx = unsafe { &mut *ts.ctx.get() };
@@ -328,8 +331,7 @@ impl Tl2 {
                 }
             };
 
-            ts.active_start.store(u64::MAX, Ordering::SeqCst);
-            inner.quiesce.exit();
+            drop(active);
 
             let ctx = unsafe { &mut *ts.ctx.get() };
             match outcome {
