@@ -5,19 +5,24 @@
 //! hierarchical array (4/16 better than 64 — small read sets, counter
 //! increments dominate) while the linked list prefers a *large* one
 //! (64 over 4/16 — validation savings dominate).
+//!
+//! Results go to stdout (CSV) and `target/perf/fig08.jsonl` for the
+//! `perf-diff` regression gate; the grid point is encoded in the panel
+//! (`h<H>/l<locks_log2>/s<shifts>`) so every cell has a stable config
+//! key. This is the bench that would catch a regression in the
+//! hierarchy-counter changes (padding, Release/Acquire protocol).
 
-use stm_bench::{default_opts, full_mode, make_tiny, run_structure_on, Structure};
-use stm_harness::table::{f1, i, s, SeriesWriter};
+use stm_bench::{
+    bench_record, default_opts, full_mode, make_tiny, perf_emitter, run_structure_on, Structure,
+};
 use stm_harness::IntSetWorkload;
 use tinystm::AccessStrategy;
 
 fn main() {
-    let mut out = SeriesWriter::default();
-    out.experiment(
+    let mut out = perf_emitter(
         "fig08",
         "throughput vs h over the locks x shifts grid (size=4096, 20% upd, 8 thr)",
     );
-    out.columns(&["structure", "h", "locks_log2", "shifts", "txs_per_s"]);
     let hs: Vec<u32> = vec![2, 4, 6]; // h = 4, 16, 64 as in the paper
     let locks: Vec<u32> = if full_mode() {
         vec![8, 12, 16, 20, 24]
@@ -40,16 +45,18 @@ fn main() {
                         run_structure_on(stm, structure, workload, default_opts(8), &move || {
                             stm_api::TmHandle::stats_snapshot(&stats_handle)
                         });
-                    out.row(&[
-                        s(structure.label()),
-                        i(1u64 << h),
-                        i(l as u64),
-                        i(sh as u64),
-                        f1(m.throughput),
-                    ]);
+                    out.record(bench_record(
+                        "fig08",
+                        &format!("h{}/l{}/s{}", 1u64 << h, l, sh),
+                        structure.label(),
+                        "tinystm-wb",
+                        workload,
+                        &m,
+                    ));
                 }
             }
         }
         out.gap();
     }
+    out.finish();
 }

@@ -4,29 +4,38 @@
 //! Paper shape: as the tuner grows the hierarchical array, the number of
 //! locks that must be processed during validation drops and the skipped
 //! fraction rises — the hierarchy's whole purpose.
+//!
+//! Results go to stdout (CSV) and `target/perf/fig12.jsonl`. Each
+//! tuner step becomes one record (`panel = step<idx>`) carrying the
+//! sampled throughput as the headline metric and the validation
+//! processed/skipped rates plus the step's `h` in `extras`. Note the
+//! hill climber's trajectory is throughput-driven, so step-for-step
+//! config keys are only comparable between runs on the same host —
+//! this experiment is wired for observability, not for the default CI
+//! gate.
 
+use std::collections::BTreeMap;
 use std::time::Duration;
-use stm_bench::{build_set_on_stm, full_mode, make_tiny, point_ms, Structure};
-use stm_harness::table::{f1, i, SeriesWriter};
+use stm_bench::{build_set_on_stm, full_mode, make_tiny, perf_emitter, point_ms, Structure};
 use stm_harness::{IntSetOp, IntSetWorkload, MeasureOpts};
+use stm_perf::BenchRecord;
 use stm_tuning::{autotune, AutoTuneOpts, TuningPoint};
 use tinystm::AccessStrategy;
 
 fn main() {
-    let mut out = SeriesWriter::default();
-    out.experiment(
+    let mut out = perf_emitter(
         "fig12",
         "validation locks processed vs skipped during list auto-tuning (4096, 8 thr)",
     );
-    out.columns(&["config_idx", "h", "processed_per_s", "skipped_per_s"]);
 
     let stm = make_tiny(AccessStrategy::WriteBack, 8, 0, 0);
     let set = build_set_on_stm(&stm, Structure::List);
     let workload = IntSetWorkload::new(4096, 20);
     stm_harness::populate(&*set, &workload, 0xF161_2000u64);
 
+    let period = Duration::from_millis(point_ms() / 2);
     let tune_opts = AutoTuneOpts {
-        period: Duration::from_millis(point_ms() / 2),
+        period,
         samples_per_config: 3,
         max_configs: if full_mode() { 40 } else { 16 },
         seed: 1212,
@@ -41,11 +50,29 @@ fn main() {
         || autotune(&stm, template, TuningPoint::experiment_start(), tune_opts),
     );
     for r in &records {
-        out.row(&[
-            i(r.index as u64),
-            i(1u64 << r.point.hier_log2),
-            f1(r.val_processed_per_s),
-            f1(r.val_skipped_per_s),
-        ]);
+        let mut extras = BTreeMap::new();
+        extras.insert("h".to_string(), (1u64 << r.point.hier_log2) as f64);
+        extras.insert("val_processed_per_s".to_string(), r.val_processed_per_s);
+        extras.insert("val_skipped_per_s".to_string(), r.val_skipped_per_s);
+        out.record(BenchRecord {
+            experiment: "fig12".to_string(),
+            panel: format!("step{:02}", r.index),
+            structure: Structure::List.label().to_string(),
+            backend: "tinystm-wb".to_string(),
+            threads: 8,
+            initial_size: workload.initial_size,
+            key_range: workload.key_range,
+            update_pct: workload.update_pct,
+            ops_per_sec: r.throughput,
+            aborts_per_sec: 0.0,
+            abort_ratio: 0.0,
+            commits: 0,
+            aborts: 0,
+            elapsed_ms: period.as_secs_f64() * 1000.0 * 3.0,
+            aborts_by_reason: BTreeMap::new(),
+            worker_panics: 0,
+            extras,
+        });
     }
+    out.finish();
 }

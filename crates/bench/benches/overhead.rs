@@ -1,0 +1,212 @@
+//! `overhead`: the fast-path cost microbench behind the memory-ordering
+//! tentpole (ISSUE 3).
+//!
+//! The paper's core claim (§3.1) is that the per-access fast path is
+//! cheap; this bench measures exactly that, with no data-structure
+//! logic in the way:
+//!
+//! * **`ro-read-64`** (1 thread) — read-only transactions performing 64
+//!   loads over a private word block: the R1/R3/F1/R4 read path plus
+//!   the read-only commit fast path.
+//! * **`upd-write-16`** (1 thread) — update transactions writing 16
+//!   distinct stripes: encounter-time CAS acquisition (W1), data
+//!   publication (W2/W3) and commit release (W4).
+//! * **`commit-rw-1`** (1 thread) — one read + one write per
+//!   transaction: begin/extend/commit bookkeeping dominates.
+//! * **`disjoint-2thr`** (2 threads) — each thread updates its *own*
+//!   block (no logical conflicts, distinct stripes): what remains
+//!   shared is the global clock and the lock-array/hierarchy cache
+//!   lines, so this panel isolates clock traffic and false sharing —
+//!   the contention-aware-layout half of the tentpole. On a single-core
+//!   host it degenerates to a scheduling benchmark, which is why the
+//!   gate tolerance stays wide; on a multi-core runner it is the panel
+//!   that moves when someone re-introduces a shared hot line.
+//!
+//! All three backends run every panel, so the TinySTM-vs-TL2 overhead
+//! comparison stays apples-to-apples. Results go to stdout (CSV) and
+//! `target/perf/overhead.jsonl` for the `perf-diff` regression gate.
+
+use rand::rngs::SmallRng;
+use std::hint::black_box;
+use stm_api::mem::WordBlock;
+use stm_api::{TmHandle, TmTx, TxKind};
+use stm_bench::{default_opts, perf_emitter, Backend};
+use stm_harness::Measurement;
+use stm_perf::BenchRecord;
+
+/// Private block size per worker thread.
+const BLOCK_WORDS: usize = 256;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Panel {
+    /// 64 loads per read-only transaction.
+    RoRead64,
+    /// 16 stores (distinct words) per update transaction.
+    UpdWrite16,
+    /// One load + one store per transaction.
+    CommitRw1,
+    /// `UpdWrite16` on two threads with disjoint blocks.
+    Disjoint2Thr,
+}
+
+impl Panel {
+    const ALL: [Panel; 4] = [
+        Panel::RoRead64,
+        Panel::UpdWrite16,
+        Panel::CommitRw1,
+        Panel::Disjoint2Thr,
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            Panel::RoRead64 => "ro-read-64",
+            Panel::UpdWrite16 => "upd-write-16",
+            Panel::CommitRw1 => "commit-rw-1",
+            Panel::Disjoint2Thr => "disjoint-2thr",
+        }
+    }
+
+    fn threads(self) -> usize {
+        match self {
+            Panel::Disjoint2Thr => 2,
+            _ => 1,
+        }
+    }
+
+    /// Transactional word accesses per transaction (reported in extras
+    /// so per-access cost can be derived from the gated tx rate).
+    fn accesses_per_tx(self) -> u32 {
+        match self {
+            Panel::RoRead64 => 64,
+            Panel::UpdWrite16 | Panel::Disjoint2Thr => 16,
+            Panel::CommitRw1 => 2,
+        }
+    }
+
+    fn update_pct(self) -> u32 {
+        match self {
+            Panel::RoRead64 => 0,
+            _ => 100,
+        }
+    }
+}
+
+/// Run one panel on one backend handle. Every worker thread works on a
+/// private region, so cross-thread traffic is exactly the STM's own
+/// shared state.
+fn measure<H>(tm: &H, panel: Panel) -> Measurement
+where
+    H: TmHandle + Clone + Sync,
+{
+    let stats = {
+        let h = tm.clone();
+        move || h.stats_snapshot()
+    };
+    let threads = panel.threads();
+    // One contiguous allocation, carved into per-thread regions:
+    // adjacent regions occupy *consecutive* stripes, so they can never
+    // alias each other's locks — with independent allocations the
+    // "disjoint" premise would hinge on allocator placement (stripes
+    // repeat every `n_locks * 8` bytes of address space).
+    let block = WordBlock::new(BLOCK_WORDS * threads);
+    for i in 0..block.words() {
+        block.write(i, i);
+    }
+    let block = &block;
+    stm_harness::drive(default_opts(threads), &stats, |t| {
+        let tm = tm.clone();
+        // Address as usize so the closure stays Send.
+        let region = unsafe { block.as_ptr().add(t * BLOCK_WORDS) } as usize;
+        let mut tick = 0usize;
+        move |_rng: &mut SmallRng| {
+            let base = region as *mut usize;
+            match panel {
+                Panel::RoRead64 => {
+                    let acc = tm.run(TxKind::ReadOnly, |tx| {
+                        let mut acc = 0usize;
+                        for i in 0..64 {
+                            acc = acc.wrapping_add(unsafe { tx.load_word(base.add(i)) }?);
+                        }
+                        Ok(acc)
+                    });
+                    black_box(acc);
+                }
+                Panel::UpdWrite16 | Panel::Disjoint2Thr => {
+                    tick = tick.wrapping_add(1);
+                    let v = tick;
+                    tm.run(TxKind::ReadWrite, |tx| {
+                        for i in 0..16 {
+                            unsafe { tx.store_word(base.add(i), v + i) }?;
+                        }
+                        Ok(())
+                    });
+                }
+                Panel::CommitRw1 => {
+                    tm.run(TxKind::ReadWrite, |tx| {
+                        let v = unsafe { tx.load_word(base) }?;
+                        unsafe { tx.store_word(base, v.wrapping_add(1)) }
+                    });
+                }
+            }
+        }
+    })
+}
+
+fn record(panel: Panel, backend: Backend, m: &Measurement) -> BenchRecord {
+    let mut extras = std::collections::BTreeMap::new();
+    extras.insert(
+        "accesses_per_tx".to_string(),
+        f64::from(panel.accesses_per_tx()),
+    );
+    extras.insert(
+        "accesses_per_sec".to_string(),
+        m.throughput * f64::from(panel.accesses_per_tx()),
+    );
+    BenchRecord {
+        experiment: "overhead".to_string(),
+        panel: panel.label().to_string(),
+        structure: "private-words".to_string(),
+        backend: backend.label().to_string(),
+        threads: m.threads,
+        initial_size: BLOCK_WORDS as u64,
+        key_range: BLOCK_WORDS as u64,
+        update_pct: panel.update_pct(),
+        ops_per_sec: m.throughput,
+        aborts_per_sec: m.abort_rate,
+        abort_ratio: m.abort_ratio,
+        commits: m.commits,
+        aborts: m.aborts,
+        elapsed_ms: m.elapsed.as_secs_f64() * 1000.0,
+        aborts_by_reason: BenchRecord::taxonomy_from_array(&m.aborts_by_reason),
+        worker_panics: m.worker_panics,
+        extras,
+    }
+}
+
+fn main() {
+    let mut out = perf_emitter(
+        "overhead",
+        "fast-path cost: per-access/commit overhead + 2-thread disjoint stripes",
+    );
+    for panel in Panel::ALL {
+        for backend in Backend::ALL {
+            let m = match backend {
+                Backend::TinyWb => {
+                    let stm = stm_bench::make_tiny(tinystm::AccessStrategy::WriteBack, 16, 0, 0);
+                    measure(&stm, panel)
+                }
+                Backend::TinyWt => {
+                    let stm = stm_bench::make_tiny(tinystm::AccessStrategy::WriteThrough, 16, 0, 0);
+                    measure(&stm, panel)
+                }
+                Backend::Tl2 => {
+                    let tl2 = stm_bench::make_tl2(20, 0);
+                    measure(&tl2, panel)
+                }
+            };
+            out.record(record(panel, backend, &m));
+        }
+        out.gap();
+    }
+    out.finish();
+}

@@ -1,0 +1,87 @@
+//! Cache-line-granular layout helpers for the contention-aware layout
+//! pass (DESIGN.md §3, "Memory model and contention-aware layout").
+//!
+//! The hot shared words of the STM — the global clock, the quiesce
+//! gate's counters, the hierarchy counters — are each written by many
+//! threads at high rate. When two of them (or one of them and a
+//! read-mostly neighbor) share a cache line, every RMW invalidates the
+//! line for *all* readers of the neighbor: commit-time clock traffic
+//! then false-shares with validation reads. Padding each shared word to
+//! its own line confines the invalidation traffic to the word actually
+//! written.
+
+/// The coherence granule we pad to. 64 bytes on every x86-64 and most
+/// AArch64 parts this targets; over-alignment on exotic hosts is merely
+/// a little wasted space.
+pub const CACHE_LINE: usize = 64;
+
+/// Wraps a value so it occupies (at least) one cache line of its own.
+///
+/// Used for the shared counters the hot paths hammer: the global clock,
+/// the quiesce gate's `active`/`fence` pair, and each hierarchy
+/// counter. Access the inner value through `.0`.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CacheAligned<T>(pub T);
+
+impl<T> CacheAligned<T> {
+    /// Wrap `value` with cache-line alignment.
+    pub const fn new(value: T) -> CacheAligned<T> {
+        CacheAligned(value)
+    }
+}
+
+impl<T> core::ops::Deref for CacheAligned<T> {
+    type Target = T;
+
+    #[inline(always)]
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> core::ops::DerefMut for CacheAligned<T> {
+    #[inline(always)]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::sync::atomic::{AtomicU64, AtomicUsize};
+
+    #[test]
+    fn wrapper_is_line_sized_and_aligned() {
+        assert_eq!(core::mem::align_of::<CacheAligned<AtomicU64>>(), CACHE_LINE);
+        assert_eq!(core::mem::size_of::<CacheAligned<AtomicU64>>(), CACHE_LINE);
+        assert_eq!(
+            core::mem::align_of::<CacheAligned<AtomicUsize>>(),
+            CACHE_LINE
+        );
+    }
+
+    #[test]
+    fn slice_elements_land_on_distinct_lines() {
+        let v: Vec<CacheAligned<AtomicU64>> = (0..4)
+            .map(|_| CacheAligned::new(AtomicU64::new(0)))
+            .collect();
+        let addrs: Vec<usize> = v.iter().map(|c| c as *const _ as usize).collect();
+        for pair in addrs.windows(2) {
+            assert!(pair[1] - pair[0] >= CACHE_LINE);
+        }
+        for a in addrs {
+            assert_eq!(a % CACHE_LINE, 0);
+        }
+    }
+
+    #[test]
+    fn deref_reaches_the_inner_value() {
+        let c = CacheAligned::new(AtomicU64::new(7));
+        assert_eq!(c.load(core::sync::atomic::Ordering::Relaxed), 7);
+        let mut c = CacheAligned::new(3u64);
+        *c += 1;
+        assert_eq!(c.0, 4);
+    }
+}

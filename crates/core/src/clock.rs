@@ -6,7 +6,42 @@
 //! the STM runs the roll-over protocol: quiesce all transactions, zero
 //! every version number, and reset the clock (see `quiesce.rs` /
 //! `Stm::handle_overflow`).
+//!
+//! ## Memory ordering (DESIGN.md §3, sites C1–C3)
+//!
+//! The clock is the synchronization spine of the time-based protocol,
+//! so its two hot operations deliberately keep `SeqCst`:
+//!
+//! * **C1 `increment` / `force_increment`** — `SeqCst` RMW. The AcqRel
+//!   half is load-bearing: a transaction whose snapshot (or commit
+//!   timestamp) covers a writer's commit time acquires everything that
+//!   writer did *before* its own clock RMW — in particular its
+//!   hierarchy-counter increments, which the validation fast path must
+//!   observe (H1/H2 in `hierarchy.rs`). The upgrade from AcqRel to
+//!   SeqCst is free on x86-64 (both compile to `lock xadd`) and buys
+//!   the single total order the limbo-reclamation argument below uses.
+//! * **C2 `now`** — `SeqCst` load. The Acquire half pairs with C1 as
+//!   above. The SeqCst half participates in a store-buffering (Dekker)
+//!   pattern with `active_start` publication: a starting transaction
+//!   stores its oldest-reader marker and *then* samples the clock,
+//!   while the limbo reclaimer is ordered on the other side (see
+//!   `stm.rs` site S2); with anything weaker both sides could miss each
+//!   other and a block could be reclaimed while a just-starting
+//!   snapshot can still reach it. A SeqCst *load* costs the same as an
+//!   Acquire load on x86-64, so there is nothing to win by splitting
+//!   this into two entry points.
+//! * **C3 `reset` / `set_max` / `max`** — cold configuration paths that
+//!   only run inside a quiesce fence (no concurrent transactions); the
+//!   fence's own synchronization publishes them, `Relaxed` suffices.
+//!
+//! ## Layout
+//!
+//! `now` is RMW-ed by every committing update transaction; `max` is
+//! read on the same path but written only at reconfiguration. Each gets
+//! its own cache line so the commit-time RMW traffic on `now` does not
+//! invalidate the read-mostly `max` line (or a neighboring allocation).
 
+use crate::cacheline::CacheAligned;
 use core::sync::atomic::{AtomicU64, Ordering};
 
 /// Returned by [`GlobalClock::increment`] when the roll-over threshold is
@@ -17,27 +52,32 @@ pub struct ClockOverflow;
 
 /// A monotonically increasing shared counter.
 ///
-/// All operations are `SeqCst`: the correctness argument for the
-/// hierarchical-locking fast path relies on the single total order of
-/// clock increments, hierarchy-counter increments, and their loads (see
-/// DESIGN.md §3).
+/// Ordering and layout rationale in the module docs; per-site tags
+/// (C1–C3) match DESIGN.md §3.
 #[derive(Debug)]
 pub struct GlobalClock {
-    now: AtomicU64,
-    max: AtomicU64,
+    /// Current time. Own cache line: every committer RMWs it.
+    now: CacheAligned<AtomicU64>,
+    /// Roll-over threshold. Own line: read-mostly, must not ride the
+    /// bouncing `now` line.
+    max: CacheAligned<AtomicU64>,
 }
 
 impl GlobalClock {
     /// A clock starting at 0 that overflows past `max`.
     pub fn new(max: u64) -> GlobalClock {
         GlobalClock {
-            now: AtomicU64::new(0),
-            max: AtomicU64::new(max),
+            now: CacheAligned::new(AtomicU64::new(0)),
+            max: CacheAligned::new(AtomicU64::new(max)),
         }
     }
 
     /// Current time. Transactions sample this at start and when
     /// extending snapshots.
+    ///
+    /// Site C2: SeqCst load (Acquire pairs with committers' C1 RMWs;
+    /// SeqCst orders the begin-path sample against `active_start`
+    /// publication — see module docs).
     #[inline]
     pub fn now(&self) -> u64 {
         self.now.load(Ordering::SeqCst)
@@ -45,6 +85,9 @@ impl GlobalClock {
 
     /// Acquire a fresh commit timestamp (strictly greater than every
     /// previously returned value since the last reset).
+    ///
+    /// Site C1: SeqCst RMW (see module docs; AcqRel half required, the
+    /// SeqCst upgrade is free on x86-64).
     #[inline]
     pub fn increment(&self) -> Result<u64, ClockOverflow> {
         let t = self.now.fetch_add(1, Ordering::SeqCst) + 1;
@@ -61,6 +104,8 @@ impl GlobalClock {
     /// write-through abort path when an incarnation counter overflows and
     /// a fresh version is needed unconditionally; the next committer
     /// still observes the overflow and triggers roll-over.
+    ///
+    /// Site C1 (same RMW role as `increment`).
     #[inline]
     pub fn force_increment(&self) -> u64 {
         self.now.fetch_add(1, Ordering::SeqCst) + 1
@@ -74,8 +119,10 @@ impl GlobalClock {
 
     /// Reset to 0. Only called inside a quiesce fence (no transactions
     /// active), together with zeroing all lock-array versions.
+    ///
+    /// Site C3: Relaxed — the fence publishes.
     pub fn reset(&self) {
-        self.now.store(0, Ordering::SeqCst);
+        self.now.store(0, Ordering::Relaxed);
     }
 
     /// The configured roll-over threshold.
@@ -85,8 +132,10 @@ impl GlobalClock {
 
     /// Change the roll-over threshold (dynamic reconfiguration, inside a
     /// quiesce fence).
+    ///
+    /// Site C3: Relaxed — the fence publishes.
     pub fn set_max(&self, max: u64) {
-        self.max.store(max, Ordering::SeqCst);
+        self.max.store(max, Ordering::Relaxed);
     }
 }
 
@@ -122,6 +171,18 @@ mod tests {
         assert_eq!(c.now(), 0);
         assert!(!c.overflowed());
         assert_eq!(c.increment(), Ok(1));
+    }
+
+    #[test]
+    fn counters_live_on_distinct_cache_lines() {
+        // The layout half of the tentpole: commit-time RMW traffic on
+        // `now` must not invalidate the read-mostly `max` line.
+        let c = GlobalClock::new(16);
+        let now_addr = &c.now as *const _ as usize;
+        let max_addr = &c.max as *const _ as usize;
+        assert_eq!(now_addr % crate::cacheline::CACHE_LINE, 0);
+        assert_eq!(max_addr % crate::cacheline::CACHE_LINE, 0);
+        assert!(now_addr.abs_diff(max_addr) >= crate::cacheline::CACHE_LINE);
     }
 
     #[test]

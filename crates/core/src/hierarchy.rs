@@ -23,6 +23,44 @@
 //! performance trade-off the paper studies (larger `h` ⇒ cheaper
 //! validation, more atomic operations) is unchanged.
 
+//! ### Memory ordering (DESIGN.md §3, sites H1–H3)
+//!
+//! The fast path is sound iff two visibility edges hold:
+//!
+//! * **H1 (increment, Release):** a writer increments the covering
+//!   counter immediately after its lock-acquiring CAS. Release makes
+//!   the increment the *publication point* of that CAS: any reader that
+//!   observes the increment (Acquire) also observes the lock as owned
+//!   (or later). This is why `TxHier::on_access` must save the counter
+//!   *before* the first lock examination — if the saved value already
+//!   includes a writer's increment, the subsequent lock load is
+//!   guaranteed to see that writer's ownership, so the read can never
+//!   be "covered" by a counter value it is not actually covered by.
+//! * **H2 (load, Acquire):** pairs with H1. The other direction — a
+//!   validator must observe the increment of every writer that
+//!   *committed* within the validated snapshot — does not rest on H1/H2
+//!   at all: it follows from the clock edge (site C1/C2 in `clock.rs`),
+//!   because the writer's increment is sequenced before its clock RMW
+//!   and the validator's counter load is sequenced after the clock load
+//!   that covered that commit. A writer that has acquired locks but not
+//!   yet committed may be missed — that is benign (its writes are not
+//!   yet logically committed, so reads of the pre-writer state are
+//!   still consistent; encounter-time conflicts surface through the
+//!   lock words themselves).
+//! * **H3 (reset, Relaxed):** only inside a quiesce fence; the fence
+//!   publishes.
+//!
+//! ### Layout
+//!
+//! Every lock acquisition RMWs one of these counters, from every
+//! thread. With 8 counters per cache line the increments false-share:
+//! an acquisition in partition 3 invalidates the line holding
+//! partitions 0–7 and stalls validators skip-checking any of them. Each
+//! counter is therefore padded to its own line (`CacheAligned`); at the
+//! configured maximum of 256 counters that is 16 KiB — noise next to
+//! the lock array itself.
+
+use crate::cacheline::CacheAligned;
 use crate::config::MAX_HIER;
 use core::sync::atomic::{AtomicU64, Ordering};
 
@@ -91,10 +129,11 @@ impl Mask256 {
     }
 }
 
-/// The shared hierarchical counter array.
+/// The shared hierarchical counter array. One counter per cache line —
+/// see the layout note in the module docs.
 #[derive(Debug)]
 pub struct HierArray {
-    counters: Box<[AtomicU64]>,
+    counters: Box<[CacheAligned<AtomicU64>]>,
 }
 
 impl HierArray {
@@ -102,7 +141,9 @@ impl HierArray {
     /// disabled, but the array still exists to keep code paths uniform).
     pub fn new(h: usize) -> HierArray {
         assert!((1..=MAX_HIER).contains(&h) && h.is_power_of_two());
-        let counters = (0..h).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        let counters = (0..h)
+            .map(|_| CacheAligned::new(AtomicU64::new(0)))
+            .collect::<Vec<_>>();
         HierArray {
             counters: counters.into_boxed_slice(),
         }
@@ -129,24 +170,29 @@ impl HierArray {
 
     /// Current value of counter `i`.
     ///
-    /// `SeqCst`: see the fast-path soundness argument in the module docs —
-    /// the load must be ordered in the single total order against writer
-    /// increments and clock operations.
+    /// Site H2: Acquire — pairs with the Release increment so observing
+    /// an increment implies observing the lock acquisition it
+    /// published; see the module-level ordering argument.
     #[inline]
     pub fn load(&self, i: usize) -> u64 {
-        self.counters[i].load(Ordering::SeqCst)
+        self.counters[i].load(Ordering::Acquire)
     }
 
     /// Increment counter `i` (on every lock acquisition in partition `i`).
+    ///
+    /// Site H1: Release — publishes the preceding lock-acquiring CAS to
+    /// any Acquire load that observes the new count.
     #[inline]
     pub fn increment(&self, i: usize) {
-        self.counters[i].fetch_add(1, Ordering::SeqCst);
+        self.counters[i].fetch_add(1, Ordering::Release);
     }
 
     /// Zero all counters. Only inside a quiesce fence.
+    ///
+    /// Site H3: Relaxed — the fence publishes.
     pub fn reset(&self) {
         for c in self.counters.iter() {
-            c.store(0, Ordering::SeqCst);
+            c.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -301,6 +347,20 @@ mod tests {
     fn disabled_hier_is_size_one() {
         let h = HierArray::new(1);
         assert!(h.is_disabled());
+    }
+
+    #[test]
+    fn counters_do_not_share_cache_lines() {
+        let h = HierArray::new(8);
+        let addrs: Vec<usize> = (0..8)
+            .map(|i| &h.counters[i] as *const _ as usize)
+            .collect();
+        for pair in addrs.windows(2) {
+            assert!(
+                pair[1] - pair[0] >= crate::cacheline::CACHE_LINE,
+                "adjacent counters share a line"
+            );
+        }
     }
 
     #[test]

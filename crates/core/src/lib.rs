@@ -44,6 +44,7 @@
 //! The raw word-level interface (`stm_api::TmTx`) is what the benchmark
 //! data structures use; see `stm-structures`.
 
+pub mod cacheline;
 pub mod clock;
 pub mod config;
 pub mod hierarchy;
@@ -58,6 +59,7 @@ pub mod tvar;
 pub mod tx;
 pub mod writelog;
 
+pub use cacheline::CacheAligned;
 pub use config::{AccessStrategy, CmPolicy, ConfigError, StmConfig};
 pub use stats::{StatsSnapshot, ThreadStats};
 pub use stm::{Stm, StmStats};

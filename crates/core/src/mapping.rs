@@ -23,13 +23,23 @@ pub const WORD_SHIFT: u32 = 3;
 
 /// Immutable snapshot of the tunable state: lock array + hierarchy +
 /// hash parameters.
+///
+/// Layout: `repr(C, align(64))` pins the declaration order so the hot
+/// scalars every `load_impl`/`store_impl` touches — the lock-array fat
+/// pointer, `lock_mask`, `hier_mask`, `addr_shift` — pack into the
+/// first cache line (16 + 8 + 8 + 4 bytes), with the read-mostly
+/// `hier`/`config` tail behind them. All of these fields are immutable
+/// after construction (the mapping is swapped wholesale inside a
+/// quiesce fence), so the line stays in shared state across cores; the
+/// alignment keeps it from straddling into a neighbor's written line.
 #[derive(Debug)]
+#[repr(C, align(64))]
 pub struct Mapping {
     locks: Box<[AtomicUsize]>,
-    hier: HierArray,
     lock_mask: usize,
     hier_mask: usize,
     addr_shift: u32,
+    hier: HierArray,
     config: StmConfig,
 }
 
@@ -41,10 +51,10 @@ impl Mapping {
         let locks: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         Mapping {
             locks: locks.into_boxed_slice(),
-            hier: HierArray::new(config.hier_size()),
             lock_mask: n - 1,
             hier_mask: config.hier_size() - 1,
             addr_shift: WORD_SHIFT + config.shifts,
+            hier: HierArray::new(config.hier_size()),
             config,
         }
     }
@@ -93,6 +103,11 @@ impl Mapping {
 
     /// Zero every lock version and hierarchy counter. Only inside a
     /// quiesce fence (clock roll-over).
+    ///
+    /// Relaxed stores: no transaction is active inside the fence, and
+    /// the fence's own synchronization (site Q1 in `quiesce.rs`)
+    /// publishes the zeroed words to transactions that enter after it
+    /// lifts.
     pub fn reset_versions(&self) {
         for l in self.locks.iter() {
             debug_assert_eq!(
@@ -100,7 +115,7 @@ impl Mapping {
                 0,
                 "reset with an owned lock — fence violated"
             );
-            l.store(0, Ordering::SeqCst);
+            l.store(0, Ordering::Relaxed);
         }
         self.hier.reset();
     }

@@ -11,7 +11,30 @@
 //! mutex + condvars are touched only while a fence is pending. Waits use
 //! a short timeout as a belt-and-braces against lost-wakeup races between
 //! the lock-free counters and the blocking slow path.
+//!
+//! ## Memory ordering (DESIGN.md §3, site Q1)
+//!
+//! `enter`/`exit` vs `fence` is a store-buffering (Dekker) pattern: the
+//! enterer increments `active` and then re-checks `fence`, while the
+//! fencer sets `fence` and then reads `active`. With only
+//! Acquire/Release each side may miss the other's store — the enterer
+//! proceeds under a fence it did not see while the fencer observes zero
+//! active transactions — and the critical section (lock-array swap,
+//! version zeroing) runs concurrently with a live transaction. Every
+//! cross-checked operation on `active`/`fence` therefore stays
+//! `SeqCst`; these are per-*attempt* costs (two RMWs per transaction),
+//! not per-access, and are kept out of the hot read/write path.
+//!
+//! ## Layout
+//!
+//! `active` is RMW-ed twice by every attempt from every thread — the
+//! most contended word in the system after the clock. `fence` is
+//! read on the same path but written only when a fence starts/ends.
+//! Each gets its own cache line so the `active` traffic does not
+//! invalidate the read-mostly `fence` line, and neither shares a line
+//! with the mutex/condvars used by the (cold) blocking slow path.
 
+use crate::cacheline::CacheAligned;
 use core::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use parking_lot::{Condvar, Mutex};
 use std::time::Duration;
@@ -19,10 +42,11 @@ use std::time::Duration;
 /// The quiesce gate. One per [`crate::Stm`].
 #[derive(Debug)]
 pub struct Quiesce {
-    /// Number of transactions currently inside the gate.
-    active: AtomicUsize,
-    /// Set while a fence is pending or running.
-    fence: AtomicBool,
+    /// Number of transactions currently inside the gate. Own cache line
+    /// (hammered by every attempt).
+    active: CacheAligned<AtomicUsize>,
+    /// Set while a fence is pending or running. Own line: read-mostly.
+    fence: CacheAligned<AtomicBool>,
     /// Serializes fencers and anchors the condvars.
     mutex: Mutex<()>,
     /// Signalled when `active` drains to zero (fencer waits here).
@@ -41,8 +65,8 @@ impl Quiesce {
     /// A gate with no fence pending.
     pub fn new() -> Quiesce {
         Quiesce {
-            active: AtomicUsize::new(0),
-            fence: AtomicBool::new(false),
+            active: CacheAligned::new(AtomicUsize::new(0)),
+            fence: CacheAligned::new(AtomicBool::new(false)),
             mutex: Mutex::new(()),
             drained: Condvar::new(),
             lifted: Condvar::new(),
@@ -51,6 +75,9 @@ impl Quiesce {
 
     /// Enter the gate before starting a transaction attempt. Blocks while
     /// a fence is pending.
+    ///
+    /// Site Q1: the increment and the re-check are the enterer's half of
+    /// the Dekker pattern — SeqCst required (module docs).
     #[inline]
     pub fn enter(&self) {
         loop {
@@ -68,6 +95,11 @@ impl Quiesce {
     }
 
     /// Leave the gate after the attempt finished (commit or abort).
+    ///
+    /// Site Q1: the decrement must be SeqCst — it is the store the
+    /// fencer's `active` poll pairs with, and its Release half also
+    /// publishes the finished attempt's memory effects to the fencer's
+    /// critical section.
     #[inline]
     pub fn exit(&self) {
         let prev = self.active.fetch_sub(1, Ordering::SeqCst);
@@ -113,6 +145,8 @@ impl Quiesce {
         let mut guard = self.mutex.lock();
         // Another fencer may have just finished; we simply take our turn
         // (the mutex serializes fencers).
+        // Site Q1: the fencer's half of the Dekker pattern — the flag
+        // store and the drain poll must both be SeqCst (module docs).
         self.fence.store(true, Ordering::SeqCst);
         while self.active.load(Ordering::SeqCst) > 0 {
             // Timeout bounds the lost-wakeup window between the last
@@ -148,7 +182,13 @@ pub struct ActiveGuard<'a> {
 
 impl Drop for ActiveGuard<'_> {
     fn drop(&mut self) {
-        self.active_start.store(u64::MAX, Ordering::SeqCst);
+        // Release: everything the attempt did (in particular its reads
+        // of limbo-protected memory) must happen-before a reclaimer
+        // that observes the idle marker and deallocates. The opposite
+        // direction (a *starting* attempt vs the reclaimer) is the
+        // Dekker pattern at site S2 in `stm.rs` and needs SeqCst there,
+        // not here.
+        self.active_start.store(u64::MAX, Ordering::Release);
         self.quiesce.exit();
     }
 }

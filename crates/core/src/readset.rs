@@ -63,6 +63,34 @@ impl ReadSet {
         });
     }
 
+    /// Record a read in partition `part`, skipping the push when it
+    /// would duplicate the most recent entry (same stripe, same
+    /// version).
+    ///
+    /// Re-reading the stripe just touched is the dominant pattern in
+    /// the list workloads (a node's fields share a stripe whenever
+    /// `shifts ≥ 1`, and retries revisit the same words); since
+    /// validation checks `(lock_idx, version)` pairs, a duplicate of
+    /// the last entry adds work without adding coverage. Only the tail
+    /// entry is consulted — an O(1) check on a cache-hot word, not a
+    /// search. Skipping is sound: if the stripe has meanwhile moved to
+    /// a *different* version, the version comparison fails and the
+    /// entry is pushed as usual (and the snapshot-extension machinery
+    /// has already doomed the older entry anyway).
+    #[inline(always)]
+    pub fn push_dedup_last(&mut self, part: usize, lock_idx: usize, version: u64) {
+        if let Some(last) = self.entries.last() {
+            if last.lock_idx as usize == lock_idx && last.version == version {
+                debug_assert_eq!(
+                    last.part as usize, part,
+                    "partition hash must be a function of the lock index"
+                );
+                return;
+            }
+        }
+        self.push(part, lock_idx, version);
+    }
+
     /// Total entries.
     #[inline]
     pub fn len(&self) -> usize {
@@ -147,6 +175,29 @@ mod tests {
         let seen: Vec<usize> = rs.iter().map(|e| e.lock_idx as usize).collect();
         assert_eq!(seen, (0..9).collect::<Vec<_>>());
         assert_eq!(rs.entries().len(), 9);
+    }
+
+    #[test]
+    fn dedup_skips_only_exact_tail_repeats() {
+        let mut rs = ReadSet::new(4);
+        rs.push_dedup_last(1, 10, 5);
+        rs.push_dedup_last(1, 10, 5); // exact repeat: skipped
+        assert_eq!(rs.len(), 1);
+        rs.push_dedup_last(1, 10, 6); // same stripe, newer version: kept
+        assert_eq!(rs.len(), 2);
+        rs.push_dedup_last(2, 11, 6); // different stripe: kept
+        rs.push_dedup_last(1, 10, 6); // not the tail anymore: kept
+        assert_eq!(rs.len(), 4);
+        let idxs: Vec<u32> = rs.iter().map(|e| e.lock_idx).collect();
+        assert_eq!(idxs, vec![10, 10, 11, 10]);
+    }
+
+    #[test]
+    fn dedup_on_empty_set_pushes() {
+        let mut rs = ReadSet::new(2);
+        rs.push_dedup_last(0, 3, 1);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.entries()[0].version, 1);
     }
 
     #[test]

@@ -1,5 +1,27 @@
 //! The `Stm` front-end: thread registration, the retry loop, clock
 //! roll-over, dynamic reconfiguration, and statistics aggregation.
+//!
+//! ## Memory ordering (DESIGN.md §3, sites S1–S3)
+//!
+//! * **S1 mapping pointer** — Acquire load in the run loop / AcqRel
+//!   swap in `reconfigure`. The swap only happens inside a quiesce
+//!   fence (which excludes entered transactions), so Acquire/Release is
+//!   ample; the load must still be Acquire so the fresh `Mapping`'s
+//!   contents (lock array, masks) are visible to the attempt.
+//! * **S2 `active_start` begin-path publication** — SeqCst store,
+//!   *before* the snapshot clock sample (also SeqCst, site C2). This is
+//!   a Dekker pattern with the limbo reclaimer: a committing freer
+//!   RMWs the clock (C1) and the reclaimer then reads `active_start`;
+//!   the starting transaction stores `active_start` and then reads the
+//!   clock. If the transaction's sample missed the freer's increment
+//!   (snapshot older than the free), the SeqCst total order forces the
+//!   reclaimer's later read to see the published marker, so the block
+//!   outlives the snapshot that can still reach it. Publishing a
+//!   conservative marker (a clock value sampled *no later than* the
+//!   snapshot) before sampling the snapshot closes the window the
+//!   previous sample-then-publish order left open.
+//! * **S3 `rollovers`/`reconfigurations`/`commits_since_reclaim`** —
+//!   Relaxed: monotonic diagnostics with no ordering role.
 
 use crate::clock::GlobalClock;
 use crate::config::{CmPolicy, ConfigError, StmConfig};
@@ -67,7 +89,9 @@ pub(crate) struct StmInner {
 
 impl Drop for StmInner {
     fn drop(&mut self) {
-        let ptr = self.mapping.load(Ordering::SeqCst);
+        // Uniquely owned at drop; Acquire covers a reconfigure on
+        // another thread just before the last handle moved here.
+        let ptr = self.mapping.load(Ordering::Acquire);
         if !ptr.is_null() {
             // SAFETY: uniquely owned at drop; no transactions can be
             // active (they hold Arc clones of this inner).
@@ -202,15 +226,20 @@ impl Stm {
             // the harness tolerates panicking workers, and a leaked
             // enter would wedge every later fence.
             let active = inner.quiesce.enter_guarded(&ts.active_start);
-            // The mapping is pinned for the attempt: reconfiguration
-            // swaps it only inside a fence, which excludes entered
-            // transactions.
-            let map = unsafe { &*inner.mapping.load(Ordering::SeqCst) };
+            // Site S1: the mapping is pinned for the attempt —
+            // reconfiguration swaps it only inside a fence, which
+            // excludes entered transactions.
+            let map = unsafe { &*inner.mapping.load(Ordering::Acquire) };
+            // Site S2: publish the oldest-reader marker *before*
+            // sampling the snapshot (a marker sampled first is ≤ the
+            // snapshot, so reclamation stays conservative); SeqCst for
+            // the Dekker race with the limbo reclaimer — see module
+            // docs.
+            ts.active_start.store(inner.clock.now(), Ordering::SeqCst);
             let now = inner.clock.now();
             // SAFETY: ctx belongs to this thread exclusively.
             let ctx = unsafe { &mut *ts.ctx.get() };
             ctx.begin(kind, map, now);
-            ts.active_start.store(now, Ordering::SeqCst);
 
             let cm = map.config().cm;
             let outcome: Result<R, AbortReason> = {
@@ -277,11 +306,12 @@ impl Stm {
             }
             // SAFETY: fence ⇒ no transaction is active; the mapping
             // cannot be swapped concurrently (fencers are serialized).
-            let map = unsafe { &*inner.mapping.load(Ordering::SeqCst) };
+            let map = unsafe { &*inner.mapping.load(Ordering::Acquire) };
             map.reset_versions();
             inner.clock.reset();
             inner.limbo.reclaim_all();
-            inner.rollovers.fetch_add(1, Ordering::SeqCst);
+            // Site S3: diagnostic counter.
+            inner.rollovers.fetch_add(1, Ordering::Relaxed);
         });
     }
 
@@ -297,7 +327,9 @@ impl Stm {
         let inner: &StmInner = &self.inner;
         inner.quiesce.fence(|| {
             let fresh = Box::into_raw(Box::new(Mapping::new(config)));
-            let old = inner.mapping.swap(fresh, Ordering::SeqCst);
+            // Site S1: Release half publishes the fresh mapping's
+            // contents to the run loop's Acquire load.
+            let old = inner.mapping.swap(fresh, Ordering::AcqRel);
             // SAFETY: no transaction is active inside the fence, so no
             // one holds the old mapping.
             unsafe { drop(Box::from_raw(old)) };
@@ -305,7 +337,8 @@ impl Stm {
             inner.clock.set_max(config.max_clock);
             inner.limbo.reclaim_all();
             *inner.config_mirror.lock() = config;
-            inner.reconfigurations.fetch_add(1, Ordering::SeqCst);
+            // Site S3: diagnostic counter.
+            inner.reconfigurations.fetch_add(1, Ordering::Relaxed);
         });
         Ok(())
     }
@@ -326,6 +359,7 @@ impl Stm {
             .registry
             .lock()
             .iter()
+            // Site S2 (reclaimer side of the Dekker pattern): SeqCst.
             .map(|t| t.active_start.load(Ordering::SeqCst))
             .min()
             .unwrap_or(u64::MAX);
@@ -340,6 +374,7 @@ impl Stm {
             .registry
             .lock()
             .iter()
+            // Site S2 (reclaimer side of the Dekker pattern): SeqCst.
             .map(|t| t.active_start.load(Ordering::SeqCst))
             .min()
             .unwrap_or(u64::MAX);
@@ -355,8 +390,8 @@ impl Stm {
         }
         StmStats {
             totals,
-            rollovers: self.inner.rollovers.load(Ordering::SeqCst),
-            reconfigurations: self.inner.reconfigurations.load(Ordering::SeqCst),
+            rollovers: self.inner.rollovers.load(Ordering::Relaxed),
+            reconfigurations: self.inner.reconfigurations.load(Ordering::Relaxed),
             limbo_pending: self.inner.limbo.len(),
             threads: registry.len(),
         }

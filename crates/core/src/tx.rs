@@ -6,6 +6,50 @@
 //! loop. It borrows the per-thread `TxCtx` (read set, write log,
 //! hierarchy masks — all recycled across attempts) and the current
 //! [`Mapping`] (pinned by the quiesce gate for the attempt's duration).
+//!
+//! ## Memory ordering (DESIGN.md §3, sites R1–R5, W1–W6, F1)
+//!
+//! The per-access fast path is a seqlock: the lock word doubles as the
+//! sequence word, "owned" as the odd state. The orderings are chosen
+//! per site instead of blanket `SeqCst`:
+//!
+//! * **R1** `l1 = lock.load(Acquire)` — pairs with the Release
+//!   lock-release stores (W4/W5): observing version `v` makes every
+//!   data word published at `v` visible to the reads that follow.
+//! * **R3** `value = data.load(Relaxed)` + **F1** `fence(Acquire)` +
+//!   **R4** `l2 = lock.load(Relaxed)` — the seqlock re-check. If R3
+//!   read a concurrent writer's (Release) data store, the fence
+//!   synchronizes with that store, which makes the writer's preceding
+//!   lock-acquiring CAS (W1) visible to R4; by coherence R4 then reads
+//!   the owned word (or something later), so `l1 != l2` and the
+//!   possibly-dirty value is discarded. The write-through incarnation
+//!   bump (W5) keeps this working across abort/restore cycles where
+//!   the version alone would not change.
+//! * **R2** own-stripe data loads — `Relaxed`: we own the covering
+//!   lock, so the word is either our own write (program order) or the
+//!   last committed value, which our acquiring CAS (W1, Acquire half)
+//!   already synchronized with.
+//! * **R5** validation lock loads — `Acquire`: freshness comes from the
+//!   clock edge (site C1/C2 in `clock.rs`); Acquire pairs with W1/W4 so
+//!   a record pointer read from an owned word dereferences fully
+//!   initialized fields.
+//! * **W1** the acquiring CAS — `AcqRel` on success (Acquire: brings
+//!   the last committed data into view and orders our stripe accesses
+//!   after ownership; Release: publishes the just-initialized
+//!   [`StripeRecord`] to any R1/R5 that observes the owned word);
+//!   `Relaxed` on failure (the retry loop re-reads through R1).
+//! * **W2/W3** data publication (write-through in-place stores,
+//!   write-back commit write-back) — `Release`, so a racing R3 that
+//!   observes the value synchronizes through F1 (see R3/F1 above).
+//! * **W4** commit lock release / **W5** rollback lock release —
+//!   `Release`: the publication edge R1 acquires; sequenced after the
+//!   data stores they cover.
+//! * **W6** write-through undo restores — `Release` for the same
+//!   reason as W2: a racing reader may observe the restored value.
+//! * Owner-private bookkeeping (read set, write log, undo vector,
+//!   arena) is plain non-atomic data — it is never touched by foreign
+//!   threads except `StripeRecord::owner` (Acquire/Release in
+//!   `writelog.rs`).
 
 use crate::config::AccessStrategy;
 use crate::lockword::{
@@ -192,7 +236,8 @@ impl<'a> Tx<'a> {
                 }
             }
             processed += 1;
-            let w = self.map.lock(e.lock_idx as usize).load(Ordering::SeqCst);
+            // Site R5 (module docs): Acquire.
+            let w = self.map.lock(e.lock_idx as usize).load(Ordering::Acquire);
             if is_owned(w) {
                 let rec = owner_ptr(w) as *const StripeRecord;
                 // SAFETY: records live in registry-pinned arenas for
@@ -255,7 +300,8 @@ impl<'a> Tx<'a> {
         }
         let mut retries = 0u32;
         loop {
-            let l1 = lock.load(Ordering::SeqCst);
+            // Site R1 (module docs): Acquire.
+            let l1 = lock.load(Ordering::Acquire);
             if is_owned(l1) {
                 let rec = owner_ptr(l1) as *const StripeRecord;
                 // SAFETY: registry-pinned arena memory (writelog.rs).
@@ -269,12 +315,14 @@ impl<'a> Tx<'a> {
                             if let Some(e) = self.ctx.wlog.find_entry(rec, addr) {
                                 Ok((*e).value)
                             } else {
-                                Ok(atomic_view(addr).load(Ordering::SeqCst))
+                                // Site R2: own lock — Relaxed.
+                                Ok(atomic_view(addr).load(Ordering::Relaxed))
                             }
                         }
                         // Write-through: memory always holds our latest.
+                        // Site R2: own lock — Relaxed.
                         AccessStrategy::WriteThrough => {
-                            Ok(atomic_view(addr).load(Ordering::SeqCst))
+                            Ok(atomic_view(addr).load(Ordering::Relaxed))
                         }
                     };
                 }
@@ -282,8 +330,12 @@ impl<'a> Tx<'a> {
                 // choice over waiting).
                 return Err(self.abort(AbortReason::ReadLocked));
             }
-            let value = atomic_view(addr).load(Ordering::SeqCst);
-            let l2 = lock.load(Ordering::SeqCst);
+            // Sites R3 + F1 + R4 (module docs): the seqlock re-check.
+            // The Acquire fence orders the data read before the l2
+            // re-load and pairs with the Release data stores (W2/W3/W6).
+            let value = atomic_view(addr).load(Ordering::Relaxed);
+            core::sync::atomic::fence(Ordering::Acquire);
+            let l2 = lock.load(Ordering::Relaxed);
             if l1 != l2 {
                 // Concurrent acquisition/release (or a write-through
                 // incarnation bump) — the value may be dirty; retry.
@@ -300,7 +352,12 @@ impl<'a> Tx<'a> {
             }
             if update {
                 let part = if hier_on { hidx } else { 0 };
-                self.ctx.rset.push(part, idx, version);
+                // Dedup fast path: re-reading the recently-touched
+                // stripe at the same version (the dominant pattern in
+                // the list workloads, where a node's fields share a
+                // stripe) must not inflate the read set — validation of
+                // the existing entry already covers this read.
+                self.ctx.rset.push_dedup_last(part, idx, version);
             }
             return Ok(value);
         }
@@ -322,7 +379,8 @@ impl<'a> Tx<'a> {
         }
         let strategy = self.strategy();
         loop {
-            let l1 = lock.load(Ordering::SeqCst);
+            // Site R1 (module docs): Acquire.
+            let l1 = lock.load(Ordering::Acquire);
             if is_owned(l1) {
                 let rec_const = owner_ptr(l1) as *const StripeRecord;
                 // SAFETY: registry-pinned arena memory.
@@ -337,9 +395,11 @@ impl<'a> Tx<'a> {
                             }
                         }
                         AccessStrategy::WriteThrough => {
-                            let old = atomic_view(addr).load(Ordering::SeqCst);
+                            // Site R2: own lock — Relaxed.
+                            let old = atomic_view(addr).load(Ordering::Relaxed);
                             self.ctx.wlog.push_undo(addr, old);
-                            atomic_view(addr).store(value, Ordering::SeqCst);
+                            // Site W2: in-place publication — Release.
+                            atomic_view(addr).store(value, Ordering::Release);
                         }
                     }
                     return Ok(());
@@ -354,14 +414,15 @@ impl<'a> Tx<'a> {
                 self.extend()?;
                 continue;
             }
-            // Acquire: publish a stripe record through a CAS.
+            // Site W1 (module docs): publish a stripe record through an
+            // AcqRel CAS; Relaxed on failure (the loop re-reads via R1).
             let rec = self.ctx.wlog.new_record(self.owner_addr(), l1, idx);
             if lock
                 .compare_exchange(
                     l1,
                     make_owned(rec as usize),
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
                 )
                 .is_err()
             {
@@ -377,9 +438,11 @@ impl<'a> Tx<'a> {
                     self.ctx.wlog.add_entry(rec, addr, value);
                 }
                 AccessStrategy::WriteThrough => {
-                    let old = atomic_view(addr).load(Ordering::SeqCst);
+                    // Site R2: own lock (just acquired) — Relaxed.
+                    let old = atomic_view(addr).load(Ordering::Relaxed);
                     self.ctx.wlog.push_undo(addr, old);
-                    atomic_view(addr).store(value, Ordering::SeqCst);
+                    // Site W2: in-place publication — Release.
+                    atomic_view(addr).store(value, Ordering::Release);
                 }
             }
             return Ok(());
@@ -435,7 +498,9 @@ impl<'a> Tx<'a> {
                 unsafe {
                     let mut e = (*rec).first_entry;
                     while !e.is_null() {
-                        atomic_view((*e).addr).store((*e).value, Ordering::SeqCst);
+                        // Site W3 (module docs): write-back publication
+                        // — Release, for racing seqlock readers (F1).
+                        atomic_view((*e).addr).store((*e).value, Ordering::Release);
                         e = (*e).next;
                     }
                 }
@@ -445,9 +510,11 @@ impl<'a> Tx<'a> {
         for rec in self.ctx.wlog.records() {
             // SAFETY: we own every recorded lock.
             let lock_idx = unsafe { (*rec).lock_idx };
+            // Site W4 (module docs): lock release — Release; R1 acquires
+            // the data stores above through this edge.
             self.map
                 .lock(lock_idx)
-                .store(release_word, Ordering::SeqCst);
+                .store(release_word, Ordering::Release);
         }
 
         // Committed frees enter limbo stamped with our commit time
@@ -473,7 +540,9 @@ impl<'a> Tx<'a> {
             // Restore in reverse so the oldest value wins on multi-writes.
             for u in self.ctx.wlog.undo.iter().rev() {
                 // SAFETY: we still own every lock covering these words.
-                unsafe { atomic_view(u.addr).store(u.old_value, Ordering::SeqCst) };
+                // Site W6 (module docs): restored-value publication —
+                // Release, for racing seqlock readers (F1).
+                unsafe { atomic_view(u.addr).store(u.old_value, Ordering::Release) };
             }
         }
         for rec in self.ctx.wlog.records() {
@@ -491,7 +560,9 @@ impl<'a> Tx<'a> {
                     }
                 }
             };
-            self.map.lock(lock_idx).store(release, Ordering::SeqCst);
+            // Site W5 (module docs): rollback lock release — Release
+            // (sequenced after the undo restores it covers).
+            self.map.lock(lock_idx).store(release, Ordering::Release);
         }
         // This attempt's allocations were never published (the attempt
         // is dead); reclaim immediately — including blocks it also freed.

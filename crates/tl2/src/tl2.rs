@@ -13,6 +13,18 @@
 //!
 //! The global clock, quiesce fence, and limbo reclamation substrates are
 //! shared with the `tinystm` crate.
+//!
+//! ## Memory ordering
+//!
+//! Same per-site protocol as `tinystm::tx` (DESIGN.md §3), so the
+//! TinySTM-vs-TL2 comparison measures algorithms, not fence budgets:
+//! Acquire lock loads (R1/R5), the Relaxed-data + Acquire-fence +
+//! Relaxed-l2 seqlock re-check (R3/F1/R4), AcqRel acquiring CAS (W1),
+//! Release write-back and lock-release stores (W3/W4/W5), SeqCst kept
+//! only on the quiesce gate (Q1), the clock (C1/C2), and the
+//! `active_start` begin-path publication (S2). TL2 never writes data
+//! before commit-time validation, so there is no write-through W2/W6
+//! analogue.
 
 use crate::bloom::Bloom;
 use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -306,11 +318,15 @@ impl Tl2 {
             // (the harness tolerates panicking workers; a leaked enter
             // would wedge every later fence).
             let active = inner.quiesce.enter_guarded(&ts.active_start);
+            // Site S2 (see tinystm::stm): publish the oldest-reader
+            // marker before sampling `rv` — SeqCst for the Dekker race
+            // with the limbo reclaimer; marker ≤ rv keeps reclamation
+            // conservative.
+            ts.active_start.store(inner.clock.now(), Ordering::SeqCst);
             let rv = inner.clock.now();
             // SAFETY: ctx belongs to this thread exclusively.
             let ctx = unsafe { &mut *ts.ctx.get() };
             ctx.begin(kind, rv);
-            ts.active_start.store(rv, Ordering::SeqCst);
 
             let outcome: Result<R, AbortReason> = {
                 let mut tx = Tl2Tx {
@@ -367,11 +383,14 @@ impl Tl2 {
             }
             for l in inner.locks.iter() {
                 debug_assert!(!is_owned(l.load(Ordering::Relaxed)));
-                l.store(0, Ordering::SeqCst);
+                // Relaxed: inside the fence; the gate (site Q1)
+                // publishes to transactions entering after it lifts.
+                l.store(0, Ordering::Relaxed);
             }
             inner.clock.reset();
             inner.limbo.reclaim_all();
-            inner.rollovers.fetch_add(1, Ordering::SeqCst);
+            // Diagnostic counter (site S3).
+            inner.rollovers.fetch_add(1, Ordering::Relaxed);
         });
     }
 
@@ -382,6 +401,7 @@ impl Tl2 {
             .registry
             .lock()
             .iter()
+            // Site S2 (reclaimer side of the Dekker pattern): SeqCst.
             .map(|t| t.active_start.load(Ordering::SeqCst))
             .min()
             .unwrap_or(u64::MAX);
@@ -400,7 +420,7 @@ impl Tl2 {
         Tl2Stats {
             totals,
             bloom_false_positives: fp,
-            rollovers: self.inner.rollovers.load(Ordering::SeqCst),
+            rollovers: self.inner.rollovers.load(Ordering::Relaxed),
             limbo_pending: self.inner.limbo.len(),
             threads: registry.len(),
         }
@@ -477,7 +497,8 @@ impl<'a> Tl2Tx<'a> {
         let mut ok = true;
         for &idx in &self.ctx.rset {
             processed += 1;
-            let w = self.inner.locks[idx].load(Ordering::SeqCst);
+            // Site R5: Acquire (freshness via the clock edge C1/C2).
+            let w = self.inner.locks[idx].load(Ordering::Acquire);
             if is_owned(w) {
                 if w & !1 != me {
                     ok = false;
@@ -508,7 +529,12 @@ impl<'a> Tl2Tx<'a> {
 
     fn release_acquired(&mut self) {
         for &(idx, prior) in self.ctx.acquired.iter().rev() {
-            self.inner.locks[idx].store(prior, Ordering::SeqCst);
+            // Site W5: Release — restoring the prior word must re-grant
+            // readers the data visibility the original releaser
+            // published (we acquired it through the W1 CAS and pass it
+            // on here); no data writes of ours need covering, commit
+            // aborts before write-back.
+            self.inner.locks[idx].store(prior, Ordering::Release);
         }
         self.ctx.acquired.clear();
     }
@@ -533,7 +559,8 @@ impl<'a> Tl2Tx<'a> {
             let idx = self.ctx.wset[i].lock_idx;
             let lock = &self.inner.locks[idx];
             loop {
-                let w = lock.load(Ordering::SeqCst);
+                // Site R1: Acquire.
+                let w = lock.load(Ordering::Acquire);
                 if is_owned(w) {
                     if w & !1 == me {
                         break; // already ours (earlier entry, same stripe)
@@ -546,8 +573,12 @@ impl<'a> Tl2Tx<'a> {
                 // Note: a version newer than rv is caught by read-set
                 // validation iff we also read the stripe; blind writes
                 // are allowed to overwrite newer data (as in TL2).
+                // Site W1: AcqRel on success (Acquire syncs with the
+                // prior releaser; Release publishes ownership for the
+                // seqlock re-check), Relaxed on failure (loop re-reads
+                // via R1).
                 if lock
-                    .compare_exchange(w, me | 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(w, me | 1, Ordering::AcqRel, Ordering::Relaxed)
                     .is_ok()
                 {
                     self.ctx.acquired.push((idx, w));
@@ -578,10 +609,12 @@ impl<'a> Tl2Tx<'a> {
         // Write back, then release with the new version.
         for e in &self.ctx.wset {
             // SAFETY: caller contract of store_word.
-            unsafe { atomic_view(e.addr).store(e.value, Ordering::SeqCst) };
+            // Site W3: Release, for racing seqlock readers (F1).
+            unsafe { atomic_view(e.addr).store(e.value, Ordering::Release) };
         }
         for &(idx, _) in &self.ctx.acquired {
-            self.inner.locks[idx].store(make_version(wv), Ordering::SeqCst);
+            // Site W4: lock release — Release covers the write-back.
+            self.inner.locks[idx].store(make_version(wv), Ordering::Release);
         }
         self.ctx.acquired.clear();
 
@@ -641,14 +674,18 @@ impl<'a> TmTx for Tl2Tx<'a> {
         let lock = &self.inner.locks[idx];
         let mut retries = 0u32;
         loop {
-            let l1 = lock.load(Ordering::SeqCst);
+            // Site R1: Acquire.
+            let l1 = lock.load(Ordering::Acquire);
             if is_owned(l1) {
                 // Locks are only held by committing transactions; TL2
                 // aborts rather than waiting.
                 return Err(Abort(AbortReason::ReadLocked));
             }
-            let value = atomic_view(addr).load(Ordering::SeqCst);
-            let l2 = lock.load(Ordering::SeqCst);
+            // Sites R3 + F1 + R4: the seqlock re-check (see module
+            // docs / tinystm::tx).
+            let value = atomic_view(addr).load(Ordering::Relaxed);
+            core::sync::atomic::fence(Ordering::Acquire);
+            let l2 = lock.load(Ordering::Relaxed);
             if l1 != l2 {
                 retries += 1;
                 if retries > MAX_READ_RETRIES {
