@@ -4,18 +4,21 @@
 //! Paper shape: throughput falls with update rate everywhere; the
 //! influence of size is ≈ logarithmic for the tree and ≈ linear
 //! (inverse) for the list; all designs produce the same general surface.
+//!
+//! Results go to stdout (CSV) and `target/perf/fig05.jsonl` (size and
+//! update rate live in each record's config key; no baseline is gated
+//! yet).
 
-use stm_bench::{default_opts, full_mode, run_cell, Backend, Structure};
-use stm_harness::table::{f1, i, s, SeriesWriter};
+use stm_bench::{
+    bench_record, default_opts, full_mode, perf_emitter, run_cell, Backend, Structure,
+};
 use stm_harness::IntSetWorkload;
 
 fn main() {
-    let mut out = SeriesWriter::default();
-    out.experiment(
+    let mut out = perf_emitter(
         "fig05",
         "throughput vs structure size x update rate, 8 threads",
     );
-    out.columns(&["structure", "backend", "size", "update_pct", "txs_per_s"]);
     let sizes: Vec<u64> = if full_mode() {
         vec![256, 512, 1024, 2048, 4096]
     } else {
@@ -30,22 +33,20 @@ fn main() {
         for backend in Backend::ALL {
             for &size in &sizes {
                 for &u in &updates {
-                    let m = run_cell(
-                        backend,
-                        structure,
-                        IntSetWorkload::new(size, u),
-                        default_opts(8),
-                    );
-                    out.row(&[
-                        s(structure.label()),
-                        s(backend.label()),
-                        i(size),
-                        i(u as u64),
-                        f1(m.throughput),
-                    ]);
+                    let workload = IntSetWorkload::new(size, u);
+                    let m = run_cell(backend, structure, workload, default_opts(8));
+                    out.record(bench_record(
+                        "fig05",
+                        "surface",
+                        structure.label(),
+                        backend.label(),
+                        workload,
+                        &m,
+                    ));
                 }
             }
         }
         out.gap();
     }
+    out.finish();
 }

@@ -5,19 +5,22 @@
 //! Paper shape: throughput rises with the lock count until it flattens;
 //! a small number of shifts helps (spatial locality) before hurting; the
 //! surfaces differ per workload — the motivation for dynamic tuning.
+//!
+//! Results go to stdout (CSV) and `target/perf/fig06.jsonl`: the lock
+//! and shift parameters are encoded in the record's panel (`l<n>/s<n>`)
+//! and duplicated as extras (no baseline is gated yet).
 
-use stm_bench::{default_opts, full_mode, make_tiny, run_structure_on, Structure};
-use stm_harness::table::{f1, i, s, SeriesWriter};
+use stm_bench::{
+    bench_record, default_opts, full_mode, make_tiny, perf_emitter, run_structure_on, Structure,
+};
 use stm_harness::IntSetWorkload;
 use tinystm::AccessStrategy;
 
 fn main() {
-    let mut out = SeriesWriter::default();
-    out.experiment(
+    let mut out = perf_emitter(
         "fig06",
         "throughput vs #locks x #shifts (tinystm-wb, h=4, size=4096, 20% upd, 8 thr)",
     );
-    out.columns(&["structure", "locks_log2", "shifts", "txs_per_s"]);
     let locks: Vec<u32> = if full_mode() {
         vec![8, 10, 12, 14, 16, 18, 20, 22, 24]
     } else {
@@ -37,14 +40,20 @@ fn main() {
                 let m = run_structure_on(stm, structure, workload, default_opts(8), &move || {
                     stm_api::TmHandle::stats_snapshot(&stats_handle)
                 });
-                out.row(&[
-                    s(structure.label()),
-                    i(l as u64),
-                    i(sh as u64),
-                    f1(m.throughput),
-                ]);
+                let mut rec = bench_record(
+                    "fig06",
+                    &format!("l{l}/s{sh}"),
+                    structure.label(),
+                    "tinystm-wb",
+                    workload,
+                    &m,
+                );
+                rec.extras.insert("locks_log2".to_string(), f64::from(l));
+                rec.extras.insert("shifts".to_string(), f64::from(sh));
+                out.record(rec);
             }
         }
         out.gap();
     }
+    out.finish();
 }

@@ -1,0 +1,875 @@
+//! The offline checker: version-order graph construction + cycle
+//! detection for serializability, plus the opacity refinement for
+//! aborted and read-only transactions.
+//!
+//! ## The version-order graph
+//!
+//! Nodes are the committed *update* transactions (each holds a unique
+//! global-clock commit timestamp `wv`) plus a synthetic `Init` node
+//! standing for the pre-history state (every stripe at version 0).
+//! Edges:
+//!
+//! * **wr** — the writer a read observed → the reader;
+//! * **ww** — consecutive committed writers of one stripe, in version
+//!   order (the version order *is* the commit-timestamp order in a
+//!   global-clock STM);
+//! * **rw** — anti-dependency: a reader that observed version `v` of a
+//!   stripe → the first writer that overwrote `v`;
+//! * **co** — the claimed serialization (commit-timestamp) order,
+//!   materialized as a chain through the nodes sorted by `wv`.
+//!
+//! wr, ww and co edges always point forward in commit-timestamp order,
+//! so every cycle must travel through an rw edge pointing *backwards* —
+//! a transaction that committed at `wv` having observed a stripe version
+//! that a second transaction overwrote before `wv`. That is precisely a
+//! snapshot that was stale at its commit point, i.e. the anomaly the
+//! STM's commit-time validation exists to prevent.
+//!
+//! ## Version resolution
+//!
+//! A read's observed version is matched to the committed writer with
+//! the greatest `wv ≤ version` on that stripe (or `Init`). For
+//! write-back and TL2 every non-zero observed version corresponds to a
+//! commit exactly, and [`CheckOpts::allow_version_inflation`] `= false`
+//! reports any unmatched version as a [`Violation::PhantomVersion`]
+//! (this is what catches *lost writes*). Write-through rollback may
+//! legitimately publish a fresh clock value on incarnation overflow —
+//! a version with no matching commit but, by construction, no commit
+//! between the last real writer and itself — so the write-through
+//! backend is checked with inflation allowed.
+//!
+//! ## Opacity refinement
+//!
+//! Aborted transactions and read-only commits have no commit timestamp,
+//! but opacity still requires each to have observed a consistent
+//! snapshot: some instant `t` with, for every read, `v_resolved ≤ t <`
+//! (first overwrite of that stripe). The intervals intersect iff
+//! `max(v_resolved) < min(first overwrite)`; a violation is rendered as
+//! a small cycle through the offending writers.
+
+use crate::graph::DiGraph;
+use crate::history::{History, Outcome, Txn, TxnId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Checker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckOpts {
+    /// Accept observed versions with no exactly-matching commit by
+    /// resolving to the latest earlier writer (required for
+    /// write-through incarnation-overflow rollbacks). When `false`,
+    /// such versions are reported as [`Violation::PhantomVersion`].
+    pub allow_version_inflation: bool,
+    /// Run the opacity refinement over aborted and read-only
+    /// transactions (on by default; serializability of committed
+    /// updates is always checked).
+    pub opacity: bool,
+}
+
+impl Default for CheckOpts {
+    fn default() -> CheckOpts {
+        CheckOpts {
+            allow_version_inflation: false,
+            opacity: true,
+        }
+    }
+}
+
+/// A node in a witness: the synthetic initial state or a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRef {
+    /// Pre-history state (every stripe at version 0).
+    Init,
+    /// A recorded transaction.
+    Txn(TxnId),
+}
+
+impl std::fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeRef::Init => write!(f, "INIT"),
+            NodeRef::Txn(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+/// A dependency edge in a witness cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Reader observed `version` of `stripe` written by the source.
+    Wr {
+        /// Stripe read.
+        stripe: u64,
+        /// Version observed.
+        version: u64,
+    },
+    /// Source's write to `stripe` was overwritten by the target.
+    Ww {
+        /// Stripe written by both.
+        stripe: u64,
+        /// Target's commit timestamp.
+        to_version: u64,
+    },
+    /// Anti-dependency: source read `read_version` of `stripe`, target
+    /// overwrote it at `overwrite_version`.
+    Rw {
+        /// Stripe involved.
+        stripe: u64,
+        /// Version the source observed.
+        read_version: u64,
+        /// Version the target installed.
+        overwrite_version: u64,
+    },
+    /// Claimed serialization (commit-timestamp) order, possibly
+    /// compressed over intermediate transactions.
+    Co {
+        /// Source commit timestamp (0 for `Init`).
+        from_version: u64,
+        /// Target commit timestamp.
+        to_version: u64,
+    },
+}
+
+impl std::fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeKind::Wr { stripe, version } => write!(f, "wr[stripe {stripe} @v{version}]"),
+            EdgeKind::Ww { stripe, to_version } => {
+                write!(f, "ww[stripe {stripe} → v{to_version}]")
+            }
+            EdgeKind::Rw {
+                stripe,
+                read_version,
+                overwrite_version,
+            } => write!(
+                f,
+                "rw[stripe {stripe}: read v{read_version}, overwritten v{overwrite_version}]"
+            ),
+            EdgeKind::Co {
+                from_version,
+                to_version,
+            } => write!(f, "co[v{from_version} < v{to_version}]"),
+        }
+    }
+}
+
+/// A minimal dependency cycle: `edges[i]` connects `nodes[i]` to
+/// `nodes[(i + 1) % nodes.len()]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleWitness {
+    /// The transactions (and possibly `Init`) on the cycle.
+    pub nodes: Vec<NodeRef>,
+    /// The dependency edges along the cycle.
+    pub edges: Vec<EdgeKind>,
+}
+
+impl std::fmt::Display for CycleWitness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cycle({} txns): ", self.nodes.len())?;
+        for (i, node) in self.nodes.iter().enumerate() {
+            write!(f, "{node} --{}--> ", self.edges[i])?;
+        }
+        write!(f, "{}", self.nodes[0])
+    }
+}
+
+/// One checker finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two committed update transactions share a commit timestamp (the
+    /// global clock is broken).
+    DuplicateCommitVersion {
+        /// First transaction.
+        a: TxnId,
+        /// Second transaction.
+        b: TxnId,
+        /// The shared timestamp.
+        version: u64,
+    },
+    /// A read observed a version no committed write produced (strict
+    /// mode only; catches lost writes).
+    PhantomVersion {
+        /// The reading transaction.
+        txn: TxnId,
+        /// Stripe read.
+        stripe: u64,
+        /// The unmatched version.
+        version: u64,
+    },
+    /// The committed update transactions are not serializable in (or
+    /// consistently with) commit-timestamp order.
+    SerializabilityCycle {
+        /// The minimal dependency cycle found.
+        cycle: CycleWitness,
+        /// Human explanation of the decisive edge.
+        summary: String,
+    },
+    /// An aborted or read-only transaction observed reads that fit no
+    /// single snapshot (opacity violation).
+    InconsistentSnapshot {
+        /// The offending transaction.
+        txn: TxnId,
+        /// Whether it (read-only) committed or aborted.
+        committed: bool,
+        /// Pseudo-cycle through the writers that pin the two
+        /// irreconcilable reads.
+        cycle: CycleWitness,
+        /// Human explanation.
+        summary: String,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::DuplicateCommitVersion { a, b, version } => write!(
+                f,
+                "duplicate commit version v{version} shared by {a} and {b}"
+            ),
+            Violation::PhantomVersion {
+                txn,
+                stripe,
+                version,
+            } => write!(
+                f,
+                "{txn} read stripe {stripe} at v{version}, which no committed write produced"
+            ),
+            Violation::SerializabilityCycle { cycle, summary } => {
+                write!(f, "serializability violation: {summary}\n  {cycle}")
+            }
+            Violation::InconsistentSnapshot {
+                txn,
+                committed,
+                cycle,
+                summary,
+            } => write!(
+                f,
+                "opacity violation ({} {txn}): {summary}\n  {cycle}",
+                if *committed {
+                    "read-only commit"
+                } else {
+                    "aborted txn"
+                }
+            ),
+        }
+    }
+}
+
+/// The checker's result.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// All findings, deterministic order.
+    pub violations: Vec<Violation>,
+    /// Committed update transactions checked.
+    pub committed_updates: usize,
+    /// Read-only commits checked by the opacity refinement.
+    pub readonly_commits: usize,
+    /// Aborted attempts checked by the opacity refinement.
+    pub aborted: usize,
+    /// Total resolved reads.
+    pub reads_checked: usize,
+    /// Dependency edges in the version-order graph.
+    pub graph_edges: usize,
+}
+
+impl CheckReport {
+    /// True when no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "checked {} committed update txn(s), {} read-only commit(s), {} aborted \
+             attempt(s); {} read(s) resolved, {} graph edge(s)",
+            self.committed_updates,
+            self.readonly_commits,
+            self.aborted,
+            self.reads_checked,
+            self.graph_edges
+        )?;
+        if self.violations.is_empty() {
+            write!(f, "no violations: history is serializable and opaque")
+        } else {
+            writeln!(f, "{} violation(s):", self.violations.len())?;
+            for (i, v) in self.violations.iter().enumerate() {
+                writeln!(f, "[{i}] {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Per-stripe list of committed writers, sorted by commit version.
+struct StripeWriters {
+    /// `(commit version, node index)`, ascending.
+    by_version: Vec<(u64, usize)>,
+}
+
+impl StripeWriters {
+    /// Greatest writer with version ≤ `v`, if any.
+    fn latest_at_or_before(&self, v: u64) -> Option<(u64, usize)> {
+        match self.by_version.partition_point(|&(wv, _)| wv <= v) {
+            0 => None,
+            i => Some(self.by_version[i - 1]),
+        }
+    }
+
+    /// First writer with version > `v`, if any.
+    fn first_after(&self, v: u64) -> Option<(u64, usize)> {
+        let i = self.by_version.partition_point(|&(wv, _)| wv <= v);
+        self.by_version.get(i).copied()
+    }
+
+    /// Whether some writer committed exactly version `v`.
+    fn has_exact(&self, v: u64) -> bool {
+        self.by_version
+            .binary_search_by_key(&v, |&(wv, _)| wv)
+            .is_ok()
+    }
+}
+
+/// Check a recorded history. See the module docs for the model.
+pub fn check_history(history: &History, opts: &CheckOpts) -> CheckReport {
+    let mut report = CheckReport::default();
+
+    // Node table: index 0 = Init, then committed update txns in commit-
+    // version order.
+    let mut committed: Vec<&Txn> = history
+        .txns()
+        .filter(|t| t.commit_version().is_some())
+        .collect();
+    committed.sort_by_key(|t| t.commit_version().expect("filtered"));
+    for w in committed.windows(2) {
+        let (va, vb) = (
+            w[0].commit_version().expect("filtered"),
+            w[1].commit_version().expect("filtered"),
+        );
+        if va == vb {
+            report.violations.push(Violation::DuplicateCommitVersion {
+                a: w[0].id,
+                b: w[1].id,
+                version: va,
+            });
+        }
+    }
+    report.committed_updates = committed.len();
+
+    let n_nodes = committed.len() + 1;
+    let node_of: HashMap<TxnId, usize> = committed
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.id, i + 1))
+        .collect();
+    let node_ref = |idx: usize| -> NodeRef {
+        if idx == 0 {
+            NodeRef::Init
+        } else {
+            NodeRef::Txn(committed[idx - 1].id)
+        }
+    };
+    let node_version = |idx: usize| -> u64 {
+        if idx == 0 {
+            0
+        } else {
+            committed[idx - 1].commit_version().expect("update txn")
+        }
+    };
+
+    // Per-stripe committed writers (already version-sorted because the
+    // node order is).
+    let mut writers: HashMap<u64, StripeWriters> = HashMap::new();
+    for (i, t) in committed.iter().enumerate() {
+        let wv = t.commit_version().expect("filtered");
+        for &s in &t.writes {
+            writers
+                .entry(s)
+                .or_insert_with(|| StripeWriters {
+                    by_version: Vec::new(),
+                })
+                .by_version
+                .push((wv, i + 1));
+        }
+    }
+
+    // Resolve one read; returns (resolved version, resolved node) and
+    // reports phantoms in strict mode.
+    let mut phantoms: BTreeSet<(TxnId, u64, u64)> = BTreeSet::new();
+    let mut resolve = |txn: TxnId, stripe: u64, version: u64| -> (u64, usize) {
+        let resolved = writers
+            .get(&stripe)
+            .and_then(|w| w.latest_at_or_before(version));
+        if !opts.allow_version_inflation && version > 0 {
+            let exact = writers.get(&stripe).is_some_and(|w| w.has_exact(version));
+            if !exact {
+                phantoms.insert((txn, stripe, version));
+            }
+        }
+        match resolved {
+            Some((wv, node)) => (wv, node),
+            None => (0, 0),
+        }
+    };
+
+    // Version-order graph over Init + committed update txns: the co
+    // chain through commit-version order (Init first), then per-stripe
+    // ww chains, then wr/rw edges from the reads.
+    let mut graph: DiGraph<EdgeKind> = DiGraph::new(n_nodes);
+    for i in 0..n_nodes - 1 {
+        graph.add_edge(
+            i,
+            i + 1,
+            EdgeKind::Co {
+                from_version: node_version(i),
+                to_version: node_version(i + 1),
+            },
+        );
+    }
+    for (&stripe, w) in &writers {
+        let mut prev_node = 0usize;
+        for &(wv, node) in &w.by_version {
+            graph.add_edge(
+                prev_node,
+                node,
+                EdgeKind::Ww {
+                    stripe,
+                    to_version: wv,
+                },
+            );
+            prev_node = node;
+        }
+    }
+    // wr + rw edges from every committed update txn's reads.
+    for t in &committed {
+        let me = node_of[&t.id];
+        let mut seen: BTreeSet<(u64, u64)> = BTreeSet::new();
+        for &(stripe, version) in &t.reads {
+            if !seen.insert((stripe, version)) {
+                continue;
+            }
+            report.reads_checked += 1;
+            let (v_res, w_node) = resolve(t.id, stripe, version);
+            if w_node != me {
+                graph.add_edge(
+                    w_node,
+                    me,
+                    EdgeKind::Wr {
+                        stripe,
+                        version: v_res,
+                    },
+                );
+            }
+            if let Some((next_v, next_node)) =
+                writers.get(&stripe).and_then(|w| w.first_after(v_res))
+            {
+                if next_node != me {
+                    graph.add_edge(
+                        me,
+                        next_node,
+                        EdgeKind::Rw {
+                            stripe,
+                            read_version: v_res,
+                            overwrite_version: next_v,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    report.graph_edges = graph.edge_count();
+
+    // Cycle detection.
+    let core = graph.cyclic_core();
+    if !core.is_empty() {
+        let mut in_core = vec![false; graph.len()];
+        for &v in &core {
+            in_core[v] = true;
+        }
+        // Try a few starting points, keep the shortest cycle.
+        let mut best: Option<(Vec<usize>, Vec<EdgeKind>)> = None;
+        for &start in core.iter().take(8) {
+            if let Some(found) = graph.shortest_cycle_through(start, &in_core) {
+                if best.as_ref().is_none_or(|b| found.0.len() < b.0.len()) {
+                    best = Some(found);
+                }
+            }
+        }
+        if let Some((nodes, edges)) = best {
+            let cycle = compress_co_runs(&nodes, &edges, &node_ref, &node_version);
+            let summary = cycle
+                .edges
+                .iter()
+                .find_map(|e| match e {
+                    EdgeKind::Rw {
+                        stripe,
+                        read_version,
+                        overwrite_version,
+                    } => Some(format!(
+                        "a committed transaction read stripe {stripe} at v{read_version} \
+                         although it was overwritten at v{overwrite_version} before the \
+                         reader's commit"
+                    )),
+                    _ => None,
+                })
+                .unwrap_or_else(|| "dependency cycle among committed transactions".to_string());
+            report
+                .violations
+                .push(Violation::SerializabilityCycle { cycle, summary });
+        }
+    }
+
+    // Opacity refinement: aborted + read-only commits must each fit a
+    // snapshot.
+    if opts.opacity {
+        for t in history.txns() {
+            let committed_ro = matches!(t.outcome, Outcome::Committed { version: None });
+            let aborted = matches!(t.outcome, Outcome::Aborted);
+            if !committed_ro && !aborted {
+                continue;
+            }
+            if committed_ro {
+                report.readonly_commits += 1;
+            } else {
+                report.aborted += 1;
+            }
+            // max over resolved read versions, min over first-overwrite
+            // versions; snapshot exists iff max < min.
+            let mut max_read: Option<(u64, u64, usize)> = None; // (v_res, stripe, writer node)
+            let mut min_next: Option<(u64, u64, u64, usize)> = None; // (next_v, stripe, v_res, next node)
+            let mut seen: BTreeSet<(u64, u64)> = BTreeSet::new();
+            for &(stripe, version) in &t.reads {
+                if !seen.insert((stripe, version)) {
+                    continue;
+                }
+                report.reads_checked += 1;
+                let (v_res, w_node) = resolve(t.id, stripe, version);
+                if max_read.is_none_or(|(v, _, _)| v_res > v) {
+                    max_read = Some((v_res, stripe, w_node));
+                }
+                if let Some((next_v, next_node)) =
+                    writers.get(&stripe).and_then(|w| w.first_after(v_res))
+                {
+                    if min_next.is_none_or(|(v, _, _, _)| next_v < v) {
+                        min_next = Some((next_v, stripe, v_res, next_node));
+                    }
+                }
+            }
+            if let (
+                Some((max_v, max_stripe, max_writer)),
+                Some((next_v, next_stripe, next_res, next_node)),
+            ) = (max_read, min_next)
+            {
+                if max_v >= next_v {
+                    // No instant satisfies both reads: stripe
+                    // `next_stripe` was overwritten (at next_v) before
+                    // the version max_v the txn later observed.
+                    let me = NodeRef::Txn(t.id);
+                    let mut nodes = vec![me, node_ref(next_node)];
+                    let mut edges = vec![EdgeKind::Rw {
+                        stripe: next_stripe,
+                        read_version: next_res,
+                        overwrite_version: next_v,
+                    }];
+                    if next_node == max_writer {
+                        edges.push(EdgeKind::Wr {
+                            stripe: max_stripe,
+                            version: max_v,
+                        });
+                    } else {
+                        nodes.push(node_ref(max_writer));
+                        edges.push(EdgeKind::Co {
+                            from_version: next_v,
+                            to_version: max_v,
+                        });
+                        edges.push(EdgeKind::Wr {
+                            stripe: max_stripe,
+                            version: max_v,
+                        });
+                    }
+                    let cycle = CycleWitness { nodes, edges };
+                    let summary = format!(
+                        "read stripe {next_stripe} at v{next_res} (overwritten at v{next_v}) \
+                         and stripe {max_stripe} at v{max_v}: no snapshot instant contains both"
+                    );
+                    report.violations.push(Violation::InconsistentSnapshot {
+                        txn: t.id,
+                        committed: committed_ro,
+                        cycle,
+                        summary,
+                    });
+                }
+            }
+        }
+    }
+
+    for (txn, stripe, version) in phantoms {
+        report.violations.push(Violation::PhantomVersion {
+            txn,
+            stripe,
+            version,
+        });
+    }
+
+    report
+}
+
+/// Compress maximal runs of consecutive `co` edges in a raw cycle into
+/// single summarized `co` hops so witnesses stay minimal and readable.
+fn compress_co_runs(
+    nodes: &[usize],
+    edges: &[EdgeKind],
+    node_ref: &dyn Fn(usize) -> NodeRef,
+    node_version: &dyn Fn(usize) -> u64,
+) -> CycleWitness {
+    let n = nodes.len();
+    let mut out_nodes = Vec::new();
+    let mut out_edges = Vec::new();
+    let mut i = 0;
+    while i < n {
+        out_nodes.push(node_ref(nodes[i]));
+        if matches!(edges[i], EdgeKind::Co { .. }) {
+            // Extend the run (edge j connects nodes[j] → nodes[(j+1)%n]).
+            let start = i;
+            while i < n && matches!(edges[i], EdgeKind::Co { .. }) {
+                i += 1;
+            }
+            let to = if i == n { nodes[0] } else { nodes[i] };
+            out_edges.push(EdgeKind::Co {
+                from_version: node_version(nodes[start]),
+                to_version: node_version(to),
+            });
+        } else {
+            out_edges.push(edges[i]);
+            i += 1;
+        }
+    }
+    CycleWitness {
+        nodes: out_nodes,
+        edges: out_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::Event;
+
+    /// Build a history straight from per-session event vectors.
+    fn hist(logs: Vec<Vec<Event>>) -> History {
+        History::from_event_logs(logs).expect("well-formed test history")
+    }
+
+    fn begin(start: u64) -> Event {
+        Event::Begin { start }
+    }
+    fn read(stripe: u64, version: u64) -> Event {
+        Event::Read { stripe, version }
+    }
+    fn write(stripe: u64) -> Event {
+        Event::Write { stripe }
+    }
+    fn commit(v: u64) -> Event {
+        Event::Commit { version: Some(v) }
+    }
+    fn commit_ro() -> Event {
+        Event::Commit { version: None }
+    }
+
+    #[test]
+    fn clean_sequential_history_passes() {
+        // s0: w(x)@1, w(y)@2; s1: reads both at their latest versions,
+        // writes x@3; a read-only commit and a consistent abort ride
+        // along.
+        let h = hist(vec![
+            vec![
+                begin(0),
+                write(0),
+                commit(1),
+                begin(1),
+                read(0, 1),
+                write(1),
+                commit(2),
+            ],
+            vec![
+                begin(2),
+                read(0, 1),
+                read(1, 2),
+                write(0),
+                commit(3),
+                begin(3),
+                read(0, 3),
+                read(1, 2),
+                commit_ro(),
+                begin(3),
+                read(1, 2),
+                Event::Abort,
+            ],
+        ]);
+        let report = check_history(&h, &CheckOpts::default());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.committed_updates, 3);
+        assert_eq!(report.readonly_commits, 1);
+        assert_eq!(report.aborted, 1);
+    }
+
+    #[test]
+    fn stale_committed_read_yields_cycle() {
+        // T_a reads x@1 and commits at 4, but x was overwritten at 2:
+        // T_a's snapshot was stale at commit (skipped validation).
+        let h = hist(vec![
+            vec![begin(0), write(0), commit(1), begin(1), write(0), commit(2)],
+            vec![begin(1), read(0, 1), write(1), commit(4)],
+        ]);
+        let report = check_history(&h, &CheckOpts::default());
+        assert!(!report.is_clean());
+        let cycle = report
+            .violations
+            .iter()
+            .find_map(|v| match v {
+                Violation::SerializabilityCycle { cycle, .. } => Some(cycle),
+                _ => None,
+            })
+            .expect("cycle violation");
+        // Minimal witness: reader --rw--> overwriter --co--> reader.
+        assert!(
+            cycle.edges.iter().any(|e| matches!(
+                e,
+                EdgeKind::Rw {
+                    stripe: 0,
+                    read_version: 1,
+                    overwrite_version: 2
+                }
+            )),
+            "{cycle}"
+        );
+        assert!(cycle.nodes.contains(&NodeRef::Txn(TxnId {
+            session: 1,
+            index: 0
+        })));
+    }
+
+    #[test]
+    fn inconsistent_aborted_snapshot_is_opacity_violation() {
+        // Aborted txn read x@1 (overwritten at 2) together with y@3:
+        // no instant holds both.
+        let h = hist(vec![
+            vec![
+                begin(0),
+                write(0),
+                commit(1),
+                begin(1),
+                write(0),
+                commit(2),
+                begin(2),
+                write(1),
+                commit(3),
+            ],
+            vec![begin(1), read(0, 1), read(1, 3), Event::Abort],
+        ]);
+        let report = check_history(&h, &CheckOpts::default());
+        let v = report
+            .violations
+            .iter()
+            .find(|v| matches!(v, Violation::InconsistentSnapshot { .. }))
+            .expect("snapshot violation");
+        let text = v.to_string();
+        assert!(text.contains("opacity violation"), "{text}");
+        assert!(text.contains("cycle"), "{text}");
+    }
+
+    #[test]
+    fn opacity_refinement_can_be_disabled() {
+        let h = hist(vec![
+            vec![
+                begin(0),
+                write(0),
+                commit(1),
+                begin(1),
+                write(0),
+                commit(2),
+                begin(2),
+                write(1),
+                commit(3),
+            ],
+            vec![begin(1), read(0, 1), read(1, 3), Event::Abort],
+        ]);
+        let opts = CheckOpts {
+            opacity: false,
+            ..CheckOpts::default()
+        };
+        assert!(check_history(&h, &opts).is_clean());
+    }
+
+    #[test]
+    fn lost_write_is_a_phantom_in_strict_mode() {
+        // A read observes v=2 on stripe 0 but no committed write
+        // produced it (the writer's event was lost / never recorded).
+        let h = hist(vec![
+            vec![begin(0), write(0), commit(1)],
+            vec![begin(2), read(0, 2), write(1), commit(3)],
+        ]);
+        let strict = check_history(&h, &CheckOpts::default());
+        assert!(strict.violations.iter().any(|v| matches!(
+            v,
+            Violation::PhantomVersion {
+                stripe: 0,
+                version: 2,
+                ..
+            }
+        )));
+        // Inflation-tolerant mode resolves it to the v=1 writer instead.
+        let lax = check_history(
+            &h,
+            &CheckOpts {
+                allow_version_inflation: true,
+                ..CheckOpts::default()
+            },
+        );
+        assert!(lax.is_clean(), "{lax}");
+    }
+
+    #[test]
+    fn duplicate_commit_versions_are_reported() {
+        let h = hist(vec![
+            vec![begin(0), write(0), commit(2)],
+            vec![begin(0), write(1), commit(2)],
+        ]);
+        let report = check_history(&h, &CheckOpts::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicateCommitVersion { version: 2, .. })));
+    }
+
+    #[test]
+    fn version_inflation_tolerated_only_when_between_commits_is_empty() {
+        // Write-through style: read observes v=5 (inflated) while the
+        // latest commit on the stripe is 1 and nothing committed in
+        // (1, 5]: clean under inflation. A second txn reading the same
+        // stripe inflated AND a fresher stripe stays clean too (the
+        // resolved version is what matters).
+        let h = hist(vec![
+            vec![begin(0), write(0), commit(1), begin(1), write(1), commit(2)],
+            vec![begin(5), read(0, 5), read(1, 2), write(2), commit(6)],
+        ]);
+        let opts = CheckOpts {
+            allow_version_inflation: true,
+            ..CheckOpts::default()
+        };
+        assert!(check_history(&h, &opts).is_clean());
+    }
+
+    #[test]
+    fn report_display_renders_witness() {
+        let h = hist(vec![
+            vec![begin(0), write(0), commit(1), begin(1), write(0), commit(2)],
+            vec![begin(1), read(0, 1), write(1), commit(4)],
+        ]);
+        let report = check_history(&h, &CheckOpts::default());
+        let text = report.to_string();
+        assert!(text.contains("serializability violation"), "{text}");
+        assert!(text.contains("--rw[stripe 0"), "{text}");
+    }
+}

@@ -1,0 +1,230 @@
+//! The raw event schema and the recording substrate the backends write
+//! through when their `record` cargo feature is enabled.
+//!
+//! Recording must not perturb the system it observes, so the hot path is
+//! wait-free: each recording thread owns one [`SessionLog`] — a plain
+//! `Vec` push, no atomics, no locks — and the shared [`TraceSink`] is
+//! only locked when a thread registers its log (once per thread) and
+//! when the logs are drained after the run. One `SessionLog` is exactly
+//! one *session* in the dbcop sense: the sequence of transaction
+//! attempts one thread performed, in program order.
+
+use crate::history::{History, HistoryError};
+use std::cell::UnsafeCell;
+use std::sync::{Arc, Mutex};
+
+/// One recorded transactional event.
+///
+/// Stripe indices are the backend's lock-array indices (the unit of
+/// conflict detection); versions are global-clock timestamps as stored
+/// in the lock words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A transaction attempt started with the given snapshot time.
+    Begin {
+        /// Clock value sampled at begin (LSA `start`, TL2 `rv`).
+        start: u64,
+    },
+    /// A transactional read returned a value to the caller.
+    Read {
+        /// Lock-array index covering the address.
+        stripe: u64,
+        /// Version observed in the (unowned) lock word.
+        version: u64,
+    },
+    /// A transactional write was buffered or performed in place.
+    Write {
+        /// Lock-array index covering the address.
+        stripe: u64,
+    },
+    /// The attempt committed.
+    Commit {
+        /// Commit timestamp for update transactions; `None` for the
+        /// read-only fast path (no clock increment, no writes).
+        version: Option<u64>,
+    },
+    /// The attempt aborted (all of its writes were undone/discarded).
+    Abort,
+}
+
+/// The event log of one recording thread (= one session).
+///
+/// Only the owning thread may push; draining requires that no thread can
+/// still be inside a transaction. Both operations are `unsafe fn`s so
+/// the call sites carry that contract explicitly.
+#[derive(Debug, Default)]
+pub struct SessionLog {
+    events: UnsafeCell<Vec<Event>>,
+}
+
+// SAFETY: the `UnsafeCell` is only written by the owning thread (push)
+// or after all recording threads have quiesced (take) — the contracts on
+// the two unsafe fns below. The registry needs to hold `Arc<SessionLog>`
+// across threads, hence the manual impls.
+unsafe impl Send for SessionLog {}
+unsafe impl Sync for SessionLog {}
+
+impl SessionLog {
+    /// Append one event.
+    ///
+    /// # Safety
+    /// Must only be called by the thread that registered this log, and
+    /// never concurrently with [`SessionLog::take`].
+    #[inline]
+    pub unsafe fn push(&self, event: Event) {
+        (*self.events.get()).push(event);
+    }
+
+    /// Take the recorded events, leaving the log empty.
+    ///
+    /// # Safety
+    /// No thread may be pushing concurrently: call only after every
+    /// worker that could run transactions has finished (joined) or the
+    /// trace has been detached and all threads have observed that.
+    pub unsafe fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.get())
+    }
+
+    /// Number of events recorded so far.
+    ///
+    /// # Safety
+    /// Same contract as [`SessionLog::take`]: no concurrent pushes.
+    pub unsafe fn len(&self) -> usize {
+        (*self.events.get()).len()
+    }
+
+    /// True when nothing has been recorded.
+    ///
+    /// # Safety
+    /// Same contract as [`SessionLog::take`]: no concurrent pushes.
+    pub unsafe fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Registry of per-thread logs for one recorded run.
+///
+/// Created by the harness, attached to a backend (which registers one
+/// [`SessionLog`] per recording thread), and drained into a [`History`]
+/// once the workload's threads have joined.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    sessions: Mutex<Vec<Arc<SessionLog>>>,
+}
+
+impl TraceSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Arc<TraceSink> {
+        Arc::new(TraceSink::default())
+    }
+
+    /// Register a new session (called once per recording thread by the
+    /// backend's begin path).
+    pub fn register_session(&self) -> Arc<SessionLog> {
+        let log = Arc::new(SessionLog::default());
+        self.sessions
+            .lock()
+            .expect("sink poisoned")
+            .push(Arc::clone(&log));
+        log
+    }
+
+    /// Number of registered sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().expect("sink poisoned").len()
+    }
+
+    /// Drain every session's events and assemble the [`History`].
+    ///
+    /// Sessions that recorded no events (e.g. a registered thread that
+    /// never ran a transaction) are dropped.
+    ///
+    /// # Safety
+    /// No thread may still be recording: every worker that ran
+    /// transactions under this sink must have finished (joined) first.
+    pub unsafe fn drain_history(&self) -> Result<History, HistoryError> {
+        let sessions = self.sessions.lock().expect("sink poisoned");
+        let logs: Vec<Vec<Event>> = sessions
+            .iter()
+            .map(|s| s.take())
+            .filter(|events| !events.is_empty())
+            .collect();
+        History::from_event_logs(logs)
+    }
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Event::Begin { start } => write!(f, "begin start={start}"),
+            Event::Read { stripe, version } => write!(f, "read stripe={stripe} v={version}"),
+            Event::Write { stripe } => write!(f, "write stripe={stripe}"),
+            Event::Commit { version: Some(v) } => write!(f, "commit wv={v}"),
+            Event::Commit { version: None } => write!(f, "commit ro"),
+            Event::Abort => write!(f, "abort"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_push_take_roundtrip() {
+        let sink = TraceSink::new();
+        let log = sink.register_session();
+        // SAFETY: single-threaded test.
+        unsafe {
+            log.push(Event::Begin { start: 3 });
+            log.push(Event::Read {
+                stripe: 7,
+                version: 2,
+            });
+            log.push(Event::Commit { version: None });
+            assert_eq!(log.len(), 3);
+            let events = log.take();
+            assert_eq!(events.len(), 3);
+            assert_eq!(
+                events[1],
+                Event::Read {
+                    stripe: 7,
+                    version: 2
+                }
+            );
+            assert_eq!(log.len(), 0);
+        }
+        assert_eq!(sink.session_count(), 1);
+    }
+
+    #[test]
+    fn drain_skips_empty_sessions() {
+        let sink = TraceSink::new();
+        let a = sink.register_session();
+        let _empty = sink.register_session();
+        // SAFETY: single-threaded test.
+        unsafe {
+            a.push(Event::Begin { start: 0 });
+            a.push(Event::Commit { version: None });
+            let h = sink.drain_history().unwrap();
+            assert_eq!(h.sessions.len(), 1);
+        }
+    }
+
+    #[test]
+    fn event_display_is_stable() {
+        assert_eq!(
+            Event::Read {
+                stripe: 4,
+                version: 9
+            }
+            .to_string(),
+            "read stripe=4 v=9"
+        );
+        assert_eq!(
+            Event::Commit { version: Some(5) }.to_string(),
+            "commit wv=5"
+        );
+        assert_eq!(Event::Commit { version: None }.to_string(), "commit ro");
+    }
+}

@@ -1,0 +1,180 @@
+//! A small dense digraph used by the checker: nodes are `usize` indices
+//! into the checker's node table, edges carry a payload (the dependency
+//! kind). Cycle detection is Kahn's algorithm (nodes left after peeling
+//! all sources form the cyclic core); minimal-cycle extraction is a BFS
+//! inside the core.
+
+/// Adjacency-list digraph with edge payloads.
+#[derive(Debug, Clone)]
+pub struct DiGraph<E> {
+    /// `edges[v]` = outgoing `(target, payload)` pairs of node `v`.
+    edges: Vec<Vec<(usize, E)>>,
+}
+
+impl<E: Clone> DiGraph<E> {
+    /// A graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> DiGraph<E> {
+        DiGraph {
+            edges: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Add an edge `from → to`.
+    pub fn add_edge(&mut self, from: usize, to: usize, payload: E) {
+        debug_assert!(from < self.len() && to < self.len());
+        self.edges[from].push((to, payload));
+    }
+
+    /// Outgoing edges of `v`.
+    pub fn out(&self, v: usize) -> &[(usize, E)] {
+        &self.edges[v]
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Nodes that lie on at least one cycle (the leftover set of Kahn's
+    /// algorithm). Empty iff the graph is acyclic.
+    pub fn cyclic_core(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut indeg = vec![0usize; n];
+        for v in 0..n {
+            for &(to, _) in &self.edges[v] {
+                indeg[to] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut removed = vec![false; n];
+        while let Some(v) = queue.pop() {
+            removed[v] = true;
+            for &(to, _) in &self.edges[v] {
+                indeg[to] -= 1;
+                if indeg[to] == 0 {
+                    queue.push(to);
+                }
+            }
+        }
+        (0..n).filter(|&v| !removed[v]).collect()
+    }
+
+    /// Shortest cycle through `start`, restricted to nodes for which
+    /// `in_core` is true: BFS over core nodes from `start`'s successors
+    /// back to `start`. Returns the cycle as `(nodes, edges)` with
+    /// `edges[i]` connecting `nodes[i] → nodes[(i+1) % len]`.
+    pub fn shortest_cycle_through(
+        &self,
+        start: usize,
+        in_core: &[bool],
+    ) -> Option<(Vec<usize>, Vec<E>)> {
+        // BFS from start; parent links reconstruct the path.
+        let n = self.len();
+        let mut parent: Vec<Option<(usize, E)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        visited[start] = true;
+        let mut frontier = vec![start];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for (to, payload) in &self.edges[v] {
+                    if *to == start {
+                        // Found the closing edge; unwind parents.
+                        let mut nodes = vec![start];
+                        let mut edges = Vec::new();
+                        let mut cur = v;
+                        let mut rev_nodes = Vec::new();
+                        let mut rev_edges = vec![payload.clone()];
+                        while cur != start {
+                            rev_nodes.push(cur);
+                            let (p, e) = parent[cur].clone().expect("BFS parent");
+                            rev_edges.push(e);
+                            cur = p;
+                        }
+                        rev_nodes.reverse();
+                        rev_edges.reverse();
+                        nodes.extend(rev_nodes);
+                        edges.extend(rev_edges);
+                        return Some((nodes, edges));
+                    }
+                    if !in_core[*to] || visited[*to] {
+                        continue;
+                    }
+                    visited[*to] = true;
+                    parent[*to] = Some((v, payload.clone()));
+                    next.push(*to);
+                }
+            }
+            frontier = next;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_graph_has_empty_core() {
+        let mut g: DiGraph<()> = DiGraph::new(4);
+        g.add_edge(0, 1, ());
+        g.add_edge(1, 2, ());
+        g.add_edge(0, 3, ());
+        assert!(g.cyclic_core().is_empty());
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn cycle_core_and_extraction() {
+        let mut g: DiGraph<&'static str> = DiGraph::new(5);
+        // 0 → 1 → 2 → 0 is the cycle; 3 → 4 dangles off.
+        g.add_edge(0, 1, "a");
+        g.add_edge(1, 2, "b");
+        g.add_edge(2, 0, "c");
+        g.add_edge(3, 4, "d");
+        g.add_edge(3, 0, "e");
+        let core = g.cyclic_core();
+        assert_eq!(core, vec![0, 1, 2]);
+        let mut in_core = vec![false; g.len()];
+        for &v in &core {
+            in_core[v] = true;
+        }
+        let (nodes, edges) = g.shortest_cycle_through(0, &in_core).unwrap();
+        assert_eq!(nodes, vec![0, 1, 2]);
+        assert_eq!(edges, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn shortest_cycle_prefers_short_loop() {
+        let mut g: DiGraph<u32> = DiGraph::new(4);
+        // Two cycles through 0: 0→1→0 (len 2) and 0→2→3→0 (len 3).
+        g.add_edge(0, 2, 0);
+        g.add_edge(2, 3, 1);
+        g.add_edge(3, 0, 2);
+        g.add_edge(0, 1, 3);
+        g.add_edge(1, 0, 4);
+        let in_core = vec![true; 4];
+        let (nodes, _) = g.shortest_cycle_through(0, &in_core).unwrap();
+        assert_eq!(nodes.len(), 2);
+    }
+
+    #[test]
+    fn no_cycle_through_node_returns_none() {
+        let mut g: DiGraph<()> = DiGraph::new(3);
+        g.add_edge(0, 1, ());
+        g.add_edge(1, 2, ());
+        let in_core = vec![true; 3];
+        assert!(g.shortest_cycle_through(0, &in_core).is_none());
+    }
+}

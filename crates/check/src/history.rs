@@ -1,0 +1,327 @@
+//! The validated history model: sessions → transactions → accesses.
+//!
+//! Raw event logs are flat streams of `Begin … Commit/Abort` brackets;
+//! [`History::from_event_logs`] checks the bracket structure (every
+//! attempt begins once and terminates exactly once, commit timestamps
+//! are present exactly when the attempt wrote) and folds each attempt
+//! into a [`Txn`] with its read set (stripe → observed version) and
+//! write set. Malformed logs are recording bugs, not consistency
+//! violations, and are reported as [`HistoryError`]s.
+
+use crate::events::Event;
+
+/// Identifies a transaction attempt: session index (thread) and its
+/// position within the session, both 0-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId {
+    /// Which session (recording thread) the attempt belongs to.
+    pub session: usize,
+    /// Position of the attempt within its session.
+    pub index: usize,
+}
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}t{}", self.session, self.index)
+    }
+}
+
+/// How a transaction attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Committed. Update transactions carry their unique commit
+    /// timestamp; the read-only fast path commits without one.
+    Committed {
+        /// Global-clock commit timestamp (`None` for read-only commits).
+        version: Option<u64>,
+    },
+    /// Aborted; none of its writes became visible.
+    Aborted,
+}
+
+/// One transaction attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Txn {
+    /// Identity within the history.
+    pub id: TxnId,
+    /// Snapshot time sampled at begin.
+    pub start: u64,
+    /// Reads that returned a value: `(stripe, observed version)`, in
+    /// program order (a stripe may repeat).
+    pub reads: Vec<(u64, u64)>,
+    /// Stripes written (deduplicated, sorted).
+    pub writes: Vec<u64>,
+    /// How the attempt ended.
+    pub outcome: Outcome,
+}
+
+impl Txn {
+    /// Commit timestamp, if this is a committed update transaction.
+    pub fn commit_version(&self) -> Option<u64> {
+        match self.outcome {
+            Outcome::Committed { version } => version,
+            Outcome::Aborted => None,
+        }
+    }
+
+    /// True for any committed outcome (update or read-only).
+    pub fn is_committed(&self) -> bool {
+        matches!(self.outcome, Outcome::Committed { .. })
+    }
+}
+
+/// A full recorded run: one `Vec<Txn>` per session, program order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct History {
+    /// Sessions (threads), each a sequence of transaction attempts.
+    pub sessions: Vec<Vec<Txn>>,
+}
+
+/// A structurally malformed event log (a recording bug).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryError {
+    /// Session the malformed event belongs to.
+    pub session: usize,
+    /// Event offset within the session log.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "session {} event {}: {}",
+            self.session, self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+impl History {
+    /// Fold raw per-session event streams into the validated model.
+    pub fn from_event_logs(logs: Vec<Vec<Event>>) -> Result<History, HistoryError> {
+        let mut sessions = Vec::with_capacity(logs.len());
+        for (session, log) in logs.into_iter().enumerate() {
+            let err = |offset: usize, message: String| HistoryError {
+                session,
+                offset,
+                message,
+            };
+            let mut txns: Vec<Txn> = Vec::new();
+            // In-flight attempt: (start, reads, writes).
+            type OpenAttempt = (u64, Vec<(u64, u64)>, Vec<u64>);
+            let mut open: Option<OpenAttempt> = None;
+            for (offset, event) in log.iter().enumerate() {
+                match *event {
+                    Event::Begin { start } => {
+                        if open.is_some() {
+                            return Err(err(offset, "begin inside an open attempt".into()));
+                        }
+                        open = Some((start, Vec::new(), Vec::new()));
+                    }
+                    Event::Read { stripe, version } => match open.as_mut() {
+                        Some((_, reads, _)) => reads.push((stripe, version)),
+                        None => return Err(err(offset, "read outside an attempt".into())),
+                    },
+                    Event::Write { stripe } => match open.as_mut() {
+                        Some((_, _, writes)) => writes.push(stripe),
+                        None => return Err(err(offset, "write outside an attempt".into())),
+                    },
+                    Event::Commit { version } => {
+                        let Some((start, reads, mut writes)) = open.take() else {
+                            return Err(err(offset, "commit outside an attempt".into()));
+                        };
+                        writes.sort_unstable();
+                        writes.dedup();
+                        match version {
+                            None if !writes.is_empty() => {
+                                return Err(err(
+                                    offset,
+                                    "read-only commit recorded for an attempt with writes".into(),
+                                ));
+                            }
+                            Some(_) if writes.is_empty() => {
+                                return Err(err(
+                                    offset,
+                                    "commit timestamp recorded for an attempt without writes"
+                                        .into(),
+                                ));
+                            }
+                            _ => {}
+                        }
+                        txns.push(Txn {
+                            id: TxnId {
+                                session,
+                                index: txns.len(),
+                            },
+                            start,
+                            reads,
+                            writes,
+                            outcome: Outcome::Committed { version },
+                        });
+                    }
+                    Event::Abort => {
+                        let Some((start, reads, mut writes)) = open.take() else {
+                            return Err(err(offset, "abort outside an attempt".into()));
+                        };
+                        writes.sort_unstable();
+                        writes.dedup();
+                        txns.push(Txn {
+                            id: TxnId {
+                                session,
+                                index: txns.len(),
+                            },
+                            start,
+                            reads,
+                            writes,
+                            outcome: Outcome::Aborted,
+                        });
+                    }
+                }
+            }
+            if open.is_some() {
+                return Err(err(log.len(), "session ends inside an open attempt".into()));
+            }
+            sessions.push(txns);
+        }
+        Ok(History { sessions })
+    }
+
+    /// Iterate over every transaction, all sessions.
+    pub fn txns(&self) -> impl Iterator<Item = &Txn> {
+        self.sessions.iter().flatten()
+    }
+
+    /// Look up a transaction by id.
+    pub fn txn(&self, id: TxnId) -> Option<&Txn> {
+        self.sessions.get(id.session)?.get(id.index)
+    }
+
+    /// Totals: `(committed updates, read-only commits, aborts, reads,
+    /// writes)`.
+    pub fn totals(&self) -> (usize, usize, usize, usize, usize) {
+        let (mut cu, mut ro, mut ab, mut r, mut w) = (0, 0, 0, 0, 0);
+        for t in self.txns() {
+            match t.outcome {
+                Outcome::Committed { version: Some(_) } => cu += 1,
+                Outcome::Committed { version: None } => ro += 1,
+                Outcome::Aborted => ab += 1,
+            }
+            r += t.reads.len();
+            w += t.writes.len();
+        }
+        (cu, ro, ab, r, w)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let (cu, ro, ab, r, w) = self.totals();
+        format!(
+            "{} session(s), {} committed update txn(s), {} read-only commit(s), \
+             {} abort(s), {} read(s), {} write(s)",
+            self.sessions.len(),
+            cu,
+            ro,
+            ab,
+            r,
+            w
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_log() -> Vec<Event> {
+        vec![
+            Event::Begin { start: 0 },
+            Event::Read {
+                stripe: 1,
+                version: 0,
+            },
+            Event::Write { stripe: 1 },
+            Event::Write { stripe: 1 },
+            Event::Commit { version: Some(1) },
+            Event::Begin { start: 1 },
+            Event::Read {
+                stripe: 1,
+                version: 1,
+            },
+            Event::Commit { version: None },
+            Event::Begin { start: 1 },
+            Event::Read {
+                stripe: 2,
+                version: 0,
+            },
+            Event::Abort,
+        ]
+    }
+
+    #[test]
+    fn folds_brackets_into_txns() {
+        let h = History::from_event_logs(vec![ok_log()]).unwrap();
+        assert_eq!(h.sessions.len(), 1);
+        let s = &h.sessions[0];
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].writes, vec![1], "writes deduplicated");
+        assert_eq!(s[0].commit_version(), Some(1));
+        assert!(s[1].is_committed());
+        assert_eq!(s[1].commit_version(), None);
+        assert_eq!(s[2].outcome, Outcome::Aborted);
+        assert_eq!(
+            s[2].id,
+            TxnId {
+                session: 0,
+                index: 2
+            }
+        );
+        assert_eq!(h.totals(), (1, 1, 1, 3, 1));
+    }
+
+    #[test]
+    fn rejects_unbalanced_brackets() {
+        let bad = vec![Event::Begin { start: 0 }, Event::Begin { start: 1 }];
+        let e = History::from_event_logs(vec![bad]).unwrap_err();
+        assert!(e.message.contains("begin inside"), "{e}");
+
+        let bad = vec![Event::Read {
+            stripe: 0,
+            version: 0,
+        }];
+        assert!(History::from_event_logs(vec![bad]).is_err());
+
+        let bad = vec![Event::Begin { start: 0 }];
+        let e = History::from_event_logs(vec![bad]).unwrap_err();
+        assert!(e.message.contains("ends inside"), "{e}");
+    }
+
+    #[test]
+    fn rejects_commit_version_mismatch() {
+        let bad = vec![
+            Event::Begin { start: 0 },
+            Event::Write { stripe: 3 },
+            Event::Commit { version: None },
+        ];
+        let e = History::from_event_logs(vec![bad]).unwrap_err();
+        assert!(e.message.contains("read-only commit"), "{e}");
+
+        let bad = vec![
+            Event::Begin { start: 0 },
+            Event::Commit { version: Some(4) },
+        ];
+        let e = History::from_event_logs(vec![bad]).unwrap_err();
+        assert!(e.message.contains("without writes"), "{e}");
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let h = History::from_event_logs(vec![ok_log()]).unwrap();
+        let s = h.summary();
+        assert!(s.contains("1 committed update"), "{s}");
+        assert!(s.contains("1 abort"), "{s}");
+    }
+}

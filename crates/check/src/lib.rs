@@ -1,0 +1,56 @@
+//! # stm-check — transactional history recording and offline checking
+//!
+//! The repository's perf work keeps making the hot paths of the STM
+//! backends faster (relaxed memory orderings, layout changes, validation
+//! skips); no single hand-written stress test can vouch that every such
+//! change preserved *opacity*. This crate is the standing oracle: a run
+//! of any workload can record, per thread, the transactional events it
+//! performed (begin / per-stripe read with the observed version /
+//! per-stripe write / commit with the commit timestamp / abort), and an
+//! offline checker then proves — or refutes, with a concrete cycle
+//! witness — that the recorded history is serializable and opaque.
+//!
+//! The design follows dbcop's split (record sessions from a live system,
+//! verify offline), specialized to a word-based, global-clock STM:
+//!
+//! * [`events`] — the raw event schema plus the lock-free per-thread
+//!   log ([`SessionLog`]) and its registry ([`TraceSink`]) that the
+//!   backends' `record` cargo feature writes through;
+//! * [`history`] — sessions → transactions → events: the validated
+//!   [`History`] model the checker consumes;
+//! * [`graph`] — a small dense digraph with cycle detection;
+//! * [`check`] — the checker: version-order graph construction over
+//!   committed update transactions (write-read, write-write,
+//!   anti-dependency, and commit-order edges), cycle detection for
+//!   serializability, and the opacity refinement (aborted and read-only
+//!   transactions must also have observed a consistent snapshot).
+//!
+//! ## What "correct" means here
+//!
+//! Both TinySTM and TL2 claim that their serialization order is the
+//! global-clock commit order: a transaction committing at timestamp `wv`
+//! must have read, for every stripe in its read set, the version written
+//! by the latest committed writer before `wv`. The checker verifies that
+//! claim directly: a read observing version `v` while another write to
+//! the same stripe committed between `v` (exclusive) and `wv` shows up
+//! as an anti-dependency edge pointing *backwards* in commit order — a
+//! cycle. Aborted transactions have no commit point, but opacity demands
+//! their reads still form a snapshot: there must exist an instant `t`
+//! at which every stripe they read still carried the version they
+//! observed.
+//!
+//! The checker is stripe-granular because the STMs are: two addresses
+//! hashing to the same versioned lock are one variable as far as the
+//! protocol is concerned, so the stripe-level history captures exactly
+//! the consistency the lock words enforce.
+
+pub mod check;
+pub mod events;
+pub mod graph;
+pub mod history;
+
+pub use check::{
+    check_history, CheckOpts, CheckReport, CycleWitness, EdgeKind, NodeRef, Violation,
+};
+pub use events::{Event, SessionLog, TraceSink};
+pub use history::{History, HistoryError, Outcome, Txn, TxnId};

@@ -1,0 +1,170 @@
+//! Property tests for the oracle: randomly generated serializable
+//! histories must pass, and deterministic corruptions of them (stale
+//! reads, lost writes, duplicated commit timestamps) must fail.
+//!
+//! Histories are produced by simulating an *atomic* (one transaction at
+//! a time) execution over a small stripe space with a global version
+//! clock — serializable and opaque by construction. Every history
+//! starts with a fixed scaffold (two writers and a reader of stripe 0)
+//! so each corruption has a guaranteed target regardless of the random
+//! tail.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stm_check::{check_history, CheckOpts, Event, History, Violation};
+
+const STRIPES: u64 = 8;
+
+/// Simulated run: returns per-session event logs plus the scaffold's
+/// landmark versions `(v1, v2, final_clock)`.
+fn simulate(seed: u64, sessions: usize, txns: usize) -> (Vec<Vec<Event>>, u64, u64, u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut logs: Vec<Vec<Event>> = vec![Vec::new(); sessions.max(1)];
+    let mut clock = 0u64;
+    let mut stripe_version = [0u64; STRIPES as usize];
+
+    // Scaffold on session 0: T0 writes stripes {0, 7} (v1); T1 reads
+    // stripe 0 at v1 and writes stripe 3 (v2); T2 overwrites stripe 0.
+    clock += 1;
+    let v1 = clock;
+    logs[0].extend([
+        Event::Begin { start: 0 },
+        Event::Write { stripe: 0 },
+        Event::Write { stripe: 7 },
+        Event::Commit { version: Some(v1) },
+    ]);
+    stripe_version[0] = v1;
+    stripe_version[7] = v1;
+    clock += 1;
+    let v2 = clock;
+    logs[0].extend([
+        Event::Begin { start: v1 },
+        Event::Read {
+            stripe: 0,
+            version: v1,
+        },
+        Event::Write { stripe: 3 },
+        Event::Commit { version: Some(v2) },
+    ]);
+    stripe_version[3] = v2;
+    clock += 1;
+    logs[0].extend([
+        Event::Begin { start: v2 },
+        Event::Write { stripe: 0 },
+        Event::Commit {
+            version: Some(clock),
+        },
+    ]);
+    stripe_version[0] = clock;
+
+    // Random atomic tail across sessions.
+    for _ in 0..txns {
+        let s = rng.gen_range(0..logs.len() as u64) as usize;
+        let log = &mut logs[s];
+        log.push(Event::Begin { start: clock });
+        let n_reads = rng.gen_range(0..4u32);
+        for _ in 0..n_reads {
+            let stripe = rng.gen_range(0..STRIPES);
+            log.push(Event::Read {
+                stripe,
+                version: stripe_version[stripe as usize],
+            });
+        }
+        let n_writes = rng.gen_range(0..3u32);
+        let mut written = Vec::new();
+        for _ in 0..n_writes {
+            let stripe = rng.gen_range(0..STRIPES);
+            log.push(Event::Write { stripe });
+            written.push(stripe);
+        }
+        let abort = rng.gen_range(0..10u32) == 0;
+        if abort {
+            log.push(Event::Abort);
+        } else if written.is_empty() {
+            log.push(Event::Commit { version: None });
+        } else {
+            clock += 1;
+            for &stripe in &written {
+                stripe_version[stripe as usize] = clock;
+            }
+            log.push(Event::Commit {
+                version: Some(clock),
+            });
+        }
+    }
+    (logs, v1, v2, clock)
+}
+
+fn build(logs: Vec<Vec<Event>>) -> History {
+    History::from_event_logs(logs).expect("simulated logs are well-formed")
+}
+
+proptest! {
+    #[test]
+    fn random_serializable_histories_pass(seed in 0u64..200, sessions in 1usize..5, txns in 0usize..60) {
+        let (logs, _, _, _) = simulate(seed, sessions, txns);
+        let report = check_history(&build(logs), &CheckOpts::default());
+        prop_assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn stale_read_corruption_fails(seed in 0u64..100, sessions in 1usize..5, txns in 0usize..40) {
+        // Append a committed update transaction that reads stripe 0 at
+        // the long-overwritten v1: stale at its commit point.
+        let (mut logs, v1, _, clock) = simulate(seed, sessions, txns);
+        logs[0].extend([
+            Event::Begin { start: clock },
+            Event::Read { stripe: 0, version: v1 },
+            Event::Write { stripe: 5 },
+            Event::Commit { version: Some(clock + 1) },
+        ]);
+        let report = check_history(&build(logs), &CheckOpts::default());
+        prop_assert!(!report.is_clean(), "stale read not caught");
+        prop_assert!(
+            report.violations.iter().any(|v| matches!(v, Violation::SerializabilityCycle { .. })),
+            "no cycle witness: {report}"
+        );
+    }
+
+    #[test]
+    fn lost_write_corruption_fails(seed in 0u64..100, sessions in 1usize..5, txns in 0usize..40) {
+        // Drop the scaffold writer's `Write {stripe 0}` event: the
+        // scaffold reader's observation of v1 now matches no commit.
+        let (mut logs, v1, _, _) = simulate(seed, sessions, txns);
+        let pos = logs[0]
+            .iter()
+            .position(|e| *e == Event::Write { stripe: 0 })
+            .expect("scaffold write present");
+        logs[0].remove(pos);
+        let report = check_history(&build(logs), &CheckOpts::default());
+        prop_assert!(!report.is_clean(), "lost write not caught");
+        prop_assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::PhantomVersion { stripe: 0, version, .. } if *version == v1
+            )),
+            "no phantom for the lost write: {report}"
+        );
+    }
+
+    #[test]
+    fn duplicated_commit_version_fails(seed in 0u64..100, sessions in 1usize..5, txns in 0usize..40) {
+        // Append an update commit reusing the scaffold's v1 timestamp.
+        let (mut logs, v1, _, clock) = simulate(seed, sessions, txns);
+        logs[0].extend([
+            Event::Begin { start: clock },
+            Event::Write { stripe: 6 },
+            Event::Commit { version: Some(v1) },
+        ]);
+        let report = check_history(&build(logs), &CheckOpts::default());
+        prop_assert!(!report.is_clean(), "duplicate commit version not caught");
+        prop_assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::DuplicateCommitVersion { version, .. } if *version == v1
+            )),
+            "{report}"
+        );
+    }
+}

@@ -35,14 +35,24 @@ impl AccessStrategy {
 
 /// Contention-management policy applied by the retry loop after an abort.
 ///
-/// The paper aborts and restarts immediately; on an over-subscribed host
-/// a bounded randomized backoff avoids pathological livelock, so it is
-/// available as an option.
+/// The paper aborts and restarts immediately; TinySTM's reference
+/// implementation additionally ships the classic CM alternatives
+/// (`CM_SUICIDE`, `CM_DELAY`, `CM_BACKOFF`), which are surfaced here so
+/// the harness can benchmark them against each other.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CmPolicy {
     /// Restart immediately (the paper's choice).
     #[default]
     Immediate,
+    /// TinySTM's `CM_SUICIDE`: abort self and restart immediately.
+    /// Behaviourally identical to [`CmPolicy::Immediate`]; kept as a
+    /// distinct variant so CLIs and the tuning space can name the
+    /// paper's policy explicitly.
+    Suicide,
+    /// TinySTM's `CM_DELAY`: after a lock conflict, wait (bounded)
+    /// until the contended stripe is released before retrying, so the
+    /// retry does not re-collide with the same owner.
+    Delay,
     /// Exponential randomized backoff: spin for a random number of
     /// iterations up to `min(max_spins, base << consecutive_aborts)`.
     Backoff {
@@ -51,6 +61,33 @@ pub enum CmPolicy {
         /// Upper bound on the spin count.
         max_spins: u32,
     },
+}
+
+impl CmPolicy {
+    /// Short label for CLI/bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            CmPolicy::Immediate => "immediate",
+            CmPolicy::Suicide => "suicide",
+            CmPolicy::Delay => "delay",
+            CmPolicy::Backoff { .. } => "backoff",
+        }
+    }
+
+    /// Parse a CLI name (`immediate`, `suicide`, `delay`, `backoff`);
+    /// `backoff` uses the bench defaults (base 16, max 2^14 spins).
+    pub fn parse(name: &str) -> Option<CmPolicy> {
+        match name {
+            "immediate" => Some(CmPolicy::Immediate),
+            "suicide" => Some(CmPolicy::Suicide),
+            "delay" => Some(CmPolicy::Delay),
+            "backoff" => Some(CmPolicy::Backoff {
+                base: 16,
+                max_spins: 1 << 14,
+            }),
+            _ => None,
+        }
+    }
 }
 
 /// The hard ceiling on `h`: transaction-private masks are 256 bits.
@@ -299,6 +336,15 @@ mod tests {
         assert_eq!(c.hier_size(), 4);
         assert_eq!(c.strategy, AccessStrategy::WriteThrough);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn cm_policy_parse_label_roundtrip() {
+        for name in ["immediate", "suicide", "delay", "backoff"] {
+            let policy = CmPolicy::parse(name).expect("known policy");
+            assert_eq!(policy.label(), name);
+        }
+        assert_eq!(CmPolicy::parse("polite"), None);
     }
 
     #[test]

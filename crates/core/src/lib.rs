@@ -47,6 +47,8 @@
 pub mod cacheline;
 pub mod clock;
 pub mod config;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod hierarchy;
 pub mod lockword;
 pub mod mapping;
@@ -55,6 +57,8 @@ pub mod quiesce;
 pub mod readset;
 pub mod stats;
 pub mod stm;
+#[cfg(feature = "record")]
+pub mod trace;
 pub mod tvar;
 pub mod tx;
 pub mod writelog;

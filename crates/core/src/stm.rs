@@ -53,6 +53,9 @@ pub(crate) struct ThreadState {
     /// Commits since the last reclamation attempt (owning thread only;
     /// atomic for the shared-reference API, relaxed everywhere).
     commits_since_reclaim: AtomicU64,
+    /// Cached recording session — owning thread only.
+    #[cfg(feature = "record")]
+    trace: UnsafeCell<crate::trace::TraceLocal>,
 }
 
 // SAFETY: `ctx` is only touched by the owning thread (enforced by the
@@ -68,6 +71,8 @@ impl ThreadState {
             active_start: AtomicU64::new(u64::MAX),
             ctx: UnsafeCell::new(TxCtx::new(seed)),
             commits_since_reclaim: AtomicU64::new(0),
+            #[cfg(feature = "record")]
+            trace: UnsafeCell::new(crate::trace::TraceLocal::new()),
         }
     }
 }
@@ -85,6 +90,12 @@ pub(crate) struct StmInner {
     config_mirror: Mutex<StmConfig>,
     rollovers: AtomicU64,
     reconfigurations: AtomicU64,
+    /// Attached event-recording sink, if any.
+    #[cfg(feature = "record")]
+    pub(crate) trace: crate::trace::TraceControl,
+    /// Active protocol mutation (checker self-tests only).
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fault: crate::fault::FaultSwitch,
 }
 
 impl Drop for StmInner {
@@ -176,6 +187,10 @@ impl Stm {
                 config_mirror: Mutex::new(config),
                 rollovers: AtomicU64::new(0),
                 reconfigurations: AtomicU64::new(0),
+                #[cfg(feature = "record")]
+                trace: crate::trace::TraceControl::new(),
+                #[cfg(feature = "fault-inject")]
+                fault: crate::fault::FaultSwitch::default(),
             }),
         })
     }
@@ -230,6 +245,17 @@ impl Stm {
             // reconfiguration swaps it only inside a fence, which
             // excludes entered transactions.
             let map = unsafe { &*inner.mapping.load(Ordering::Acquire) };
+            let cm = map.config().cm;
+            // SAFETY: ctx belongs to this thread exclusively.
+            let ctx = unsafe { &mut *ts.ctx.get() };
+            // CM_DELAY: before retrying after a lock conflict, wait
+            // (bounded) for the contended stripe to drain so the retry
+            // does not re-collide with the same owner. Must run before
+            // the snapshot sample below, or the wait would just stale
+            // the snapshot.
+            if let (CmPolicy::Delay, Some(idx)) = (cm, ctx.last_contended.take()) {
+                delay_wait(map, idx);
+            }
             // Site S2: publish the oldest-reader marker *before*
             // sampling the snapshot (a marker sampled first is ≤ the
             // snapshot, so reclamation stays conservative); SeqCst for
@@ -237,11 +263,15 @@ impl Stm {
             // docs.
             ts.active_start.store(inner.clock.now(), Ordering::SeqCst);
             let now = inner.clock.now();
-            // SAFETY: ctx belongs to this thread exclusively.
-            let ctx = unsafe { &mut *ts.ctx.get() };
             ctx.begin(kind, map, now);
-
-            let cm = map.config().cm;
+            #[cfg(feature = "record")]
+            // SAFETY: the trace local belongs to this thread.
+            let trace = unsafe { &mut *ts.trace.get() }.session(&inner.trace);
+            #[cfg(feature = "record")]
+            if let Some(log) = trace {
+                // SAFETY: this thread owns the session log.
+                unsafe { log.push(stm_check::Event::Begin { start: now }) };
+            }
             let outcome: Result<R, AbortReason> = {
                 let mut tx = Tx {
                     inner,
@@ -252,6 +282,8 @@ impl Stm {
                     strategy: map.config().strategy,
                     hier_on: map.hier_enabled(),
                     me: Arc::as_ptr(&ts) as usize,
+                    #[cfg(feature = "record")]
+                    trace,
                 };
                 match body(&mut tx) {
                     Ok(value) => match tx.commit() {
@@ -401,6 +433,31 @@ impl Stm {
     pub fn clock_now(&self) -> u64 {
         self.inner.clock.now()
     }
+
+    /// Attach an event-recording sink: every thread's subsequent
+    /// transaction attempts are recorded as a session of the sink
+    /// (txn begin/commit/abort, per-stripe reads with observed
+    /// versions, per-stripe writes). Drain with
+    /// [`stm_check::TraceSink::drain_history`] once all workers have
+    /// joined. Recording assumes the clock does not roll over and the
+    /// instance is not reconfigured during the recorded window (both
+    /// would renumber versions/stripes under the history's feet).
+    #[cfg(feature = "record")]
+    pub fn attach_trace(&self, sink: &std::sync::Arc<stm_check::TraceSink>) {
+        self.inner.trace.attach(sink);
+    }
+
+    /// Stop recording; threads notice at their next attempt.
+    #[cfg(feature = "record")]
+    pub fn detach_trace(&self) {
+        self.inner.trace.detach();
+    }
+
+    /// Activate a protocol mutation (checker self-tests only).
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_fault(&self, fault: crate::fault::FaultInjection) {
+        self.inner.fault.set(fault);
+    }
 }
 
 impl TmHandle for Stm {
@@ -425,10 +482,42 @@ impl TmHandle for Stm {
     }
 }
 
+/// Bound on the CM_DELAY wait loop. The wait happens while holding the
+/// quiesce gate, so it must terminate even if the owner somehow never
+/// releases (it is contention management, not a correctness mechanism).
+const DELAY_MAX_SPINS: u32 = 1 << 14;
+
+/// CM_DELAY: spin (bounded) until the contended stripe's lock is
+/// released. Called at the top of the next attempt, inside the gate, so
+/// the mapping is pinned; a stale index from before a reconfiguration
+/// is simply skipped.
+#[cold]
+fn delay_wait(map: &Mapping, idx: usize) {
+    if idx >= map.n_locks() {
+        return;
+    }
+    let lock = map.lock(idx);
+    for i in 0..DELAY_MAX_SPINS {
+        // Site R1-adjacent: Acquire so a subsequent read of the stripe
+        // sees the releaser's publication (same edge as the run path).
+        if !crate::lockword::is_owned(lock.load(Ordering::Acquire)) {
+            return;
+        }
+        if i % 64 == 63 {
+            // The owner may be descheduled on an oversubscribed host.
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
 /// Retry-loop backoff per the configured contention-management policy.
 fn backoff(ctx: &mut TxCtx, cm: CmPolicy) {
     match cm {
-        CmPolicy::Immediate => {}
+        // Suicide == the paper's immediate restart; Delay waits at the
+        // top of the next attempt (see `delay_wait`), not here.
+        CmPolicy::Immediate | CmPolicy::Suicide | CmPolicy::Delay => {}
         CmPolicy::Backoff { base, max_spins } => {
             let shift = ctx.consecutive_aborts.min(16);
             let bound = (u64::from(base) << shift).min(u64::from(max_spins));

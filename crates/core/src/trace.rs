@@ -1,0 +1,141 @@
+//! Recording plumbing for the `record` cargo feature (shared by the
+//! TinySTM core and the TL2 crate): an instance-level [`TraceControl`]
+//! holding the attached [`stm_check::TraceSink`], and a per-thread
+//! [`TraceLocal`] that caches this thread's registered session log.
+//!
+//! Cost model: with no sink attached (or after detach) the per-attempt
+//! cost is one `Relaxed` atomic load (the generation check); per-access
+//! cost is one branch on a cached `Option`. The registry mutex is only
+//! taken when a thread first observes a new generation. With the
+//! feature disabled none of this exists.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use stm_check::{SessionLog, TraceSink};
+
+/// Instance-level recording state: which sink (if any) is attached.
+#[derive(Debug, Default)]
+pub struct TraceControl {
+    /// The attached sink; swapped under the mutex.
+    sink: Mutex<Option<Arc<TraceSink>>>,
+    /// Bumped on every attach/detach; 0 means "never attached", which
+    /// lets threads skip the mutex entirely on the common path.
+    generation: AtomicU64,
+}
+
+impl TraceControl {
+    /// Fresh control with nothing attached.
+    pub fn new() -> TraceControl {
+        TraceControl::default()
+    }
+
+    /// Attach a sink: subsequent transaction attempts on every thread
+    /// record into sessions registered with it.
+    pub fn attach(&self, sink: &Arc<TraceSink>) {
+        let mut guard = self.sink.lock();
+        *guard = Some(Arc::clone(sink));
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Detach the current sink; threads stop recording at their next
+    /// attempt (their already-registered session logs stay alive in the
+    /// sink for draining).
+    pub fn detach(&self) {
+        let mut guard = self.sink.lock();
+        *guard = None;
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Current generation (Relaxed; pairs with [`TraceLocal::session`]).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the attached sink (slow path).
+    fn current(&self) -> (u64, Option<Arc<TraceSink>>) {
+        let guard = self.sink.lock();
+        (self.generation.load(Ordering::Acquire), guard.clone())
+    }
+}
+
+/// Per-thread cache of the registered session log.
+#[derive(Debug, Default)]
+pub struct TraceLocal {
+    /// Generation this cache was refreshed at (0 = never attached).
+    generation: u64,
+    /// This thread's session in the attached sink, if recording.
+    log: Option<Arc<SessionLog>>,
+}
+
+impl TraceLocal {
+    /// Fresh, detached cache.
+    pub fn new() -> TraceLocal {
+        TraceLocal::default()
+    }
+
+    /// The session log to record this attempt into, refreshing the
+    /// cache if the control's generation moved (attach/detach).
+    #[inline]
+    pub fn session(&mut self, control: &TraceControl) -> Option<&SessionLog> {
+        let generation = control.generation();
+        if generation != self.generation {
+            let (generation, sink) = control.current();
+            self.log = sink.map(|s| s.register_session());
+            self.generation = generation;
+        }
+        self.log.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_check::Event;
+
+    #[test]
+    fn detached_control_yields_no_session_without_locking() {
+        let control = TraceControl::new();
+        let mut local = TraceLocal::new();
+        assert!(local.session(&control).is_none());
+        assert_eq!(control.generation(), 0);
+    }
+
+    #[test]
+    fn attach_registers_one_session_per_thread_cache() {
+        let control = TraceControl::new();
+        let sink = TraceSink::new();
+        control.attach(&sink);
+        let mut local = TraceLocal::new();
+        // Two attempts reuse the same session.
+        for start in 0..2 {
+            let log = local.session(&control).expect("recording");
+            // SAFETY: single-threaded test, this is the owning thread.
+            unsafe {
+                log.push(Event::Begin { start });
+                log.push(Event::Commit { version: None });
+            }
+        }
+        assert_eq!(sink.session_count(), 1);
+        // SAFETY: no other thread recorded.
+        let history = unsafe { sink.drain_history() }.unwrap();
+        assert_eq!(history.sessions.len(), 1);
+        assert_eq!(history.sessions[0].len(), 2);
+    }
+
+    #[test]
+    fn detach_stops_recording_at_next_attempt() {
+        let control = TraceControl::new();
+        let sink = TraceSink::new();
+        control.attach(&sink);
+        let mut local = TraceLocal::new();
+        assert!(local.session(&control).is_some());
+        control.detach();
+        assert!(local.session(&control).is_none());
+        // Re-attach registers a fresh session.
+        control.attach(&sink);
+        assert!(local.session(&control).is_some());
+        assert_eq!(sink.session_count(), 2);
+    }
+}

@@ -91,6 +91,9 @@ pub(crate) struct TxCtx {
     /// Reads performed by the current attempt (flushed to
     /// `wasted_reads` if the attempt aborts).
     pub attempt_reads: u64,
+    /// Lock index of the stripe the last abort collided on (consumed by
+    /// the CM_DELAY policy at the next attempt's start).
+    pub last_contended: Option<usize>,
     /// Consecutive aborts of the current `run` invocation (backoff).
     pub consecutive_aborts: u32,
     /// xorshift state for randomized backoff.
@@ -110,6 +113,7 @@ impl TxCtx {
             free_log: Vec::new(),
             alloc_freed: Vec::new(),
             attempt_reads: 0,
+            last_contended: None,
             consecutive_aborts: 0,
             rng: seed | 1,
         }
@@ -162,6 +166,9 @@ pub struct Tx<'a> {
     pub(crate) strategy: AccessStrategy,
     pub(crate) hier_on: bool,
     pub(crate) me: usize,
+    /// This thread's recording session, if a trace sink is attached.
+    #[cfg(feature = "record")]
+    pub(crate) trace: Option<&'a stm_check::SessionLog>,
 }
 
 impl<'a> Drop for Tx<'a> {
@@ -210,6 +217,18 @@ impl<'a> Tx<'a> {
         // Bookkeeping happens in rollback (called by the run loop /
         // Drop); here we only materialize the error value.
         Abort(reason)
+    }
+
+    /// Append one event to this thread's recording session (no-op when
+    /// no sink is attached).
+    #[cfg(feature = "record")]
+    #[inline(always)]
+    fn emit(&self, event: stm_check::Event) {
+        if let Some(log) = self.trace {
+            // SAFETY: the run loop handed this attempt the session log
+            // registered by (and owned by) the current thread.
+            unsafe { log.push(event) };
+        }
     }
 
     /// Validate the read set: every entry must still carry the version
@@ -273,6 +292,17 @@ impl<'a> Tx<'a> {
         // Sample before validating: the snapshot is extended to a time
         // no later than any validation check.
         let now = self.inner.clock.now();
+        #[cfg(feature = "fault-inject")]
+        if matches!(
+            self.inner.fault.get(),
+            crate::fault::FaultInjection::SkipExtendValidation
+        ) {
+            // Deliberate mutation: extend without validating, handing
+            // later reads a snapshot the earlier reads may not share.
+            self.ts.stats.bump_extension();
+            self.ctx.end = now;
+            return Ok(());
+        }
         if self.validate() {
             self.ts.stats.bump_extension();
             self.ctx.end = now;
@@ -327,7 +357,8 @@ impl<'a> Tx<'a> {
                     };
                 }
                 // Encounter-time conflict: abort immediately (paper's
-                // choice over waiting).
+                // choice over waiting; CM_DELAY consumes the index).
+                self.ctx.last_contended = Some(idx);
                 return Err(self.abort(AbortReason::ReadLocked));
             }
             // Sites R3 + F1 + R4 (module docs): the seqlock re-check.
@@ -359,6 +390,15 @@ impl<'a> Tx<'a> {
                 // the existing entry already covers this read.
                 self.ctx.rset.push_dedup_last(part, idx, version);
             }
+            // Recorded at the success point only: a read whose extend
+            // failed never returns a value, so it must not enter the
+            // history (own-stripe reads above are internal and carry no
+            // version; they are covered by the stripe's write).
+            #[cfg(feature = "record")]
+            self.emit(stm_check::Event::Read {
+                stripe: idx as u64,
+                version,
+            });
             return Ok(value);
         }
     }
@@ -402,8 +442,11 @@ impl<'a> Tx<'a> {
                             atomic_view(addr).store(value, Ordering::Release);
                         }
                     }
+                    #[cfg(feature = "record")]
+                    self.emit(stm_check::Event::Write { stripe: idx as u64 });
                     return Ok(());
                 }
+                self.ctx.last_contended = Some(idx);
                 return Err(self.abort(AbortReason::WriteLocked));
             }
             // Detect a conflicting committed write early: if the stripe
@@ -445,6 +488,8 @@ impl<'a> Tx<'a> {
                     atomic_view(addr).store(value, Ordering::Release);
                 }
             }
+            #[cfg(feature = "record")]
+            self.emit(stm_check::Event::Write { stripe: idx as u64 });
             return Ok(());
         }
     }
@@ -466,6 +511,8 @@ impl<'a> Tx<'a> {
                 self.ts.stats.bump_ro_commit();
             }
             self.ctx.alloc_log.clear();
+            #[cfg(feature = "record")]
+            self.emit(stm_check::Event::Commit { version: None });
             self.finished = true;
             return AttemptEnd::Committed;
         }
@@ -481,9 +528,16 @@ impl<'a> Tx<'a> {
 
         // Validation can be skipped when no transaction committed since
         // our snapshot's upper bound (commit time adjacent to it).
+        #[cfg(feature = "fault-inject")]
+        let skip_validation = matches!(
+            self.inner.fault.get(),
+            crate::fault::FaultInjection::SkipCommitValidation
+        );
+        #[cfg(not(feature = "fault-inject"))]
+        let skip_validation = false;
         if wv == self.ctx.end + 1 {
             self.ts.stats.bump_commit_validation_skip();
-        } else if !self.validate() {
+        } else if !skip_validation && !self.validate() {
             let reason = AbortReason::ValidationFailed;
             self.rollback(reason);
             return AttemptEnd::Aborted(reason);
@@ -525,6 +579,8 @@ impl<'a> Tx<'a> {
         self.ctx.alloc_log.clear();
         self.ctx.alloc_freed.clear();
         self.ts.stats.bump_commit();
+        #[cfg(feature = "record")]
+        self.emit(stm_check::Event::Commit { version: Some(wv) });
         self.finished = true;
         AttemptEnd::Committed
     }
@@ -578,6 +634,8 @@ impl<'a> Tx<'a> {
         self.ctx.free_log.clear();
         self.ts.stats.add_wasted_reads(self.ctx.attempt_reads);
         self.ts.stats.bump_abort(reason);
+        #[cfg(feature = "record")]
+        self.emit(stm_check::Event::Abort);
         self.finished = true;
     }
 }

@@ -1,0 +1,166 @@
+//! `stm-record` — run a workload with transactional event recording and
+//! (optionally) verify the history with the stm-check oracle.
+//!
+//! ```text
+//! stm-record [options]
+//!   --workload W     intset-rbtree | intset-list | overwrite | vacation
+//!                    (default intset-rbtree)
+//!   --backend B      wb | wt | tl2             (default wb)
+//!   --threads N      worker threads            (default 2)
+//!   --ms MS          measurement window in ms  (default 50)
+//!   --size N         structure size            (default 64)
+//!   --update-pct P   update percentage         (default 20)
+//!   --cm POLICY      immediate | suicide | delay | backoff
+//!                    (default immediate)
+//!   --seed S         base RNG seed
+//!   --no-record      measure only, record nothing
+//!   --check          run the opacity/serializability checker
+//!   --dump PATH      write the history as readable text to PATH
+//! ```
+//!
+//! Exit codes: 0 clean, 1 checker violation, 2 usage error. This is the
+//! CI `record-check` gate: any violation on any backend fails the job
+//! with a printed cycle witness.
+
+use std::process::ExitCode;
+use stm_harness::record::{run_recorded, RecBackend, RecWorkload, RecordOpts};
+use tinystm::CmPolicy;
+
+struct Args {
+    opts: RecordOpts,
+    check: bool,
+    dump: Option<std::path::PathBuf>,
+}
+
+fn usage() -> String {
+    "usage: stm-record [--workload intset-rbtree|intset-list|overwrite|vacation] \
+     [--backend wb|wt|tl2] [--threads N] [--ms MS] [--size N] [--update-pct P] \
+     [--cm immediate|suicide|delay|backoff] [--seed S] [--no-record] [--check] \
+     [--dump PATH]"
+        .to_string()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut opts = RecordOpts::default();
+    let mut check = false;
+    let mut dump = None;
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            iter.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--workload" => {
+                let v = value("--workload")?;
+                opts.workload =
+                    RecWorkload::parse(v).ok_or_else(|| format!("unknown workload {v}"))?;
+            }
+            "--backend" => {
+                let v = value("--backend")?;
+                opts.backend =
+                    RecBackend::parse(v).ok_or_else(|| format!("unknown backend {v}"))?;
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--ms" => {
+                opts.duration_ms = value("--ms")?.parse().map_err(|e| format!("--ms: {e}"))?;
+            }
+            "--size" => {
+                opts.size = value("--size")?
+                    .parse()
+                    .map_err(|e| format!("--size: {e}"))?;
+            }
+            "--update-pct" => {
+                opts.update_pct = value("--update-pct")?
+                    .parse()
+                    .map_err(|e| format!("--update-pct: {e}"))?;
+                if opts.update_pct > 100 {
+                    return Err("--update-pct must be <= 100".to_string());
+                }
+            }
+            "--cm" => {
+                let v = value("--cm")?;
+                opts.cm = CmPolicy::parse(v).ok_or_else(|| format!("unknown cm policy {v}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--no-record" => opts.record = false,
+            "--check" => check = true,
+            "--dump" => dump = Some(std::path::PathBuf::from(value("--dump")?)),
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    if check && !opts.record {
+        return Err("--check requires recording (drop --no-record)".to_string());
+    }
+    Ok(Args { opts, check, dump })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let opts = args.opts;
+    println!(
+        "# stm-record: workload={} backend={} threads={} ms={} size={} update%={} cm={} record={}",
+        opts.workload.label(),
+        opts.backend.label(),
+        opts.threads,
+        opts.duration_ms,
+        opts.size,
+        opts.update_pct,
+        opts.cm.label(),
+        opts.record,
+    );
+    let out = run_recorded(&opts);
+    let m = &out.measurement;
+    println!(
+        "throughput: {:.1} txs/s, {} commits, {} aborts (ratio {:.4}), {} panics",
+        m.throughput, m.commits, m.aborts, m.abort_ratio, m.worker_panics
+    );
+
+    let Some(history) = out.history else {
+        println!("recording off: nothing to check");
+        return ExitCode::SUCCESS;
+    };
+    println!("history: {}", history.summary());
+
+    if let Some(path) = &args.dump {
+        let mut text = String::new();
+        for (s, session) in history.sessions.iter().enumerate() {
+            for t in session {
+                text.push_str(&format!(
+                    "s{s} {:?} start={} reads={:?} writes={:?}\n",
+                    t.outcome, t.start, t.reads, t.writes
+                ));
+            }
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("stm-record: dump {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("dumped history to {}", path.display());
+    }
+
+    if args.check {
+        let report = stm_check::check_history(&history, &out.check_opts);
+        println!("{report}");
+        if !report.is_clean() {
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

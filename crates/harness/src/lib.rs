@@ -10,13 +10,21 @@
 //! * [`driver`] — thread spawning + windowed measurement;
 //! * [`intset`] — the red-black tree / linked list / overwrite harness;
 //! * [`vacation_mix`] — the STAMP-style vacation mix (Figure 7);
-//! * [`table`] — the series printer shared by the figure benches.
+//! * [`table`] — the series printer shared by the figure benches;
+//! * [`record`] (feature `record`) — the `--record` mode: run any
+//!   workload on a concrete backend with event recording attached and
+//!   drain the history for the `stm-check` oracle (also exposed as the
+//!   `stm-record` binary).
 
 pub mod driver;
 pub mod intset;
+#[cfg(feature = "record")]
+pub mod record;
 pub mod table;
 pub mod vacation_mix;
 
 pub use driver::{drive, drive_with_coordinator, MeasureOpts, Measurement};
 pub use intset::{populate, run_intset, run_overwrite, IntSetOp, IntSetWorkload};
+#[cfg(feature = "record")]
+pub use record::{run_recorded, RecBackend, RecWorkload, RecordOpts, RecordOutcome};
 pub use vacation_mix::{run_vacation, vacation_op, VacationWorkload};

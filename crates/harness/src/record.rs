@@ -1,0 +1,317 @@
+//! The driver's `--record` mode: run an existing workload (intset on
+//! rbtree/list, the overwrite list, or the vacation mix) on a concrete
+//! backend with transactional event recording attached, and drain the
+//! per-thread logs into an [`stm_check::History`] for the offline
+//! opacity/serializability checker.
+//!
+//! Recording is attached *before* population so the history covers
+//! every committed write — the checker's version resolution depends on
+//! seeing the whole run (a read of version `v` is matched to the commit
+//! that produced it).
+
+use crate::driver::{MeasureOpts, Measurement};
+use crate::intset::{run_intset, run_overwrite, IntSetWorkload};
+use crate::vacation_mix::{run_vacation, VacationWorkload};
+use std::sync::Arc;
+use std::time::Duration;
+use stm_api::TmHandle;
+use stm_check::{CheckOpts, History, TraceSink};
+use stm_structures::{LinkedList, RbTree};
+use stm_tl2::{Tl2, Tl2Config};
+use tinystm::{AccessStrategy, CmPolicy, Stm, StmConfig};
+
+/// The recordable backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecBackend {
+    /// TinySTM, write-back.
+    TinyWb,
+    /// TinySTM, write-through.
+    TinyWt,
+    /// TL2.
+    Tl2,
+}
+
+impl RecBackend {
+    /// All three backends (the CI matrix).
+    pub const ALL: [RecBackend; 3] = [RecBackend::TinyWb, RecBackend::TinyWt, RecBackend::Tl2];
+
+    /// Series label, matching the bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecBackend::TinyWb => "tinystm-wb",
+            RecBackend::TinyWt => "tinystm-wt",
+            RecBackend::Tl2 => "tl2",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(name: &str) -> Option<RecBackend> {
+        match name {
+            "wb" | "tinystm-wb" => Some(RecBackend::TinyWb),
+            "wt" | "tinystm-wt" => Some(RecBackend::TinyWt),
+            "tl2" => Some(RecBackend::Tl2),
+            _ => None,
+        }
+    }
+
+    /// Checker options appropriate for this backend (write-through
+    /// rollback may publish inflated versions on incarnation overflow;
+    /// see `stm_check`'s module docs).
+    pub fn check_opts(self) -> CheckOpts {
+        CheckOpts {
+            allow_version_inflation: matches!(self, RecBackend::TinyWt),
+            ..CheckOpts::default()
+        }
+    }
+}
+
+/// The recordable workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecWorkload {
+    /// Intset on the red-black tree.
+    IntsetRbtree,
+    /// Intset on the sorted linked list.
+    IntsetList,
+    /// The traverse-and-overwrite list workload (Figure 4 right).
+    Overwrite,
+    /// The STAMP-style vacation mix (Figure 7).
+    Vacation,
+}
+
+impl RecWorkload {
+    /// Label for CLI/CI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecWorkload::IntsetRbtree => "intset-rbtree",
+            RecWorkload::IntsetList => "intset-list",
+            RecWorkload::Overwrite => "overwrite",
+            RecWorkload::Vacation => "vacation",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(name: &str) -> Option<RecWorkload> {
+        match name {
+            "intset-rbtree" | "rbtree" => Some(RecWorkload::IntsetRbtree),
+            "intset-list" | "list" => Some(RecWorkload::IntsetList),
+            "overwrite" => Some(RecWorkload::Overwrite),
+            "vacation" => Some(RecWorkload::Vacation),
+            _ => None,
+        }
+    }
+}
+
+/// Options for one recorded run.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordOpts {
+    /// Backend under test.
+    pub backend: RecBackend,
+    /// Workload to drive.
+    pub workload: RecWorkload,
+    /// Worker threads.
+    pub threads: usize,
+    /// Measurement window in milliseconds (warm-up is a quarter of it).
+    pub duration_ms: u64,
+    /// Structure size (intset/overwrite) or resources (vacation).
+    pub size: u64,
+    /// Update percentage (intset/overwrite; vacation uses its mix).
+    pub update_pct: u32,
+    /// Contention-management policy.
+    pub cm: CmPolicy,
+    /// Whether to attach event recording (off measures the plain run).
+    pub record: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RecordOpts {
+    fn default() -> RecordOpts {
+        RecordOpts {
+            backend: RecBackend::TinyWb,
+            workload: RecWorkload::IntsetRbtree,
+            threads: 2,
+            duration_ms: 50,
+            size: 64,
+            update_pct: 20,
+            cm: CmPolicy::Immediate,
+            record: true,
+            seed: 0x7153_77AD,
+        }
+    }
+}
+
+/// Result of one recorded run.
+#[derive(Debug)]
+pub struct RecordOutcome {
+    /// Throughput/abort measurement of the run (partial histories from
+    /// panicking workers are still recorded — the bracket structure
+    /// survives because a panicking attempt aborts via `Drop`).
+    pub measurement: Measurement,
+    /// The drained history (`None` when recording was off).
+    pub history: Option<History>,
+    /// Backend label for reports.
+    pub backend_label: &'static str,
+    /// Checker options matching the backend.
+    pub check_opts: CheckOpts,
+}
+
+fn measure_opts(opts: &RecordOpts) -> MeasureOpts {
+    MeasureOpts::default()
+        .with_threads(opts.threads)
+        .with_warmup(Duration::from_millis((opts.duration_ms / 4).max(1)))
+        .with_duration(Duration::from_millis(opts.duration_ms.max(1)))
+        .with_seed(opts.seed)
+}
+
+fn run_workload<H: TmHandle>(tm: H, opts: &RecordOpts) -> Measurement {
+    let mopts = measure_opts(opts);
+    let stats = {
+        let tm = tm.clone();
+        move || tm.stats_snapshot()
+    };
+    match opts.workload {
+        RecWorkload::IntsetRbtree => {
+            let set = RbTree::new(tm);
+            run_intset(
+                &set,
+                IntSetWorkload::new(opts.size, opts.update_pct),
+                mopts,
+                &stats,
+            )
+        }
+        RecWorkload::IntsetList => {
+            let set = LinkedList::new(tm);
+            run_intset(
+                &set,
+                IntSetWorkload::new(opts.size, opts.update_pct),
+                mopts,
+                &stats,
+            )
+        }
+        RecWorkload::Overwrite => {
+            let list = LinkedList::new(tm);
+            run_overwrite(
+                &list,
+                IntSetWorkload::new(opts.size, opts.update_pct),
+                mopts,
+                &stats,
+            )
+        }
+        RecWorkload::Vacation => {
+            let workload = VacationWorkload {
+                n_resources: opts.size.max(8),
+                n_customers: (opts.size / 4).max(4),
+                ..VacationWorkload::default()
+            };
+            run_vacation(tm, workload, mopts)
+        }
+    }
+}
+
+/// Run the workload, recording if requested, and drain the history.
+pub fn run_recorded(opts: &RecordOpts) -> RecordOutcome {
+    let sink = opts.record.then(TraceSink::new);
+    let measurement = match opts.backend {
+        RecBackend::TinyWb | RecBackend::TinyWt => {
+            let strategy = if opts.backend == RecBackend::TinyWb {
+                AccessStrategy::WriteBack
+            } else {
+                AccessStrategy::WriteThrough
+            };
+            let stm = Stm::new(
+                StmConfig::default()
+                    .with_strategy(strategy)
+                    .with_cm(opts.cm),
+            )
+            .expect("record config valid");
+            if let Some(sink) = &sink {
+                stm.attach_trace(sink);
+            }
+            let m = run_workload(stm.clone(), opts);
+            stm.detach_trace();
+            m
+        }
+        RecBackend::Tl2 => {
+            let tl2 = Tl2::new(Tl2Config::default().with_cm(opts.cm)).expect("record config valid");
+            if let Some(sink) = &sink {
+                tl2.attach_trace(sink);
+            }
+            let m = run_workload(tl2.clone(), opts);
+            tl2.detach_trace();
+            m
+        }
+    };
+    let history = sink.map(|sink: Arc<TraceSink>| {
+        // SAFETY: every workload driver joins its worker scope before
+        // returning, so no thread can still be recording.
+        unsafe { sink.drain_history() }.expect("recorded event logs are well-formed")
+    });
+    RecordOutcome {
+        measurement,
+        history,
+        backend_label: opts.backend.label(),
+        check_opts: opts.backend.check_opts(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_check::check_history;
+
+    fn quick(backend: RecBackend, workload: RecWorkload) -> RecordOpts {
+        RecordOpts {
+            backend,
+            workload,
+            threads: 2,
+            duration_ms: 20,
+            size: 32,
+            ..RecordOpts::default()
+        }
+    }
+
+    #[test]
+    fn recorded_intset_history_is_clean() {
+        let out = run_recorded(&quick(RecBackend::TinyWb, RecWorkload::IntsetRbtree));
+        assert!(out.measurement.commits > 0);
+        let history = out.history.expect("recording was on");
+        let (committed, _, _, _, _) = history.totals();
+        assert!(committed > 0, "populate alone commits");
+        let report = check_history(&history, &out.check_opts);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn recording_off_yields_no_history() {
+        let mut opts = quick(RecBackend::Tl2, RecWorkload::IntsetList);
+        opts.record = false;
+        let out = run_recorded(&opts);
+        assert!(out.history.is_none());
+        assert!(out.measurement.commits > 0);
+    }
+
+    #[test]
+    fn vacation_on_tl2_records_and_checks() {
+        let out = run_recorded(&quick(RecBackend::Tl2, RecWorkload::Vacation));
+        let history = out.history.expect("recording was on");
+        let report = check_history(&history, &out.check_opts);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn parse_labels_roundtrip() {
+        for b in RecBackend::ALL {
+            assert_eq!(RecBackend::parse(b.label()), Some(b));
+        }
+        for w in [
+            RecWorkload::IntsetRbtree,
+            RecWorkload::IntsetList,
+            RecWorkload::Overwrite,
+            RecWorkload::Vacation,
+        ] {
+            assert_eq!(RecWorkload::parse(w.label()), Some(w));
+        }
+        assert!(RecBackend::parse("mutex").is_none());
+        assert!(RecWorkload::parse("skiplist").is_none());
+    }
+}

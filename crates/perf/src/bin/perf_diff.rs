@@ -8,13 +8,16 @@
 //!   --abort-tolerance <frac>
 //!                         also gate abort rate (+frac; off by default)
 //!   --require-all         fail if a baseline config was not measured
+//!   --allow-unmatched     unmatched configs warn but exit 0
 //!   --shape               check paper-shape invariants on CURRENT
 //!   --scaling-slack <frac>    shape: max-threads vs 1-thread floor (0.5)
 //!   --tl2-slack <frac>        shape: TinySTM vs TL2 floor (0.8)
 //! ```
 //!
 //! Exit codes: 0 pass, 1 regression or shape violation, 2 usage/IO
-//! error.
+//! error, 3 pass but some baseline/current configs matched nothing
+//! (printed as a stderr warning list — typically an `STM_MS` /
+//! `STM_THREADS` drift between the baseline snapshot and this run).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,13 +28,14 @@ struct Args {
     current: PathBuf,
     tolerance: Tolerance,
     require_all: bool,
+    allow_unmatched: bool,
     shape: bool,
     shape_opts: ShapeOpts,
 }
 
 fn usage() -> String {
     "usage: perf-diff <BASELINE> <CURRENT> [--tolerance F] [--abort-tolerance F] \
-     [--require-all] [--shape] [--scaling-slack F] [--tl2-slack F]"
+     [--require-all] [--allow-unmatched] [--shape] [--scaling-slack F] [--tl2-slack F]"
         .to_string()
 }
 
@@ -39,6 +43,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut positional: Vec<PathBuf> = Vec::new();
     let mut tolerance = Tolerance::default();
     let mut require_all = false;
+    let mut allow_unmatched = false;
     let mut shape = false;
     let mut shape_opts = ShapeOpts::default();
     let mut iter = argv.iter();
@@ -53,6 +58,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--tolerance" => tolerance.throughput_drop = frac("--tolerance")?,
             "--abort-tolerance" => tolerance.abort_rate_increase = Some(frac("--abort-tolerance")?),
             "--require-all" => require_all = true,
+            "--allow-unmatched" => allow_unmatched = true,
             "--shape" => shape = true,
             "--scaling-slack" => shape_opts.scaling_slack = frac("--scaling-slack")?,
             "--tl2-slack" => shape_opts.tiny_vs_tl2_slack = frac("--tl2-slack")?,
@@ -70,6 +76,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         current: positional.next().expect("checked len"),
         tolerance,
         require_all,
+        allow_unmatched,
         shape,
         shape_opts,
     })
@@ -102,6 +109,12 @@ fn main() -> ExitCode {
     let report = diff_records(&baseline, &current, &args.tolerance);
     print!("{}", render_markdown(&report, &args.tolerance));
 
+    // Unmatched configs are never silent: warn on stderr (and, below,
+    // exit 3 on an otherwise-clean run unless --allow-unmatched).
+    for warning in report.unmatched_warnings() {
+        eprintln!("perf-diff: {warning}");
+    }
+
     let mut failed = report.failed(args.require_all);
     if args.shape {
         let violations = check_all(&current, &args.shape_opts);
@@ -119,6 +132,8 @@ fn main() -> ExitCode {
     if failed {
         ExitCode::from(1)
     } else {
-        ExitCode::SUCCESS
+        let code = report.exit_code(args.require_all, args.allow_unmatched);
+        debug_assert!(code == 0 || code == 3, "pass path");
+        ExitCode::from(code as u8)
     }
 }

@@ -11,9 +11,12 @@
 //!   above an absolute floor so near-zero baselines don't amplify.
 //! * Partial records (worker panics) on the *current* side always
 //!   count as regressions — a crashed bench must never pass the gate.
-//! * Configs present on one side only are reported; they fail the gate
-//!   only under `require_all` (CI quick mode intentionally measures a
-//!   subset of a full baseline sweep).
+//! * Configs present on one side only are never silently skipped: they
+//!   are reported as an explicit warning list and turn a passing run's
+//!   exit code into the distinct "unmatched" code (3) unless the
+//!   caller opts out (`--allow-unmatched`). Under `require_all` they
+//!   escalate to a hard failure. (A baseline/CI drift in `STM_MS` or
+//!   `STM_THREADS` shows up exactly this way — the PR 2 gotcha.)
 
 use crate::record::BenchRecord;
 use std::collections::BTreeMap;
@@ -90,13 +93,38 @@ impl DiffReport {
         self.regressions().next().is_some() || (require_all && !self.missing_in_current.is_empty())
     }
 
-    /// Process exit code for the gate.
-    pub fn exit_code(&self, require_all: bool) -> i32 {
+    /// Configs that matched nothing on the other side (both directions).
+    pub fn unmatched(&self) -> usize {
+        self.missing_in_current.len() + self.new_in_current.len()
+    }
+
+    /// Process exit code for the gate: 0 clean pass, 1 regression (or
+    /// missing configs under `require_all`), 3 pass with unmatched
+    /// configs (suppressed by `allow_unmatched`). Code 2 is reserved
+    /// for usage/IO errors in the binary.
+    pub fn exit_code(&self, require_all: bool, allow_unmatched: bool) -> i32 {
         if self.failed(require_all) {
             1
+        } else if self.unmatched() > 0 && !allow_unmatched {
+            3
         } else {
             0
         }
+    }
+
+    /// The warning lines for unmatched configs (one per config), ready
+    /// for stderr.
+    pub fn unmatched_warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for key in &self.missing_in_current {
+            out.push(format!(
+                "warning: baseline config not measured in current run: {key}"
+            ));
+        }
+        for key in &self.new_in_current {
+            out.push(format!("warning: measured config has no baseline: {key}"));
+        }
+        out
     }
 }
 
@@ -257,7 +285,9 @@ mod tests {
         ];
         let report = diff_records(&base, &base, &Tolerance::default());
         assert!(!report.failed(true));
-        assert_eq!(report.exit_code(true), 0);
+        assert_eq!(report.exit_code(true, false), 0);
+        assert_eq!(report.unmatched(), 0);
+        assert!(report.unmatched_warnings().is_empty());
         assert_eq!(report.rows.len(), 2);
         assert!(report.rows.iter().all(|r| r.verdict == Verdict::Ok));
     }
@@ -276,7 +306,7 @@ mod tests {
         let bad = vec![with_throughput("a", 1, 700.0)];
         let report = diff_records(&base, &bad, &tol);
         assert!(report.failed(false));
-        assert_eq!(report.exit_code(false), 1);
+        assert_eq!(report.exit_code(false, false), 1);
         let row = report.regressions().next().unwrap();
         assert_eq!(row.metric, "ops_per_sec");
         assert!((row.delta_pct - -30.0).abs() < 1e-9);
@@ -302,6 +332,12 @@ mod tests {
         assert_eq!(report.missing_in_current.len(), 1);
         assert!(!report.failed(false), "subset runs pass by default");
         assert!(report.failed(true), "require_all escalates missing configs");
+        // But never silently: the pass carries the distinct warning
+        // exit code unless explicitly allowed.
+        assert_eq!(report.exit_code(false, false), 3);
+        assert_eq!(report.exit_code(false, true), 0);
+        assert_eq!(report.unmatched_warnings().len(), 1);
+        assert!(report.unmatched_warnings()[0].contains("not measured"));
     }
 
     #[test]
@@ -314,6 +350,8 @@ mod tests {
         let report = diff_records(&base, &cur, &Tolerance::default());
         assert_eq!(report.new_in_current.len(), 1);
         assert!(!report.failed(true));
+        assert_eq!(report.exit_code(true, false), 3, "warned, not failed");
+        assert!(report.unmatched_warnings()[0].contains("no baseline"));
     }
 
     #[test]

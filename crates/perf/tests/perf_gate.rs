@@ -63,7 +63,7 @@ fn unchanged_run_passes_gate_via_files() {
     let cur = load_records(&current).unwrap();
     assert_eq!(base.len(), 12, "2 experiments x 3 backends x 2 threads");
     let report = diff_records(&base, &cur, &Tolerance::default());
-    assert_eq!(report.exit_code(true), 0);
+    assert_eq!(report.exit_code(true, false), 0);
     std::fs::remove_dir_all(&root).unwrap();
 }
 
@@ -83,7 +83,7 @@ fn degraded_run_fails_gate_via_files() {
         ..Tolerance::default()
     };
     let report = diff_records(&base, &cur, &wide);
-    assert_eq!(report.exit_code(false), 1);
+    assert_eq!(report.exit_code(false, false), 1);
     assert!(report.regressions().count() >= 1);
     std::fs::remove_dir_all(&root).unwrap();
 }
@@ -109,7 +109,17 @@ fn quick_subset_against_full_baseline_passes_without_require_all() {
     let cur = load_records(&current).unwrap();
     let report = diff_records(&base, &cur, &Tolerance::default());
     assert_eq!(report.missing_in_current.len(), 6);
-    assert_eq!(report.exit_code(false), 0, "subset passes by default");
-    assert_eq!(report.exit_code(true), 1, "--require-all escalates");
+    assert_eq!(
+        report.exit_code(false, true),
+        0,
+        "subset passes when unmatched is allowed"
+    );
+    assert_eq!(
+        report.exit_code(false, false),
+        3,
+        "unmatched configs get the distinct warning code"
+    );
+    assert_eq!(report.exit_code(true, false), 1, "--require-all escalates");
+    assert_eq!(report.unmatched_warnings().len(), 6);
     std::fs::remove_dir_all(&root).unwrap();
 }

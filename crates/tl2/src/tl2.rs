@@ -129,6 +129,9 @@ struct Tl2Ctx {
     free_log: Vec<(usize, usize)>,
     alloc_freed: Vec<(usize, usize)>,
     attempt_reads: u64,
+    /// Lock index of the stripe the last abort collided on (consumed by
+    /// the CM_DELAY policy at the next attempt's start).
+    last_contended: Option<usize>,
     consecutive_aborts: u32,
     rng: u64,
 }
@@ -146,6 +149,7 @@ impl Tl2Ctx {
             free_log: Vec::new(),
             alloc_freed: Vec::new(),
             attempt_reads: 0,
+            last_contended: None,
             consecutive_aborts: 0,
             rng: seed | 1,
         }
@@ -181,6 +185,9 @@ struct ThreadState {
     bloom_false_positives: AtomicU64,
     active_start: AtomicU64,
     ctx: UnsafeCell<Tl2Ctx>,
+    /// Cached recording session — owning thread only.
+    #[cfg(feature = "record")]
+    trace: UnsafeCell<tinystm::trace::TraceLocal>,
 }
 
 // SAFETY: ctx is only touched by the owning thread; everything else is
@@ -199,6 +206,12 @@ struct Tl2Inner {
     registry: Mutex<Vec<Arc<ThreadState>>>,
     config: Tl2Config,
     rollovers: AtomicU64,
+    /// Attached event-recording sink, if any.
+    #[cfg(feature = "record")]
+    trace: tinystm::trace::TraceControl,
+    /// Active protocol mutation (checker self-tests only).
+    #[cfg(feature = "fault-inject")]
+    fault: tinystm::fault::FaultSwitch,
 }
 
 /// Aggregate TL2 statistics.
@@ -269,6 +282,10 @@ impl Tl2 {
                 registry: Mutex::new(Vec::new()),
                 config,
                 rollovers: AtomicU64::new(0),
+                #[cfg(feature = "record")]
+                trace: tinystm::trace::TraceControl::new(),
+                #[cfg(feature = "fault-inject")]
+                fault: tinystm::fault::FaultSwitch::default(),
             }),
         })
     }
@@ -296,6 +313,8 @@ impl Tl2 {
                 bloom_false_positives: AtomicU64::new(0),
                 active_start: AtomicU64::new(u64::MAX),
                 ctx: UnsafeCell::new(Tl2Ctx::new(0xD1CE_5EED ^ (id << 20))),
+                #[cfg(feature = "record")]
+                trace: UnsafeCell::new(tinystm::trace::TraceLocal::new()),
             });
             self.inner.registry.lock().push(Arc::clone(&ts));
             v.push((id, Arc::clone(&ts)));
@@ -318,15 +337,29 @@ impl Tl2 {
             // (the harness tolerates panicking workers; a leaked enter
             // would wedge every later fence).
             let active = inner.quiesce.enter_guarded(&ts.active_start);
+            // SAFETY: ctx belongs to this thread exclusively.
+            let ctx = unsafe { &mut *ts.ctx.get() };
+            // CM_DELAY: wait (bounded) for the stripe the last abort
+            // collided on to drain before retrying; before the `rv`
+            // sample so the wait cannot stale the snapshot.
+            if let (CmPolicy::Delay, Some(idx)) = (inner.config.cm, ctx.last_contended.take()) {
+                delay_wait(&inner.locks, idx);
+            }
             // Site S2 (see tinystm::stm): publish the oldest-reader
             // marker before sampling `rv` — SeqCst for the Dekker race
             // with the limbo reclaimer; marker ≤ rv keeps reclamation
             // conservative.
             ts.active_start.store(inner.clock.now(), Ordering::SeqCst);
             let rv = inner.clock.now();
-            // SAFETY: ctx belongs to this thread exclusively.
-            let ctx = unsafe { &mut *ts.ctx.get() };
             ctx.begin(kind, rv);
+            #[cfg(feature = "record")]
+            // SAFETY: the trace local belongs to this thread.
+            let trace = unsafe { &mut *ts.trace.get() }.session(&inner.trace);
+            #[cfg(feature = "record")]
+            if let Some(log) = trace {
+                // SAFETY: this thread owns the session log.
+                unsafe { log.push(stm_check::Event::Begin { start: rv }) };
+            }
 
             let outcome: Result<R, AbortReason> = {
                 let mut tx = Tl2Tx {
@@ -334,6 +367,8 @@ impl Tl2 {
                     ts: &ts,
                     ctx,
                     finished: false,
+                    #[cfg(feature = "record")]
+                    trace,
                 };
                 match body(&mut tx) {
                     Ok(value) => match tx.commit() {
@@ -430,6 +465,46 @@ impl Tl2 {
     pub fn clock_now(&self) -> u64 {
         self.inner.clock.now()
     }
+
+    /// Attach an event-recording sink (see [`tinystm::Stm::attach_trace`]
+    /// — same contract: drain only after workers joined, no roll-over
+    /// during the recorded window).
+    #[cfg(feature = "record")]
+    pub fn attach_trace(&self, sink: &std::sync::Arc<stm_check::TraceSink>) {
+        self.inner.trace.attach(sink);
+    }
+
+    /// Stop recording; threads notice at their next attempt.
+    #[cfg(feature = "record")]
+    pub fn detach_trace(&self) {
+        self.inner.trace.detach();
+    }
+
+    /// Activate a protocol mutation (checker self-tests only).
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_fault(&self, fault: tinystm::fault::FaultInjection) {
+        self.inner.fault.set(fault);
+    }
+}
+
+/// Bound on the CM_DELAY wait loop (contention management, not a
+/// correctness mechanism — must terminate regardless).
+const DELAY_MAX_SPINS: u32 = 1 << 14;
+
+/// CM_DELAY: spin (bounded) until the contended stripe is released.
+#[cold]
+fn delay_wait(locks: &[AtomicUsize], idx: usize) {
+    let Some(lock) = locks.get(idx) else { return };
+    for i in 0..DELAY_MAX_SPINS {
+        if !is_owned(lock.load(Ordering::Acquire)) {
+            return;
+        }
+        if i % 64 == 63 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
 }
 
 impl TmHandle for Tl2 {
@@ -457,6 +532,9 @@ pub struct Tl2Tx<'a> {
     ts: &'a ThreadState,
     ctx: &'a mut Tl2Ctx,
     finished: bool,
+    /// This thread's recording session, if a trace sink is attached.
+    #[cfg(feature = "record")]
+    trace: Option<&'a stm_check::SessionLog>,
 }
 
 impl<'a> Drop for Tl2Tx<'a> {
@@ -471,6 +549,18 @@ impl<'a> Tl2Tx<'a> {
     #[inline(always)]
     fn me(&self) -> usize {
         self.ts as *const ThreadState as usize
+    }
+
+    /// Append one event to this thread's recording session (no-op when
+    /// no sink is attached).
+    #[cfg(feature = "record")]
+    #[inline(always)]
+    fn emit(&self, event: stm_check::Event) {
+        if let Some(log) = self.trace {
+            // SAFETY: the run loop handed this attempt the session log
+            // registered by (and owned by) the current thread.
+            unsafe { log.push(event) };
+        }
     }
 
     #[inline(always)]
@@ -549,6 +639,8 @@ impl<'a> Tl2Tx<'a> {
                 self.ts.stats.bump_ro_commit();
             }
             self.ctx.alloc_log.clear();
+            #[cfg(feature = "record")]
+            self.emit(stm_check::Event::Commit { version: None });
             self.finished = true;
             return Ok(());
         }
@@ -566,6 +658,7 @@ impl<'a> Tl2Tx<'a> {
                         break; // already ours (earlier entry, same stripe)
                     }
                     self.release_acquired();
+                    self.ctx.last_contended = Some(idx);
                     let reason = AbortReason::WriteLocked;
                     self.rollback(reason);
                     return Err(reason);
@@ -597,9 +690,16 @@ impl<'a> Tl2Tx<'a> {
             }
         };
 
+        #[cfg(feature = "fault-inject")]
+        let skip_validation = matches!(
+            self.inner.fault.get(),
+            tinystm::fault::FaultInjection::SkipCommitValidation
+        );
+        #[cfg(not(feature = "fault-inject"))]
+        let skip_validation = false;
         if wv == self.ctx.rv + 1 {
             self.ts.stats.bump_commit_validation_skip();
-        } else if !self.validate() {
+        } else if !skip_validation && !self.validate() {
             self.release_acquired();
             let reason = AbortReason::ValidationFailed;
             self.rollback(reason);
@@ -624,6 +724,8 @@ impl<'a> Tl2Tx<'a> {
         self.ctx.alloc_log.clear();
         self.ctx.alloc_freed.clear();
         self.ts.stats.bump_commit();
+        #[cfg(feature = "record")]
+        self.emit(stm_check::Event::Commit { version: Some(wv) });
         self.finished = true;
         Ok(())
     }
@@ -647,6 +749,8 @@ impl<'a> Tl2Tx<'a> {
         self.ctx.free_log.clear();
         self.ts.stats.add_wasted_reads(self.ctx.attempt_reads);
         self.ts.stats.bump_abort(reason);
+        #[cfg(feature = "record")]
+        self.emit(stm_check::Event::Abort);
         self.finished = true;
     }
 }
@@ -678,7 +782,9 @@ impl<'a> TmTx for Tl2Tx<'a> {
             let l1 = lock.load(Ordering::Acquire);
             if is_owned(l1) {
                 // Locks are only held by committing transactions; TL2
-                // aborts rather than waiting.
+                // aborts rather than waiting (CM_DELAY consumes the
+                // index at the next attempt's start).
+                self.ctx.last_contended = Some(idx);
                 return Err(Abort(AbortReason::ReadLocked));
             }
             // Sites R3 + F1 + R4: the seqlock re-check (see module
@@ -700,6 +806,14 @@ impl<'a> TmTx for Tl2Tx<'a> {
             if matches!(self.ctx.kind, TxKind::ReadWrite) {
                 self.ctx.rset.push(idx);
             }
+            // Recorded at the success point only (reads that abort
+            // never returned a value; read-after-write hits above are
+            // internal and carry no version).
+            #[cfg(feature = "record")]
+            self.emit(stm_check::Event::Read {
+                stripe: idx as u64,
+                version: version_of(l1),
+            });
             return Ok(value);
         }
     }
@@ -728,6 +842,10 @@ impl<'a> TmTx for Tl2Tx<'a> {
             lock_idx,
         });
         self.ctx.bloom.insert(addr as usize);
+        #[cfg(feature = "record")]
+        self.emit(stm_check::Event::Write {
+            stripe: lock_idx as u64,
+        });
         Ok(())
     }
 
@@ -773,7 +891,9 @@ impl<'a> TmTx for Tl2Tx<'a> {
 /// Retry-loop backoff (same policy type as the TinySTM core).
 fn backoff(ctx: &mut Tl2Ctx, cm: CmPolicy) {
     match cm {
-        CmPolicy::Immediate => {}
+        // Suicide == immediate restart; Delay waits at the top of the
+        // next attempt (see `delay_wait`), not here.
+        CmPolicy::Immediate | CmPolicy::Suicide | CmPolicy::Delay => {}
         CmPolicy::Backoff { base, max_spins } => {
             let shift = ctx.consecutive_aborts.min(16);
             let bound = (u64::from(base) << shift).min(u64::from(max_spins));

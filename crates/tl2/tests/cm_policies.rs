@@ -1,0 +1,63 @@
+//! TL2 smoke test per contention-management policy: the policy choice
+//! (including the new Suicide/Delay variants) must never cost
+//! atomicity. Mirrors `crates/core/tests/cm_policies.rs` on the
+//! commit-time-locking backend.
+
+use stm_api::mem::WordBlock;
+use stm_api::{TmTx, TxKind};
+use stm_tl2::{Tl2, Tl2Config};
+use tinystm::CmPolicy;
+
+const THREADS: usize = 4;
+const INCREMENTS: usize = 250;
+
+fn hammer_counter(policy: CmPolicy) {
+    let tm = Tl2::new(Tl2Config::default().with_cm(policy)).expect("valid config");
+    let cell = WordBlock::new(1);
+    // Raw pointers are !Send; ferry the address as usize.
+    let addr_bits = cell.as_ptr() as usize;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let tm = tm.clone();
+            scope.spawn(move || {
+                let addr = addr_bits as *mut usize;
+                for _ in 0..INCREMENTS {
+                    tm.run(TxKind::ReadWrite, |tx| {
+                        // SAFETY: `cell` outlives the scope and is only
+                        // accessed transactionally while threads run.
+                        let v = unsafe { tx.load_word(addr) }?;
+                        unsafe { tx.store_word(addr, v + 1) }
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(
+        cell.read(0),
+        THREADS * INCREMENTS,
+        "{policy:?} lost increments"
+    );
+}
+
+#[test]
+fn immediate_policy_is_correct_under_contention() {
+    hammer_counter(CmPolicy::Immediate);
+}
+
+#[test]
+fn suicide_policy_is_correct_under_contention() {
+    hammer_counter(CmPolicy::Suicide);
+}
+
+#[test]
+fn delay_policy_is_correct_under_contention() {
+    hammer_counter(CmPolicy::Delay);
+}
+
+#[test]
+fn backoff_policy_is_correct_under_contention() {
+    hammer_counter(CmPolicy::Backoff {
+        base: 16,
+        max_spins: 1 << 12,
+    });
+}

@@ -81,3 +81,13 @@ fn autotune_runs() {
     let out = run_example("autotune", &["64", "2", "3", "20"]);
     assert!(out.contains("# tuned"), "unexpected output:\n{out}");
 }
+
+#[cfg(feature = "record")]
+#[test]
+fn record_check_runs_on_every_backend() {
+    // backend threads window_ms
+    for backend in ["wb", "wt", "tl2"] {
+        let out = run_example("record_check", &[backend, "2", "30"]);
+        assert!(out.contains("no violations"), "unexpected output:\n{out}");
+    }
+}
