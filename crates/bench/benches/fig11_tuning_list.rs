@@ -6,10 +6,13 @@
 //! configuration.
 
 use std::time::Duration;
-use stm_bench::{build_set_on_stm, full_mode, make_tiny, point_ms, Structure};
+use stm_bench::{
+    build_set_on_stm, emit_tuning, full_mode, make_tiny, point_ms, Structure, TuneEmit,
+};
 use stm_harness::table::{f1, i, s, SeriesWriter};
 use stm_harness::{IntSetOp, IntSetWorkload, MeasureOpts};
 use stm_tuning::{autotune, AutoTuneOpts, TuningPoint};
+
 use tinystm::AccessStrategy;
 
 fn main() {
@@ -39,7 +42,7 @@ fn main() {
         seed: 1111,
     };
     let template = stm.config();
-    let records = stm_harness::drive_with_coordinator(
+    let outcome = stm_harness::drive_with_coordinator(
         MeasureOpts::default().with_threads(8),
         |_t| {
             let mut op = IntSetOp::new(&*set, workload);
@@ -47,7 +50,11 @@ fn main() {
         },
         || autotune(&stm, template, TuningPoint::experiment_start(), tune_opts),
     );
-    for r in &records {
+    if let Some(e) = &outcome.error {
+        eprintln!("fig11: tuning stopped early: {e}");
+    }
+    let records = &outcome.records;
+    for r in records {
         out.row(&[
             i(r.index as u64),
             i(r.point.locks_log2 as u64),
@@ -57,10 +64,18 @@ fn main() {
             s(r.label.clone()),
         ]);
     }
-    let best = records
-        .iter()
-        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
-        .expect("records non-empty");
+    emit_tuning(
+        &TuneEmit {
+            experiment: "fig11",
+            description: "auto-tuning path and throughput, linked list (4096, 8 thr)",
+            structure: "list",
+            threads: 8,
+            workload,
+            point_ms: tune_opts.period.as_millis() as u64 * tune_opts.samples_per_config as u64,
+        },
+        &outcome,
+    );
+    let best = outcome.best().expect("records non-empty");
     out.gap();
     out.experiment(
         "fig11-summary",

@@ -41,7 +41,7 @@ fn main() {
         seed: 1212,
     };
     let template = stm.config();
-    let records = stm_harness::drive_with_coordinator(
+    let outcome = stm_harness::drive_with_coordinator(
         MeasureOpts::default().with_threads(8),
         |_t| {
             let mut op = IntSetOp::new(&*set, workload);
@@ -49,7 +49,10 @@ fn main() {
         },
         || autotune(&stm, template, TuningPoint::experiment_start(), tune_opts),
     );
-    for r in &records {
+    if let Some(e) = &outcome.error {
+        eprintln!("fig12: tuning stopped early: {e}");
+    }
+    for r in &outcome.records {
         let mut extras = BTreeMap::new();
         extras.insert("h".to_string(), (1u64 << r.point.hier_log2) as f64);
         extras.insert("val_processed_per_s".to_string(), r.val_processed_per_s);

@@ -272,6 +272,89 @@ pub fn bench_record(
     }
 }
 
+/// Static identity of one tuning experiment for the perf pipeline.
+pub struct TuneEmit {
+    /// Experiment id (figure name).
+    pub experiment: &'static str,
+    /// One-line description for the JSONL header.
+    pub description: &'static str,
+    /// Structure label (rbtree/list).
+    pub structure: &'static str,
+    /// Worker threads driving the load.
+    pub threads: usize,
+    /// The driven workload (sizes the config key).
+    pub workload: IntSetWorkload,
+    /// Wall time behind each trajectory point (period x samples, ms).
+    pub point_ms: u64,
+}
+
+/// Emit the tuning trajectory through the shared perf pipeline: one
+/// record per evaluated configuration (panel `trajectory-NN`, the
+/// per-step config + throughput in `extras`) plus a `summary` record,
+/// so the tuning curves join the JSONL artifacts the CI uploads.
+pub fn emit_tuning(id: &TuneEmit, outcome: &stm_tuning::AutoTuneOutcome) {
+    let mut perf = perf_emitter(id.experiment, id.description);
+    let base = |panel: String| stm_perf::BenchRecord {
+        experiment: id.experiment.to_string(),
+        panel,
+        structure: id.structure.to_string(),
+        backend: "tinystm-wb".to_string(),
+        threads: id.threads,
+        initial_size: id.workload.initial_size,
+        key_range: id.workload.key_range,
+        update_pct: id.workload.update_pct,
+        ops_per_sec: 0.0,
+        aborts_per_sec: 0.0,
+        abort_ratio: 0.0,
+        commits: 0,
+        aborts: 0,
+        elapsed_ms: id.point_ms as f64,
+        aborts_by_reason: Default::default(),
+        worker_panics: 0,
+        extras: Default::default(),
+    };
+    for r in &outcome.records {
+        let mut rec = base(format!("trajectory-{:02}", r.index));
+        rec.ops_per_sec = r.throughput;
+        rec.extras = [
+            ("config_idx".to_string(), r.index as f64),
+            ("locks_log2".to_string(), r.point.locks_log2 as f64),
+            ("shifts".to_string(), r.point.shifts as f64),
+            ("hier".to_string(), (1u64 << r.point.hier_log2) as f64),
+            ("val_processed_per_s".to_string(), r.val_processed_per_s),
+            ("val_skipped_per_s".to_string(), r.val_skipped_per_s),
+        ]
+        .into_iter()
+        .collect();
+        perf.record(rec);
+    }
+    if let (Some(best), Some(first)) = (outcome.best(), outcome.records.first()) {
+        let mut rec = base("summary".to_string());
+        rec.ops_per_sec = best.throughput;
+        rec.extras = [
+            ("start_txs_per_s".to_string(), first.throughput),
+            ("best_locks_log2".to_string(), best.point.locks_log2 as f64),
+            ("best_shifts".to_string(), best.point.shifts as f64),
+            (
+                "best_hier".to_string(),
+                (1u64 << best.point.hier_log2) as f64,
+            ),
+            (
+                "configs_evaluated".to_string(),
+                outcome.records.len() as f64,
+            ),
+            (
+                "completed".to_string(),
+                if outcome.is_complete() { 1.0 } else { 0.0 },
+            ),
+        ]
+        .into_iter()
+        .collect();
+        perf.record(rec);
+    }
+    perf.finish();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,28 @@
 //! The offline checker: version-order graph construction + cycle
 //! detection for serializability, plus the opacity refinement for
-//! aborted and read-only transactions.
+//! aborted and read-only transactions. Histories are segmented per
+//! *reconfigure epoch* before anything else (see below).
+//!
+//! ## Epoch segmentation
+//!
+//! A reconfiguration rebuilds the lock array and resets the clock
+//! inside a quiesce fence, so stripe IDs and commit timestamps from
+//! different epochs are incomparable: stripe 5 of epoch 0 and stripe 5
+//! of epoch 1 cover unrelated address sets, and both epochs start their
+//! clock at 0. The checker therefore partitions the transactions by
+//! their `Begin` epoch and runs the whole version-order analysis
+//! independently per epoch (each epoch gets its own `Init` node — the
+//! fresh lock array really is all-zero versions).
+//!
+//! Cross-epoch ordering needs no graph: the fence is a real-time
+//! barrier, so every transaction of epoch *e* precedes every
+//! transaction of epoch *e + 1* — all cross-epoch commit-order edges
+//! point forward and can never close a cycle. The one checkable
+//! cross-epoch obligation is that those edges are consistent with the
+//! recorded session order: within a session (one thread's program
+//! order) epochs must be non-decreasing. A session that runs an
+//! epoch-1 attempt and then an epoch-0 attempt contradicts the fence
+//! and is reported as [`Violation::CrossEpochOrder`].
 //!
 //! ## The version-order graph
 //!
@@ -175,6 +197,20 @@ impl std::fmt::Display for CycleWitness {
 /// One checker finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Violation {
+    /// A session ran an attempt in an older epoch after an attempt in
+    /// a newer one: impossible under the reconfigure fence (epochs are
+    /// bumped inside a real-time barrier), so the cross-epoch
+    /// commit-order edges contradict the recorded session order.
+    CrossEpochOrder {
+        /// Session whose program order contradicts the epoch order.
+        session: usize,
+        /// Index of the out-of-order (older-epoch) attempt.
+        index: usize,
+        /// Epoch of the preceding attempt.
+        from_epoch: u64,
+        /// Epoch of the out-of-order attempt (`< from_epoch`).
+        to_epoch: u64,
+    },
     /// Two committed update transactions share a commit timestamp (the
     /// global clock is broken).
     DuplicateCommitVersion {
@@ -221,6 +257,16 @@ pub enum Violation {
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            Violation::CrossEpochOrder {
+                session,
+                index,
+                from_epoch,
+                to_epoch,
+            } => write!(
+                f,
+                "session {session} txn {index} ran in epoch {to_epoch} after an attempt in \
+                 epoch {from_epoch}: session order contradicts the reconfigure fence"
+            ),
             Violation::DuplicateCommitVersion { a, b, version } => write!(
                 f,
                 "duplicate commit version v{version} shared by {a} and {b}"
@@ -259,6 +305,8 @@ impl std::fmt::Display for Violation {
 pub struct CheckReport {
     /// All findings, deterministic order.
     pub violations: Vec<Violation>,
+    /// Distinct reconfigure epochs the history was segmented into.
+    pub epochs: usize,
     /// Committed update transactions checked.
     pub committed_updates: usize,
     /// Read-only commits checked by the opacity refinement.
@@ -283,10 +331,11 @@ impl std::fmt::Display for CheckReport {
         writeln!(
             f,
             "checked {} committed update txn(s), {} read-only commit(s), {} aborted \
-             attempt(s); {} read(s) resolved, {} graph edge(s)",
+             attempt(s) across {} epoch(s); {} read(s) resolved, {} graph edge(s)",
             self.committed_updates,
             self.readonly_commits,
             self.aborted,
+            self.epochs,
             self.reads_checked,
             self.graph_edges
         )?;
@@ -331,14 +380,50 @@ impl StripeWriters {
     }
 }
 
-/// Check a recorded history. See the module docs for the model.
+/// Check a recorded history. See the module docs for the model: the
+/// history is segmented per reconfigure epoch, each epoch is checked
+/// independently, and the cross-epoch commit-order edges are checked
+/// against the recorded session order.
 pub fn check_history(history: &History, opts: &CheckOpts) -> CheckReport {
     let mut report = CheckReport::default();
 
+    // Cross-epoch commit order: within a session, epochs must be
+    // non-decreasing (the fence is a real-time barrier).
+    for (session, txns) in history.sessions.iter().enumerate() {
+        for pair in txns.windows(2) {
+            if pair[1].epoch < pair[0].epoch {
+                report.violations.push(Violation::CrossEpochOrder {
+                    session,
+                    index: pair[1].id.index,
+                    from_epoch: pair[0].epoch,
+                    to_epoch: pair[1].epoch,
+                });
+            }
+        }
+    }
+
+    // Segment per epoch (ascending: deterministic violation order) and
+    // run the version-order analysis independently on each segment.
+    let mut by_epoch: std::collections::BTreeMap<u64, Vec<&Txn>> =
+        std::collections::BTreeMap::new();
+    for t in history.txns() {
+        by_epoch.entry(t.epoch).or_default().push(t);
+    }
+    report.epochs = by_epoch.len();
+    for txns in by_epoch.values() {
+        check_epoch(txns, opts, &mut report);
+    }
+    report
+}
+
+/// Check one epoch's transactions (stripe IDs and versions are
+/// comparable only within an epoch), accumulating into `report`.
+fn check_epoch(txns: &[&Txn], opts: &CheckOpts, report: &mut CheckReport) {
     // Node table: index 0 = Init, then committed update txns in commit-
     // version order.
-    let mut committed: Vec<&Txn> = history
-        .txns()
+    let mut committed: Vec<&Txn> = txns
+        .iter()
+        .copied()
         .filter(|t| t.commit_version().is_some())
         .collect();
     committed.sort_by_key(|t| t.commit_version().expect("filtered"));
@@ -355,7 +440,7 @@ pub fn check_history(history: &History, opts: &CheckOpts) -> CheckReport {
             });
         }
     }
-    report.committed_updates = committed.len();
+    report.committed_updates += committed.len();
 
     let n_nodes = committed.len() + 1;
     let node_of: HashMap<TxnId, usize> = committed
@@ -478,7 +563,7 @@ pub fn check_history(history: &History, opts: &CheckOpts) -> CheckReport {
             }
         }
     }
-    report.graph_edges = graph.edge_count();
+    report.graph_edges += graph.edge_count();
 
     // Cycle detection.
     let core = graph.cyclic_core();
@@ -523,7 +608,7 @@ pub fn check_history(history: &History, opts: &CheckOpts) -> CheckReport {
     // Opacity refinement: aborted + read-only commits must each fit a
     // snapshot.
     if opts.opacity {
-        for t in history.txns() {
+        for t in txns.iter().copied() {
             let committed_ro = matches!(t.outcome, Outcome::Committed { version: None });
             let aborted = matches!(t.outcome, Outcome::Aborted);
             if !committed_ro && !aborted {
@@ -611,8 +696,6 @@ pub fn check_history(history: &History, opts: &CheckOpts) -> CheckReport {
             version,
         });
     }
-
-    report
 }
 
 /// Compress maximal runs of consecutive `co` edges in a raw cycle into
@@ -662,7 +745,10 @@ mod tests {
     }
 
     fn begin(start: u64) -> Event {
-        Event::Begin { start }
+        Event::Begin { start, epoch: 0 }
+    }
+    fn begin_at(start: u64, epoch: u64) -> Event {
+        Event::Begin { start, epoch }
     }
     fn read(stripe: u64, version: u64) -> Event {
         Event::Read { stripe, version }
@@ -859,6 +945,116 @@ mod tests {
             ..CheckOpts::default()
         };
         assert!(check_history(&h, &opts).is_clean());
+    }
+
+    #[test]
+    fn aliased_stripes_across_epochs_are_not_conflated() {
+        // Epoch 0 and epoch 1 both use stripe 0 and commit version 1
+        // (the clock resets at the reconfigure). Conflated, this is a
+        // duplicate commit version and a tangle of bogus edges;
+        // segmented, each epoch is trivially serializable.
+        let h = hist(vec![vec![
+            begin_at(0, 0),
+            write(0),
+            commit(1),
+            begin_at(0, 1),
+            write(0),
+            commit(1),
+            begin_at(1, 1),
+            read(0, 1),
+            commit_ro(),
+        ]]);
+        let report = check_history(&h, &CheckOpts::default());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.epochs, 2);
+        assert_eq!(report.committed_updates, 2);
+
+        // The pre-fix behaviour (no segmentation) provably mischecks
+        // the same run: squash everything into one epoch and the
+        // checker reports the duplicate commit version.
+        let conflated = hist(vec![vec![
+            begin_at(0, 0),
+            write(0),
+            commit(1),
+            begin_at(0, 0),
+            write(0),
+            commit(1),
+            begin_at(1, 0),
+            read(0, 1),
+            commit_ro(),
+        ]]);
+        let report = check_history(&conflated, &CheckOpts::default());
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::DuplicateCommitVersion { version: 1, .. })),
+            "conflated epochs must mischeck: {report}"
+        );
+    }
+
+    #[test]
+    fn epoch_segmentation_scopes_version_resolution() {
+        // Epoch 1's reader observes stripe 0 at v0 (fresh lock array).
+        // Conflated with epoch 0 (where stripe 0 was written at v1 and
+        // overwritten at v2), the same read would look stale; segmented
+        // it resolves to epoch 1's Init and the history is clean.
+        let logs = |e1: u64| {
+            vec![vec![
+                begin_at(0, 0),
+                write(0),
+                commit(1),
+                begin_at(1, 0),
+                write(0),
+                commit(2),
+                begin_at(0, e1),
+                read(0, 0),
+                write(1),
+                commit(1),
+            ]]
+        };
+        let segmented = check_history(&hist(logs(1)), &CheckOpts::default());
+        assert!(segmented.is_clean(), "{segmented}");
+        let conflated = check_history(&hist(logs(0)), &CheckOpts::default());
+        assert!(
+            !conflated.is_clean(),
+            "conflated epochs must flag the aliased read"
+        );
+    }
+
+    #[test]
+    fn cross_epoch_order_violation_is_caught() {
+        // A session that runs an epoch-0 attempt after an epoch-1
+        // attempt contradicts the reconfigure fence.
+        let h = hist(vec![vec![
+            begin_at(0, 1),
+            write(0),
+            commit(1),
+            begin_at(5, 0),
+            read(0, 0),
+            commit_ro(),
+        ]]);
+        let report = check_history(&h, &CheckOpts::default());
+        let v = report
+            .violations
+            .iter()
+            .find(|v| matches!(v, Violation::CrossEpochOrder { .. }))
+            .expect("cross-epoch order violation");
+        let text = v.to_string();
+        assert!(text.contains("epoch 0"), "{text}");
+        assert!(text.contains("reconfigure fence"), "{text}");
+        match v {
+            Violation::CrossEpochOrder {
+                session,
+                index,
+                from_epoch,
+                to_epoch,
+            } => {
+                assert_eq!((*session, *index), (0, 1));
+                assert_eq!((*from_epoch, *to_epoch), (1, 0));
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

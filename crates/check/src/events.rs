@@ -3,27 +3,61 @@
 //!
 //! Recording must not perturb the system it observes, so the hot path is
 //! wait-free: each recording thread owns one [`SessionLog`] — a plain
-//! `Vec` push, no atomics, no locks — and the shared [`TraceSink`] is
-//! only locked when a thread registers its log (once per thread) and
-//! when the logs are drained after the run. One `SessionLog` is exactly
-//! one *session* in the dbcop sense: the sequence of transaction
-//! attempts one thread performed, in program order.
+//! `Vec` push, no atomics beyond the per-attempt activation flag, no
+//! locks — and the shared [`TraceSink`] is only locked when a thread
+//! registers its log (once per thread) and when the logs are drained
+//! after the run. One `SessionLog` is exactly one *session* in the dbcop
+//! sense: the sequence of transaction attempts one thread performed, in
+//! program order.
+//!
+//! ## Safe draining
+//!
+//! Draining used to be an `unsafe fn` whose contract ("no worker may
+//! still be recording") every caller had to re-prove. It is now a safe
+//! handshake: [`TraceSink::drain_history`] *closes* the sink and then
+//! waits for every session's activation flag to clear. The activation
+//! flag and the closed flag form a store-buffering (Dekker) pair — a
+//! recording thread publishes `active = true` (SeqCst) and then checks
+//! `closed` (SeqCst), while the drainer stores `closed = true` (SeqCst)
+//! and then polls `active` (SeqCst) — so for any attempt either the
+//! drainer observes it and waits for its complete bracket, or the
+//! thread observes the closed sink and records nothing for that
+//! attempt. Once a session is observed inactive after close it can
+//! never push again, which makes taking its events sound.
+//!
+//! ## Epochs and clock roll-over
+//!
+//! A reconfiguration renumbers stripes and resets the clock, which
+//! would silently alias stripe IDs and commit timestamps across the
+//! boundary. The backends therefore stamp every `Begin` with the
+//! instance's *reconfigure epoch* (bumped inside the quiesce fence);
+//! the checker segments the history per epoch. Clock roll-over also
+//! renumbers versions but carries no epoch boundary, so a roll-over
+//! during recording *poisons* the sink ([`TraceSink::mark_rollover`])
+//! and draining fails loudly with [`RecordingError::ClockRollover`]
+//! instead of producing an unsound history.
 
 use crate::history::{History, HistoryError};
+use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::cell::UnsafeCell;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// One recorded transactional event.
 ///
 /// Stripe indices are the backend's lock-array indices (the unit of
 /// conflict detection); versions are global-clock timestamps as stored
-/// in the lock words.
+/// in the lock words. Stripe indices and versions are only meaningful
+/// *within* one reconfigure epoch (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// A transaction attempt started with the given snapshot time.
     Begin {
         /// Clock value sampled at begin (LSA `start`, TL2 `rv`).
         start: u64,
+        /// Reconfigure epoch the attempt ran in (bumped by the backend
+        /// inside each reconfiguration's quiesce fence).
+        epoch: u64,
     },
     /// A transactional read returned a value to the caller.
     Read {
@@ -47,29 +81,105 @@ pub enum Event {
     Abort,
 }
 
+/// Why a recorded window could not be drained into a usable history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordingError {
+    /// The clock rolled over during the recorded window: every version
+    /// observed after the roll-over aliases pre-roll-over timestamps,
+    /// so the history is unsound and is discarded rather than checked.
+    ClockRollover {
+        /// Roll-overs that hit the sink while recording.
+        rollovers: u64,
+    },
+    /// A session was still inside a transaction attempt when the drain
+    /// deadline expired (a live worker is still recording — join the
+    /// workers, or stop the workload, before draining).
+    SessionStillRecording {
+        /// Index of the session that never went inactive.
+        session: usize,
+    },
+    /// The event stream itself was structurally malformed (a recording
+    /// bug, not a consistency violation).
+    Malformed(HistoryError),
+}
+
+impl std::fmt::Display for RecordingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordingError::ClockRollover { rollovers } => write!(
+                f,
+                "clock rolled over {rollovers} time(s) during the recorded window: \
+                 observed versions alias across the roll-over, history discarded"
+            ),
+            RecordingError::SessionStillRecording { session } => write!(
+                f,
+                "session {session} still inside an attempt at the drain deadline \
+                 (drain after the workers have joined)"
+            ),
+            RecordingError::Malformed(e) => write!(f, "malformed event log: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordingError {}
+
 /// The event log of one recording thread (= one session).
 ///
-/// Only the owning thread may push; draining requires that no thread can
-/// still be inside a transaction. Both operations are `unsafe fn`s so
-/// the call sites carry that contract explicitly.
+/// Only the owning thread may push, bracketed by
+/// [`SessionLog::try_activate`] / [`SessionLog::deactivate`]; draining
+/// goes through the sink's safe close-and-wait handshake.
 #[derive(Debug, Default)]
 pub struct SessionLog {
     events: UnsafeCell<Vec<Event>>,
+    /// Set while the owning thread is inside a recorded attempt. Half
+    /// of the Dekker pair with [`TraceSink`]'s `closed` flag.
+    active: AtomicBool,
 }
 
-// SAFETY: the `UnsafeCell` is only written by the owning thread (push)
-// or after all recording threads have quiesced (take) — the contracts on
-// the two unsafe fns below. The registry needs to hold `Arc<SessionLog>`
-// across threads, hence the manual impls.
+// SAFETY: the `UnsafeCell` is only written by the owning thread (push,
+// between try_activate/deactivate) or by the drainer after the
+// close-and-wait handshake proved no further pushes can happen. The
+// registry needs to hold `Arc<SessionLog>` across threads, hence the
+// manual impls.
 unsafe impl Send for SessionLog {}
 unsafe impl Sync for SessionLog {}
 
 impl SessionLog {
+    /// Mark the owning thread as inside a recorded attempt. Returns
+    /// `false` (and leaves the log inactive) when `sink` has been
+    /// closed for draining — the caller must not record this attempt.
+    ///
+    /// The SeqCst store/load pair is the recording half of the Dekker
+    /// handshake with [`TraceSink::drain_history`] (module docs).
+    #[inline]
+    pub fn try_activate(&self, sink: &TraceSink) -> bool {
+        self.active.store(true, Ordering::SeqCst);
+        if sink.is_closed() {
+            self.active.store(false, Ordering::Release);
+            return false;
+        }
+        true
+    }
+
+    /// Mark the attempt finished (after its final event was pushed).
+    /// The Release store publishes every push to the drainer's poll.
+    #[inline]
+    pub fn deactivate(&self) {
+        self.active.store(false, Ordering::Release);
+    }
+
+    /// Whether the owning thread is currently inside a recorded attempt.
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::SeqCst)
+    }
+
     /// Append one event.
     ///
     /// # Safety
-    /// Must only be called by the thread that registered this log, and
-    /// never concurrently with [`SessionLog::take`].
+    /// Must only be called by the thread that registered this log,
+    /// between [`SessionLog::try_activate`] and
+    /// [`SessionLog::deactivate`] (or in a context where no concurrent
+    /// drain can run, e.g. single-threaded tests).
     #[inline]
     pub unsafe fn push(&self, event: Event) {
         (*self.events.get()).push(event);
@@ -78,10 +188,10 @@ impl SessionLog {
     /// Take the recorded events, leaving the log empty.
     ///
     /// # Safety
-    /// No thread may be pushing concurrently: call only after every
-    /// worker that could run transactions has finished (joined) or the
-    /// trace has been detached and all threads have observed that.
-    pub unsafe fn take(&self) -> Vec<Event> {
+    /// No thread may be pushing concurrently: call only after the
+    /// close-and-wait handshake (or after every worker that could run
+    /// transactions has finished).
+    pub(crate) unsafe fn take(&self) -> Vec<Event> {
         std::mem::take(&mut *self.events.get())
     }
 
@@ -102,14 +212,46 @@ impl SessionLog {
     }
 }
 
+/// RAII bracket for one recorded attempt: deactivates the session on
+/// drop, including a panic unwinding out of the transaction body (the
+/// harness tolerates panicking workers; a session left active would
+/// make every later drain time out).
+#[derive(Debug)]
+pub struct AttemptGuard<'a> {
+    log: &'a SessionLog,
+}
+
+impl<'a> AttemptGuard<'a> {
+    /// Guard an already-activated session for the current attempt.
+    pub fn new(log: &'a SessionLog) -> AttemptGuard<'a> {
+        AttemptGuard { log }
+    }
+}
+
+impl Drop for AttemptGuard<'_> {
+    fn drop(&mut self) {
+        self.log.deactivate();
+    }
+}
+
+/// How long [`TraceSink::drain_history`] waits for in-flight attempts
+/// to finish before giving up.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
 /// Registry of per-thread logs for one recorded run.
 ///
 /// Created by the harness, attached to a backend (which registers one
 /// [`SessionLog`] per recording thread), and drained into a [`History`]
-/// once the workload's threads have joined.
+/// once the workload's threads have joined. A sink is one-shot: close
+/// it by draining, then create a fresh sink for the next window.
 #[derive(Debug, Default)]
 pub struct TraceSink {
     sessions: Mutex<Vec<Arc<SessionLog>>>,
+    /// Set once draining starts; recording threads observe it at their
+    /// next attempt (Dekker pair with the session activation flags).
+    closed: AtomicBool,
+    /// Clock roll-overs that hit this sink while recording (poison).
+    rollovers: AtomicU64,
 }
 
 impl TraceSink {
@@ -134,15 +276,63 @@ impl TraceSink {
         self.sessions.lock().expect("sink poisoned").len()
     }
 
-    /// Drain every session's events and assemble the [`History`].
-    ///
-    /// Sessions that recorded no events (e.g. a registered thread that
-    /// never ran a transaction) are dropped.
+    /// Whether the sink has been closed for draining.
+    #[inline]
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Record that the backend's clock rolled over while this sink was
+    /// attached (called inside the roll-over quiesce fence). Poisons
+    /// the sink: draining reports [`RecordingError::ClockRollover`].
+    pub fn mark_rollover(&self) {
+        self.rollovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Close the sink and drain every session's events into a
+    /// [`History`]. Safe: closes the sink first (threads stop recording
+    /// at their next attempt) and waits for in-flight attempts to
+    /// finish, so no push can race the drain — see the module docs for
+    /// the handshake. Sessions that recorded no events are dropped.
+    pub fn drain_history(&self) -> Result<History, RecordingError> {
+        self.drain_history_with_deadline(DRAIN_DEADLINE)
+    }
+
+    /// [`TraceSink::drain_history`] with an explicit wait budget for
+    /// in-flight attempts (tests; the default budget is generous).
+    pub fn drain_history_with_deadline(
+        &self,
+        deadline: Duration,
+    ) -> Result<History, RecordingError> {
+        self.closed.store(true, Ordering::SeqCst);
+        let sessions: Vec<Arc<SessionLog>> = self.sessions.lock().expect("sink poisoned").clone();
+        let give_up = Instant::now() + deadline;
+        for (i, session) in sessions.iter().enumerate() {
+            // SeqCst poll: the drainer half of the Dekker handshake.
+            while session.active.load(Ordering::SeqCst) {
+                if Instant::now() >= give_up {
+                    return Err(RecordingError::SessionStillRecording { session: i });
+                }
+                std::thread::yield_now();
+            }
+        }
+        let rollovers = self.rollovers.load(Ordering::Relaxed);
+        if rollovers > 0 {
+            return Err(RecordingError::ClockRollover { rollovers });
+        }
+        // SAFETY: the sink is closed and every session was observed
+        // inactive after the close, so no further push can happen (a
+        // thread either saw the close and recorded nothing, or its
+        // in-flight attempt finished before the poll above).
+        unsafe { self.drain_history_unchecked() }.map_err(RecordingError::Malformed)
+    }
+
+    /// Drain without the close-and-wait handshake.
     ///
     /// # Safety
     /// No thread may still be recording: every worker that ran
     /// transactions under this sink must have finished (joined) first.
-    pub unsafe fn drain_history(&self) -> Result<History, HistoryError> {
+    pub(crate) unsafe fn drain_history_unchecked(&self) -> Result<History, HistoryError> {
         let sessions = self.sessions.lock().expect("sink poisoned");
         let logs: Vec<Vec<Event>> = sessions
             .iter()
@@ -156,7 +346,7 @@ impl TraceSink {
 impl std::fmt::Display for Event {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Event::Begin { start } => write!(f, "begin start={start}"),
+            Event::Begin { start, epoch } => write!(f, "begin start={start} epoch={epoch}"),
             Event::Read { stripe, version } => write!(f, "read stripe={stripe} v={version}"),
             Event::Write { stripe } => write!(f, "write stripe={stripe}"),
             Event::Commit { version: Some(v) } => write!(f, "commit wv={v}"),
@@ -170,13 +360,17 @@ impl std::fmt::Display for Event {
 mod tests {
     use super::*;
 
+    fn begin(start: u64) -> Event {
+        Event::Begin { start, epoch: 0 }
+    }
+
     #[test]
     fn log_push_take_roundtrip() {
         let sink = TraceSink::new();
         let log = sink.register_session();
         // SAFETY: single-threaded test.
         unsafe {
-            log.push(Event::Begin { start: 3 });
+            log.push(begin(3));
             log.push(Event::Read {
                 stripe: 7,
                 version: 2,
@@ -204,11 +398,73 @@ mod tests {
         let _empty = sink.register_session();
         // SAFETY: single-threaded test.
         unsafe {
-            a.push(Event::Begin { start: 0 });
+            a.push(begin(0));
             a.push(Event::Commit { version: None });
-            let h = sink.drain_history().unwrap();
-            assert_eq!(h.sessions.len(), 1);
         }
+        let h = sink.drain_history().unwrap();
+        assert_eq!(h.sessions.len(), 1);
+    }
+
+    #[test]
+    fn closed_sink_rejects_new_activations() {
+        let sink = TraceSink::new();
+        let log = sink.register_session();
+        assert!(log.try_activate(&sink), "open sink must activate");
+        log.deactivate();
+        let _ = sink.drain_history().unwrap();
+        assert!(sink.is_closed());
+        assert!(!log.try_activate(&sink), "closed sink must refuse");
+        assert!(!log.is_active(), "refused activation must not stick");
+    }
+
+    #[test]
+    fn drain_times_out_on_live_session() {
+        let sink = TraceSink::new();
+        let log = sink.register_session();
+        assert!(log.try_activate(&sink));
+        let err = sink
+            .drain_history_with_deadline(Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err, RecordingError::SessionStillRecording { session: 0 });
+        // Once the attempt finishes, draining succeeds.
+        log.deactivate();
+        assert!(sink.drain_history().is_ok());
+    }
+
+    #[test]
+    fn rollover_poisons_the_drain() {
+        let sink = TraceSink::new();
+        let log = sink.register_session();
+        // SAFETY: single-threaded test.
+        unsafe {
+            log.push(begin(0));
+            log.push(Event::Commit { version: None });
+        }
+        sink.mark_rollover();
+        sink.mark_rollover();
+        let err = sink.drain_history().unwrap_err();
+        assert_eq!(err, RecordingError::ClockRollover { rollovers: 2 });
+        assert!(err.to_string().contains("rolled over 2"), "{err}");
+    }
+
+    #[test]
+    fn attempt_guard_deactivates_on_drop_and_unwind() {
+        let sink = TraceSink::new();
+        let log = sink.register_session();
+        assert!(log.try_activate(&sink));
+        {
+            let _guard = AttemptGuard::new(&log);
+            assert!(log.is_active());
+        }
+        assert!(!log.is_active());
+
+        assert!(log.try_activate(&sink));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = AttemptGuard::new(&log);
+            panic!("intentional test panic: recorded attempt body");
+        }));
+        assert!(caught.is_err());
+        assert!(!log.is_active(), "guard must deactivate on unwind");
     }
 
     #[test]
@@ -226,5 +482,9 @@ mod tests {
             "commit wv=5"
         );
         assert_eq!(Event::Commit { version: None }.to_string(), "commit ro");
+        assert_eq!(
+            Event::Begin { start: 2, epoch: 1 }.to_string(),
+            "begin start=2 epoch=1"
+        );
     }
 }

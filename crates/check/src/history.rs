@@ -46,6 +46,10 @@ pub struct Txn {
     pub id: TxnId,
     /// Snapshot time sampled at begin.
     pub start: u64,
+    /// Reconfigure epoch the attempt ran in. Stripe IDs and versions
+    /// are only comparable within one epoch (the checker segments on
+    /// this field).
+    pub epoch: u64,
     /// Reads that returned a value: `(stripe, observed version)`, in
     /// program order (a stripe may repeat).
     pub reads: Vec<(u64, u64)>,
@@ -111,27 +115,27 @@ impl History {
                 message,
             };
             let mut txns: Vec<Txn> = Vec::new();
-            // In-flight attempt: (start, reads, writes).
-            type OpenAttempt = (u64, Vec<(u64, u64)>, Vec<u64>);
+            // In-flight attempt: (start, epoch, reads, writes).
+            type OpenAttempt = (u64, u64, Vec<(u64, u64)>, Vec<u64>);
             let mut open: Option<OpenAttempt> = None;
             for (offset, event) in log.iter().enumerate() {
                 match *event {
-                    Event::Begin { start } => {
+                    Event::Begin { start, epoch } => {
                         if open.is_some() {
                             return Err(err(offset, "begin inside an open attempt".into()));
                         }
-                        open = Some((start, Vec::new(), Vec::new()));
+                        open = Some((start, epoch, Vec::new(), Vec::new()));
                     }
                     Event::Read { stripe, version } => match open.as_mut() {
-                        Some((_, reads, _)) => reads.push((stripe, version)),
+                        Some((_, _, reads, _)) => reads.push((stripe, version)),
                         None => return Err(err(offset, "read outside an attempt".into())),
                     },
                     Event::Write { stripe } => match open.as_mut() {
-                        Some((_, _, writes)) => writes.push(stripe),
+                        Some((_, _, _, writes)) => writes.push(stripe),
                         None => return Err(err(offset, "write outside an attempt".into())),
                     },
                     Event::Commit { version } => {
-                        let Some((start, reads, mut writes)) = open.take() else {
+                        let Some((start, epoch, reads, mut writes)) = open.take() else {
                             return Err(err(offset, "commit outside an attempt".into()));
                         };
                         writes.sort_unstable();
@@ -158,13 +162,14 @@ impl History {
                                 index: txns.len(),
                             },
                             start,
+                            epoch,
                             reads,
                             writes,
                             outcome: Outcome::Committed { version },
                         });
                     }
                     Event::Abort => {
-                        let Some((start, reads, mut writes)) = open.take() else {
+                        let Some((start, epoch, reads, mut writes)) = open.take() else {
                             return Err(err(offset, "abort outside an attempt".into()));
                         };
                         writes.sort_unstable();
@@ -175,6 +180,7 @@ impl History {
                                 index: txns.len(),
                             },
                             start,
+                            epoch,
                             reads,
                             writes,
                             outcome: Outcome::Aborted,
@@ -198,6 +204,28 @@ impl History {
     /// Look up a transaction by id.
     pub fn txn(&self, id: TxnId) -> Option<&Txn> {
         self.sessions.get(id.session)?.get(id.index)
+    }
+
+    /// Distinct reconfigure epochs present, ascending.
+    pub fn epochs(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.txns().map(|t| t.epoch).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Drop every transaction recorded before `min_epoch` and re-index
+    /// the survivors. Used when recording was attached mid-run: the
+    /// partial epoch between attach and the next reconfiguration reads
+    /// versions whose writers were never recorded, so only the epochs
+    /// that start at a reconfiguration boundary are checkable.
+    pub fn retain_epochs_from(&mut self, min_epoch: u64) {
+        for (session, txns) in self.sessions.iter_mut().enumerate() {
+            txns.retain(|t| t.epoch >= min_epoch);
+            for (index, t) in txns.iter_mut().enumerate() {
+                t.id = TxnId { session, index };
+            }
+        }
     }
 
     /// Totals: `(committed updates, read-only commits, aborts, reads,
@@ -236,9 +264,13 @@ impl History {
 mod tests {
     use super::*;
 
+    fn begin(start: u64) -> Event {
+        Event::Begin { start, epoch: 0 }
+    }
+
     fn ok_log() -> Vec<Event> {
         vec![
-            Event::Begin { start: 0 },
+            begin(0),
             Event::Read {
                 stripe: 1,
                 version: 0,
@@ -246,13 +278,13 @@ mod tests {
             Event::Write { stripe: 1 },
             Event::Write { stripe: 1 },
             Event::Commit { version: Some(1) },
-            Event::Begin { start: 1 },
+            begin(1),
             Event::Read {
                 stripe: 1,
                 version: 1,
             },
             Event::Commit { version: None },
-            Event::Begin { start: 1 },
+            begin(1),
             Event::Read {
                 stripe: 2,
                 version: 0,
@@ -284,7 +316,7 @@ mod tests {
 
     #[test]
     fn rejects_unbalanced_brackets() {
-        let bad = vec![Event::Begin { start: 0 }, Event::Begin { start: 1 }];
+        let bad = vec![begin(0), begin(1)];
         let e = History::from_event_logs(vec![bad]).unwrap_err();
         assert!(e.message.contains("begin inside"), "{e}");
 
@@ -294,7 +326,7 @@ mod tests {
         }];
         assert!(History::from_event_logs(vec![bad]).is_err());
 
-        let bad = vec![Event::Begin { start: 0 }];
+        let bad = vec![begin(0)];
         let e = History::from_event_logs(vec![bad]).unwrap_err();
         assert!(e.message.contains("ends inside"), "{e}");
     }
@@ -302,19 +334,49 @@ mod tests {
     #[test]
     fn rejects_commit_version_mismatch() {
         let bad = vec![
-            Event::Begin { start: 0 },
+            begin(0),
             Event::Write { stripe: 3 },
             Event::Commit { version: None },
         ];
         let e = History::from_event_logs(vec![bad]).unwrap_err();
         assert!(e.message.contains("read-only commit"), "{e}");
 
-        let bad = vec![
-            Event::Begin { start: 0 },
-            Event::Commit { version: Some(4) },
-        ];
+        let bad = vec![begin(0), Event::Commit { version: Some(4) }];
         let e = History::from_event_logs(vec![bad]).unwrap_err();
         assert!(e.message.contains("without writes"), "{e}");
+    }
+
+    #[test]
+    fn epochs_fold_and_retain() {
+        let logs = vec![vec![
+            begin(0),
+            Event::Write { stripe: 1 },
+            Event::Commit { version: Some(1) },
+            Event::Begin { start: 0, epoch: 1 },
+            Event::Write { stripe: 1 },
+            Event::Commit { version: Some(1) },
+            Event::Begin { start: 1, epoch: 1 },
+            Event::Read {
+                stripe: 1,
+                version: 1,
+            },
+            Event::Commit { version: None },
+        ]];
+        let mut h = History::from_event_logs(logs).unwrap();
+        assert_eq!(h.epochs(), vec![0, 1]);
+        assert_eq!(h.sessions[0][0].epoch, 0);
+        assert_eq!(h.sessions[0][1].epoch, 1);
+        h.retain_epochs_from(1);
+        assert_eq!(h.epochs(), vec![1]);
+        assert_eq!(h.sessions[0].len(), 2);
+        // Survivors are re-indexed from 0.
+        assert_eq!(
+            h.sessions[0][0].id,
+            TxnId {
+                session: 0,
+                index: 0
+            }
+        );
     }
 
     #[test]

@@ -43,6 +43,12 @@
 //! hashing to the same versioned lock are one variable as far as the
 //! protocol is concerned, so the stripe-level history captures exactly
 //! the consistency the lock words enforce.
+//!
+//! Dynamic reconfiguration renumbers stripes and resets the clock, so
+//! every `Begin` carries the instance's *reconfigure epoch* and the
+//! checker segments the history per epoch ([`check`]'s module docs);
+//! clock roll-over has no epoch boundary and instead poisons the sink
+//! so draining fails loudly ([`RecordingError::ClockRollover`]).
 
 pub mod check;
 pub mod events;
@@ -52,5 +58,5 @@ pub mod history;
 pub use check::{
     check_history, CheckOpts, CheckReport, CycleWitness, EdgeKind, NodeRef, Violation,
 };
-pub use events::{Event, SessionLog, TraceSink};
+pub use events::{AttemptGuard, Event, RecordingError, SessionLog, TraceSink};
 pub use history::{History, HistoryError, Outcome, Txn, TxnId};

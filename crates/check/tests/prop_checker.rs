@@ -29,7 +29,7 @@ fn simulate(seed: u64, sessions: usize, txns: usize) -> (Vec<Vec<Event>>, u64, u
     clock += 1;
     let v1 = clock;
     logs[0].extend([
-        Event::Begin { start: 0 },
+        Event::Begin { start: 0, epoch: 0 },
         Event::Write { stripe: 0 },
         Event::Write { stripe: 7 },
         Event::Commit { version: Some(v1) },
@@ -39,7 +39,10 @@ fn simulate(seed: u64, sessions: usize, txns: usize) -> (Vec<Vec<Event>>, u64, u
     clock += 1;
     let v2 = clock;
     logs[0].extend([
-        Event::Begin { start: v1 },
+        Event::Begin {
+            start: v1,
+            epoch: 0,
+        },
         Event::Read {
             stripe: 0,
             version: v1,
@@ -50,7 +53,10 @@ fn simulate(seed: u64, sessions: usize, txns: usize) -> (Vec<Vec<Event>>, u64, u
     stripe_version[3] = v2;
     clock += 1;
     logs[0].extend([
-        Event::Begin { start: v2 },
+        Event::Begin {
+            start: v2,
+            epoch: 0,
+        },
         Event::Write { stripe: 0 },
         Event::Commit {
             version: Some(clock),
@@ -62,7 +68,10 @@ fn simulate(seed: u64, sessions: usize, txns: usize) -> (Vec<Vec<Event>>, u64, u
     for _ in 0..txns {
         let s = rng.gen_range(0..logs.len() as u64) as usize;
         let log = &mut logs[s];
-        log.push(Event::Begin { start: clock });
+        log.push(Event::Begin {
+            start: clock,
+            epoch: 0,
+        });
         let n_reads = rng.gen_range(0..4u32);
         for _ in 0..n_reads {
             let stripe = rng.gen_range(0..STRIPES);
@@ -114,7 +123,7 @@ proptest! {
         // the long-overwritten v1: stale at its commit point.
         let (mut logs, v1, _, clock) = simulate(seed, sessions, txns);
         logs[0].extend([
-            Event::Begin { start: clock },
+            Event::Begin { start: clock, epoch: 0 },
             Event::Read { stripe: 0, version: v1 },
             Event::Write { stripe: 5 },
             Event::Commit { version: Some(clock + 1) },
@@ -153,7 +162,7 @@ proptest! {
         // Append an update commit reusing the scaffold's v1 timestamp.
         let (mut logs, v1, _, clock) = simulate(seed, sessions, txns);
         logs[0].extend([
-            Event::Begin { start: clock },
+            Event::Begin { start: clock, epoch: 0 },
             Event::Write { stripe: 6 },
             Event::Commit { version: Some(v1) },
         ]);

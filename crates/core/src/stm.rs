@@ -267,10 +267,21 @@ impl Stm {
             #[cfg(feature = "record")]
             // SAFETY: the trace local belongs to this thread.
             let trace = unsafe { &mut *ts.trace.get() }.session(&inner.trace);
+            // The guard deactivates the session when the attempt ends,
+            // even if `body` panics — a session left active would make
+            // every later (safe) drain time out.
+            #[cfg(feature = "record")]
+            let _trace_attempt = trace.map(stm_check::AttemptGuard::new);
             #[cfg(feature = "record")]
             if let Some(log) = trace {
-                // SAFETY: this thread owns the session log.
-                unsafe { log.push(stm_check::Event::Begin { start: now }) };
+                // SAFETY: this thread owns the session log and
+                // activated it above.
+                unsafe {
+                    log.push(stm_check::Event::Begin {
+                        start: now,
+                        epoch: inner.trace.epoch(),
+                    })
+                };
             }
             let outcome: Result<R, AbortReason> = {
                 let mut tx = Tx {
@@ -342,6 +353,11 @@ impl Stm {
             map.reset_versions();
             inner.clock.reset();
             inner.limbo.reclaim_all();
+            // Versions renumber with no epoch boundary: an attached
+            // recording sink can no longer produce a sound history, so
+            // poison it (the drain fails with a dedicated error).
+            #[cfg(feature = "record")]
+            inner.trace.mark_rollover();
             // Site S3: diagnostic counter.
             inner.rollovers.fetch_add(1, Ordering::Relaxed);
         });
@@ -369,6 +385,12 @@ impl Stm {
             inner.clock.set_max(config.max_clock);
             inner.limbo.reclaim_all();
             *inner.config_mirror.lock() = config;
+            // Stripe IDs and clock values renumber across this fence:
+            // recorded histories segment on the epoch (stm-check's
+            // per-epoch checking), so recording stays sound through
+            // the switch.
+            #[cfg(feature = "record")]
+            inner.trace.advance_epoch();
             // Site S3: diagnostic counter.
             inner.reconfigurations.fetch_add(1, Ordering::Relaxed);
         });
@@ -437,14 +459,30 @@ impl Stm {
     /// Attach an event-recording sink: every thread's subsequent
     /// transaction attempts are recorded as a session of the sink
     /// (txn begin/commit/abort, per-stripe reads with observed
-    /// versions, per-stripe writes). Drain with
+    /// versions, per-stripe writes). Drain with the safe
     /// [`stm_check::TraceSink::drain_history`] once all workers have
-    /// joined. Recording assumes the clock does not roll over and the
-    /// instance is not reconfigured during the recorded window (both
-    /// would renumber versions/stripes under the history's feet).
+    /// joined (or stopped running transactions).
+    ///
+    /// [`Stm::reconfigure`] *is* supported during the recorded window:
+    /// every `Begin` is stamped with the reconfigure epoch (bumped
+    /// inside the quiesce fence) and the checker segments the history
+    /// per epoch, so stripe renumbering cannot alias. Clock roll-over
+    /// has no epoch boundary and instead poisons the sink — the drain
+    /// fails loudly with
+    /// [`stm_check::RecordingError::ClockRollover`] rather than
+    /// producing an unsound history.
     #[cfg(feature = "record")]
     pub fn attach_trace(&self, sink: &std::sync::Arc<stm_check::TraceSink>) {
         self.inner.trace.attach(sink);
+    }
+
+    /// Current reconfigure epoch recorded `Begin` events are stamped
+    /// with (advances on every [`Stm::reconfigure`]). Lets a driver
+    /// that attaches recording mid-run discard the partial first epoch
+    /// via [`stm_check::History::retain_epochs_from`].
+    #[cfg(feature = "record")]
+    pub fn record_epoch(&self) -> u64 {
+        self.inner.trace.epoch()
     }
 
     /// Stop recording; threads notice at their next attempt.

@@ -12,15 +12,18 @@
 //!   --update-pct P   update percentage         (default 20)
 //!   --cm POLICY      immediate | suicide | delay | backoff
 //!                    (default immediate)
+//!   --reconfigure N  perform N mid-window reconfigurations (the
+//!                    recording segments per epoch and stays checkable)
 //!   --seed S         base RNG seed
 //!   --no-record      measure only, record nothing
 //!   --check          run the opacity/serializability checker
 //!   --dump PATH      write the history as readable text to PATH
 //! ```
 //!
-//! Exit codes: 0 clean, 1 checker violation, 2 usage error. This is the
-//! CI `record-check` gate: any violation on any backend fails the job
-//! with a printed cycle witness.
+//! Exit codes: 0 clean, 1 checker violation or unsound recording (e.g.
+//! a clock roll-over inside the window), 2 usage error. This is the CI
+//! `record-check` gate: any violation on any backend fails the job with
+//! a printed cycle witness.
 
 use std::process::ExitCode;
 use stm_harness::record::{run_recorded, RecBackend, RecWorkload, RecordOpts};
@@ -35,8 +38,8 @@ struct Args {
 fn usage() -> String {
     "usage: stm-record [--workload intset-rbtree|intset-list|overwrite|vacation] \
      [--backend wb|wt|tl2] [--threads N] [--ms MS] [--size N] [--update-pct P] \
-     [--cm immediate|suicide|delay|backoff] [--seed S] [--no-record] [--check] \
-     [--dump PATH]"
+     [--cm immediate|suicide|delay|backoff] [--reconfigure N] [--seed S] \
+     [--no-record] [--check] [--dump PATH]"
         .to_string()
 }
 
@@ -85,6 +88,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let v = value("--cm")?;
                 opts.cm = CmPolicy::parse(v).ok_or_else(|| format!("unknown cm policy {v}"))?;
             }
+            "--reconfigure" => {
+                opts.reconfigures = value("--reconfigure")?
+                    .parse()
+                    .map_err(|e| format!("--reconfigure: {e}"))?;
+            }
             "--seed" => {
                 opts.seed = value("--seed")?
                     .parse()
@@ -115,7 +123,8 @@ fn main() -> ExitCode {
 
     let opts = args.opts;
     println!(
-        "# stm-record: workload={} backend={} threads={} ms={} size={} update%={} cm={} record={}",
+        "# stm-record: workload={} backend={} threads={} ms={} size={} update%={} cm={} \
+         reconfigures={} record={}",
         opts.workload.label(),
         opts.backend.label(),
         opts.threads,
@@ -123,6 +132,7 @@ fn main() -> ExitCode {
         opts.size,
         opts.update_pct,
         opts.cm.label(),
+        opts.reconfigures,
         opts.record,
     );
     let out = run_recorded(&opts);
@@ -136,15 +146,28 @@ fn main() -> ExitCode {
         println!("recording off: nothing to check");
         return ExitCode::SUCCESS;
     };
-    println!("history: {}", history.summary());
+    let history = match history {
+        Ok(history) => history,
+        Err(e) => {
+            // A dedicated loud failure: an unsound window (e.g. clock
+            // roll-over) must never be silently checked.
+            eprintln!("stm-record: recording unsound: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!(
+        "history: {} ({} epoch(s))",
+        history.summary(),
+        history.epochs().len()
+    );
 
     if let Some(path) = &args.dump {
         let mut text = String::new();
         for (s, session) in history.sessions.iter().enumerate() {
             for t in session {
                 text.push_str(&format!(
-                    "s{s} {:?} start={} reads={:?} writes={:?}\n",
-                    t.outcome, t.start, t.reads, t.writes
+                    "s{s} {:?} epoch={} start={} reads={:?} writes={:?}\n",
+                    t.outcome, t.epoch, t.start, t.reads, t.writes
                 ));
             }
         }

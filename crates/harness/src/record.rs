@@ -12,10 +12,11 @@
 use crate::driver::{MeasureOpts, Measurement};
 use crate::intset::{run_intset, run_overwrite, IntSetWorkload};
 use crate::vacation_mix::{run_vacation, VacationWorkload};
+use core::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use stm_api::TmHandle;
-use stm_check::{CheckOpts, History, TraceSink};
+use stm_check::{CheckOpts, History, RecordingError, TraceSink};
 use stm_structures::{LinkedList, RbTree};
 use stm_tl2::{Tl2, Tl2Config};
 use tinystm::{AccessStrategy, CmPolicy, Stm, StmConfig};
@@ -118,6 +119,11 @@ pub struct RecordOpts {
     pub update_pct: u32,
     /// Contention-management policy.
     pub cm: CmPolicy,
+    /// Mid-window reconfigurations: a side thread switches the backend
+    /// to an alternating lock-array geometry this many times, spread
+    /// across the run. Recording stays sound across the switches (the
+    /// checker segments per reconfigure epoch).
+    pub reconfigures: usize,
     /// Whether to attach event recording (off measures the plain run).
     pub record: bool,
     /// Base RNG seed.
@@ -134,6 +140,7 @@ impl Default for RecordOpts {
             size: 64,
             update_pct: 20,
             cm: CmPolicy::Immediate,
+            reconfigures: 0,
             record: true,
             seed: 0x7153_77AD,
         }
@@ -147,8 +154,10 @@ pub struct RecordOutcome {
     /// panicking workers are still recorded — the bracket structure
     /// survives because a panicking attempt aborts via `Drop`).
     pub measurement: Measurement,
-    /// The drained history (`None` when recording was off).
-    pub history: Option<History>,
+    /// The drained history (`None` when recording was off; `Err` when
+    /// the recording itself was unsound — e.g. the clock rolled over
+    /// inside the window — which must fail loudly, never be checked).
+    pub history: Option<Result<History, RecordingError>>,
     /// Backend label for reports.
     pub backend_label: &'static str,
     /// Checker options matching the backend.
@@ -208,6 +217,47 @@ fn run_workload<H: TmHandle>(tm: H, opts: &RecordOpts) -> Measurement {
     }
 }
 
+/// Run `run` while a side thread performs `n` reconfigurations spread
+/// evenly across `total` (the workload's warm-up + window). The side
+/// thread stops promptly once the workload returns.
+fn run_with_reconfigures<R: Send>(
+    n: usize,
+    total: Duration,
+    reconfigure: impl Fn(usize) + Sync,
+    run: impl FnOnce() -> R,
+) -> R {
+    if n == 0 {
+        return run();
+    }
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let interval = total / (n as u32 + 1);
+            for i in 0..n {
+                let deadline = Instant::now() + interval;
+                while Instant::now() < deadline {
+                    if done.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                if done.load(Ordering::Relaxed) {
+                    return;
+                }
+                reconfigure(i);
+            }
+        });
+        let r = run();
+        done.store(true, Ordering::Relaxed);
+        r
+    })
+}
+
+/// The run's total wall span the reconfigure thread spreads over.
+fn run_span(opts: &RecordOpts) -> Duration {
+    Duration::from_millis(opts.duration_ms.max(1) + (opts.duration_ms / 4).max(1))
+}
+
 /// Run the workload, recording if requested, and drain the history.
 pub fn run_recorded(opts: &RecordOpts) -> RecordOutcome {
     let sink = opts.record.then(TraceSink::new);
@@ -218,34 +268,58 @@ pub fn run_recorded(opts: &RecordOpts) -> RecordOutcome {
             } else {
                 AccessStrategy::WriteThrough
             };
-            let stm = Stm::new(
-                StmConfig::default()
-                    .with_strategy(strategy)
-                    .with_cm(opts.cm),
-            )
-            .expect("record config valid");
+            let base = StmConfig::default()
+                .with_strategy(strategy)
+                .with_cm(opts.cm);
+            let stm = Stm::new(base).expect("record config valid");
             if let Some(sink) = &sink {
                 stm.attach_trace(sink);
             }
-            let m = run_workload(stm.clone(), opts);
+            let m = run_with_reconfigures(
+                opts.reconfigures,
+                run_span(opts),
+                |i| {
+                    // Alternate between two geometries that really
+                    // renumber stripes (different mask *and* shift).
+                    let cfg = if i % 2 == 0 {
+                        base.with_locks_log2(12).with_shifts(1)
+                    } else {
+                        base
+                    };
+                    stm.reconfigure(cfg).expect("alternate config valid");
+                },
+                || run_workload(stm.clone(), opts),
+            );
             stm.detach_trace();
             m
         }
         RecBackend::Tl2 => {
-            let tl2 = Tl2::new(Tl2Config::default().with_cm(opts.cm)).expect("record config valid");
+            let base = Tl2Config::default().with_cm(opts.cm);
+            let tl2 = Tl2::new(base).expect("record config valid");
             if let Some(sink) = &sink {
                 tl2.attach_trace(sink);
             }
-            let m = run_workload(tl2.clone(), opts);
+            let m = run_with_reconfigures(
+                opts.reconfigures,
+                run_span(opts),
+                |i| {
+                    let cfg = if i % 2 == 0 {
+                        base.with_locks_log2(12).with_shifts(1)
+                    } else {
+                        base
+                    };
+                    tl2.reconfigure(cfg).expect("alternate config valid");
+                },
+                || run_workload(tl2.clone(), opts),
+            );
             tl2.detach_trace();
             m
         }
     };
-    let history = sink.map(|sink: Arc<TraceSink>| {
-        // SAFETY: every workload driver joins its worker scope before
-        // returning, so no thread can still be recording.
-        unsafe { sink.drain_history() }.expect("recorded event logs are well-formed")
-    });
+    // Safe drain: every workload driver joins its worker scope before
+    // returning, so the close-and-wait handshake completes immediately;
+    // an unsound window (clock roll-over) surfaces as `Err`.
+    let history = sink.map(|sink: Arc<TraceSink>| sink.drain_history());
     RecordOutcome {
         measurement,
         history,
@@ -274,7 +348,7 @@ mod tests {
     fn recorded_intset_history_is_clean() {
         let out = run_recorded(&quick(RecBackend::TinyWb, RecWorkload::IntsetRbtree));
         assert!(out.measurement.commits > 0);
-        let history = out.history.expect("recording was on");
+        let history = out.history.expect("recording was on").expect("sound");
         let (committed, _, _, _, _) = history.totals();
         assert!(committed > 0, "populate alone commits");
         let report = check_history(&history, &out.check_opts);
@@ -293,9 +367,34 @@ mod tests {
     #[test]
     fn vacation_on_tl2_records_and_checks() {
         let out = run_recorded(&quick(RecBackend::Tl2, RecWorkload::Vacation));
-        let history = out.history.expect("recording was on");
+        let history = out.history.expect("recording was on").expect("sound");
         let report = check_history(&history, &out.check_opts);
         assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn mid_window_reconfigure_records_multi_epoch_clean_history() {
+        // The tentpole's acceptance shape: a recorded window crossing
+        // reconfigure boundaries must still check clean on every
+        // backend, with the history really spanning > 1 epoch.
+        for backend in RecBackend::ALL {
+            let mut opts = quick(backend, RecWorkload::IntsetList);
+            opts.duration_ms = 40;
+            opts.reconfigures = 3;
+            let out = run_recorded(&opts);
+            let history = out
+                .history
+                .expect("recording was on")
+                .expect("reconfigure must not make the recording unsound");
+            assert!(
+                history.epochs().len() > 1,
+                "{}: no reconfigure landed inside the window ({} epochs)",
+                backend.label(),
+                history.epochs().len()
+            );
+            let report = check_history(&history, &out.check_opts);
+            assert!(report.is_clean(), "{}: {report}", backend.label());
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! analogue.
 
 use crate::bloom::Bloom;
-use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use core::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use parking_lot::Mutex;
 use std::cell::{RefCell, UnsafeCell};
 use std::sync::Arc;
@@ -42,8 +42,11 @@ use tinystm::stats::{StatsSnapshot, ThreadStats};
 const MAX_READ_RETRIES: u32 = 64;
 
 /// TL2 configuration. The reference implementation fixes its parameters
-/// at build time; they are constructor arguments here (no dynamic
-/// reconfiguration — that is TinySTM's contribution).
+/// at build time; they are constructor arguments here. [`Tl2::reconfigure`]
+/// can swap them at runtime through the shared quiesce fence — kept for
+/// operational parity with the TinySTM core (recorded runs must survive
+/// a mid-window lock-array swap on every backend); the *tuner* still
+/// targets TinySTM only, as in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Tl2Config {
     /// log2 of the lock-array size. TL2's default sizing (2^20).
@@ -195,17 +198,44 @@ struct ThreadState {
 unsafe impl Sync for ThreadState {}
 unsafe impl Send for ThreadState {}
 
+/// The swappable per-configuration state: the lock array and the hash
+/// parameters derived from the configuration. Pinned for the duration
+/// of an attempt (the quiesce gate excludes [`Tl2::reconfigure`]'s
+/// fence), swapped wholesale inside the fence.
+struct Tl2Map {
+    locks: Box<[AtomicUsize]>,
+    lock_mask: usize,
+    addr_shift: u32,
+    config: Tl2Config,
+}
+
+impl Tl2Map {
+    fn new(config: Tl2Config) -> Tl2Map {
+        let n = 1usize << config.locks_log2;
+        let locks: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        Tl2Map {
+            locks: locks.into_boxed_slice(),
+            lock_mask: n - 1,
+            addr_shift: 3 + config.shifts,
+            config,
+        }
+    }
+}
+
 struct Tl2Inner {
     id: u64,
     clock: GlobalClock,
     quiesce: Quiesce,
-    locks: Box<[AtomicUsize]>,
-    lock_mask: usize,
-    addr_shift: u32,
+    /// Site S1 (as in `tinystm::stm`): Acquire load in the run loop,
+    /// AcqRel swap inside the reconfigure fence.
+    map: AtomicPtr<Tl2Map>,
     limbo: Limbo,
     registry: Mutex<Vec<Arc<ThreadState>>>,
-    config: Tl2Config,
+    /// Mirror of the active configuration (the authoritative copy lives
+    /// in the map; this one is readable without pinning).
+    config_mirror: Mutex<Tl2Config>,
     rollovers: AtomicU64,
+    reconfigurations: AtomicU64,
     /// Attached event-recording sink, if any.
     #[cfg(feature = "record")]
     trace: tinystm::trace::TraceControl,
@@ -223,6 +253,8 @@ pub struct Tl2Stats {
     pub bloom_false_positives: u64,
     /// Clock roll-overs performed.
     pub rollovers: u64,
+    /// Dynamic reconfigurations performed.
+    pub reconfigurations: u64,
     /// Blocks awaiting reclamation.
     pub limbo_pending: usize,
     /// Registered threads.
@@ -244,6 +276,13 @@ thread_local! {
 
 impl Drop for Tl2Inner {
     fn drop(&mut self) {
+        // Uniquely owned at drop; Acquire covers a reconfigure on
+        // another thread just before the last handle moved here.
+        let ptr = self.map.load(Ordering::Acquire);
+        if !ptr.is_null() {
+            // SAFETY: uniquely owned at drop; no transactions active.
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
         self.limbo.reclaim_all();
     }
 }
@@ -268,20 +307,18 @@ impl Tl2 {
     /// Create an instance with the given configuration.
     pub fn new(config: Tl2Config) -> Result<Tl2, ConfigError> {
         config.validate()?;
-        let n = 1usize << config.locks_log2;
-        let locks: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let map = Box::into_raw(Box::new(Tl2Map::new(config)));
         Ok(Tl2 {
             inner: Arc::new(Tl2Inner {
                 id: NEXT_TL2_ID.fetch_add(1, Ordering::Relaxed),
                 clock: GlobalClock::new(config.max_clock),
                 quiesce: Quiesce::new(),
-                locks: locks.into_boxed_slice(),
-                lock_mask: n - 1,
-                addr_shift: 3 + config.shifts,
+                map: AtomicPtr::new(map),
                 limbo: Limbo::new(),
                 registry: Mutex::new(Vec::new()),
-                config,
+                config_mirror: Mutex::new(config),
                 rollovers: AtomicU64::new(0),
+                reconfigurations: AtomicU64::new(0),
                 #[cfg(feature = "record")]
                 trace: tinystm::trace::TraceControl::new(),
                 #[cfg(feature = "fault-inject")]
@@ -295,9 +332,9 @@ impl Tl2 {
         Tl2::new(Tl2Config::default()).expect("default config is valid")
     }
 
-    /// The instance configuration.
+    /// The active configuration.
     pub fn config(&self) -> Tl2Config {
-        self.inner.config
+        *self.inner.config_mirror.lock()
     }
 
     fn thread_state(&self) -> Arc<ThreadState> {
@@ -337,13 +374,18 @@ impl Tl2 {
             // (the harness tolerates panicking workers; a leaked enter
             // would wedge every later fence).
             let active = inner.quiesce.enter_guarded(&ts.active_start);
+            // Site S1: the map is pinned for the attempt —
+            // reconfiguration swaps it only inside a fence, which
+            // excludes entered transactions.
+            let map = unsafe { &*inner.map.load(Ordering::Acquire) };
+            let cm = map.config.cm;
             // SAFETY: ctx belongs to this thread exclusively.
             let ctx = unsafe { &mut *ts.ctx.get() };
             // CM_DELAY: wait (bounded) for the stripe the last abort
             // collided on to drain before retrying; before the `rv`
             // sample so the wait cannot stale the snapshot.
-            if let (CmPolicy::Delay, Some(idx)) = (inner.config.cm, ctx.last_contended.take()) {
-                delay_wait(&inner.locks, idx);
+            if let (CmPolicy::Delay, Some(idx)) = (cm, ctx.last_contended.take()) {
+                delay_wait(&map.locks, idx);
             }
             // Site S2 (see tinystm::stm): publish the oldest-reader
             // marker before sampling `rv` — SeqCst for the Dekker race
@@ -355,15 +397,27 @@ impl Tl2 {
             #[cfg(feature = "record")]
             // SAFETY: the trace local belongs to this thread.
             let trace = unsafe { &mut *ts.trace.get() }.session(&inner.trace);
+            // Deactivates the session when the attempt ends, even if
+            // `body` panics (a session left active would make every
+            // later safe drain time out).
+            #[cfg(feature = "record")]
+            let _trace_attempt = trace.map(stm_check::AttemptGuard::new);
             #[cfg(feature = "record")]
             if let Some(log) = trace {
-                // SAFETY: this thread owns the session log.
-                unsafe { log.push(stm_check::Event::Begin { start: rv }) };
+                // SAFETY: this thread owns the session log and
+                // activated it above.
+                unsafe {
+                    log.push(stm_check::Event::Begin {
+                        start: rv,
+                        epoch: inner.trace.epoch(),
+                    })
+                };
             }
 
             let outcome: Result<R, AbortReason> = {
                 let mut tx = Tl2Tx {
                     inner,
+                    map,
                     ts: &ts,
                     ctx,
                     finished: false,
@@ -395,7 +449,7 @@ impl Tl2 {
                     if matches!(reason, AbortReason::ClockOverflow) {
                         self.handle_overflow();
                     } else {
-                        backoff(ctx, inner.config.cm);
+                        backoff(ctx, cm);
                     }
                 }
             }
@@ -416,7 +470,10 @@ impl Tl2 {
             if !inner.clock.overflowed() {
                 return;
             }
-            for l in inner.locks.iter() {
+            // SAFETY: fence ⇒ no transaction is active; the map cannot
+            // be swapped concurrently (fencers are serialized).
+            let map = unsafe { &*inner.map.load(Ordering::Acquire) };
+            for l in map.locks.iter() {
                 debug_assert!(!is_owned(l.load(Ordering::Relaxed)));
                 // Relaxed: inside the fence; the gate (site Q1)
                 // publishes to transactions entering after it lifts.
@@ -424,9 +481,44 @@ impl Tl2 {
             }
             inner.clock.reset();
             inner.limbo.reclaim_all();
+            // Versions renumber with no epoch boundary: poison any
+            // attached recording sink so the drain fails loudly.
+            #[cfg(feature = "record")]
+            inner.trace.mark_rollover();
             // Diagnostic counter (site S3).
             inner.rollovers.fetch_add(1, Ordering::Relaxed);
         });
+    }
+
+    /// Atomically switch to a new configuration: quiesce, swap the lock
+    /// array + hash parameters, reset the clock and reclaim limbo. Same
+    /// mechanism as [`tinystm::Stm::reconfigure`]; kept so recorded
+    /// runs can cross a lock-array swap on every backend.
+    ///
+    /// Must not be called from inside a transaction closure (deadlock:
+    /// the fence waits for the calling transaction itself).
+    pub fn reconfigure(&self, config: Tl2Config) -> Result<(), ConfigError> {
+        config.validate()?;
+        let inner: &Tl2Inner = &self.inner;
+        inner.quiesce.fence(|| {
+            let fresh = Box::into_raw(Box::new(Tl2Map::new(config)));
+            // Site S1: Release half publishes the fresh map's contents
+            // to the run loop's Acquire load.
+            let old = inner.map.swap(fresh, Ordering::AcqRel);
+            // SAFETY: no transaction is active inside the fence, so no
+            // one holds the old map.
+            unsafe { drop(Box::from_raw(old)) };
+            inner.clock.reset();
+            inner.clock.set_max(config.max_clock);
+            inner.limbo.reclaim_all();
+            *inner.config_mirror.lock() = config;
+            // Stripe IDs and clock values renumber across this fence:
+            // recorded histories segment on the epoch.
+            #[cfg(feature = "record")]
+            inner.trace.advance_epoch();
+            inner.reconfigurations.fetch_add(1, Ordering::Relaxed);
+        });
+        Ok(())
     }
 
     /// Force limbo reclamation of safely reclaimable blocks.
@@ -456,6 +548,7 @@ impl Tl2 {
             totals,
             bloom_false_positives: fp,
             rollovers: self.inner.rollovers.load(Ordering::Relaxed),
+            reconfigurations: self.inner.reconfigurations.load(Ordering::Relaxed),
             limbo_pending: self.inner.limbo.len(),
             threads: registry.len(),
         }
@@ -467,11 +560,18 @@ impl Tl2 {
     }
 
     /// Attach an event-recording sink (see [`tinystm::Stm::attach_trace`]
-    /// — same contract: drain only after workers joined, no roll-over
-    /// during the recorded window).
+    /// — same contract: [`Tl2::reconfigure`] during the window is fine,
+    /// every `Begin` carries the reconfigure epoch; a clock roll-over
+    /// poisons the sink and the safe drain fails loudly).
     #[cfg(feature = "record")]
     pub fn attach_trace(&self, sink: &std::sync::Arc<stm_check::TraceSink>) {
         self.inner.trace.attach(sink);
+    }
+
+    /// Current reconfigure epoch (see [`tinystm::Stm::record_epoch`]).
+    #[cfg(feature = "record")]
+    pub fn record_epoch(&self) -> u64 {
+        self.inner.trace.epoch()
     }
 
     /// Stop recording; threads notice at their next attempt.
@@ -529,6 +629,8 @@ impl TmHandle for Tl2 {
 /// An in-flight TL2 transaction attempt.
 pub struct Tl2Tx<'a> {
     inner: &'a Tl2Inner,
+    /// Lock array + hash parameters pinned for this attempt (site S1).
+    map: &'a Tl2Map,
     ts: &'a ThreadState,
     ctx: &'a mut Tl2Ctx,
     finished: bool,
@@ -565,7 +667,7 @@ impl<'a> Tl2Tx<'a> {
 
     #[inline(always)]
     fn lock_index(&self, addr: usize) -> usize {
-        (addr >> self.inner.addr_shift) & self.inner.lock_mask
+        (addr >> self.map.addr_shift) & self.map.lock_mask
     }
 
     /// Read timestamp of this attempt (tests).
@@ -588,7 +690,7 @@ impl<'a> Tl2Tx<'a> {
         for &idx in &self.ctx.rset {
             processed += 1;
             // Site R5: Acquire (freshness via the clock edge C1/C2).
-            let w = self.inner.locks[idx].load(Ordering::Acquire);
+            let w = self.map.locks[idx].load(Ordering::Acquire);
             if is_owned(w) {
                 if w & !1 != me {
                     ok = false;
@@ -624,7 +726,7 @@ impl<'a> Tl2Tx<'a> {
             // published (we acquired it through the W1 CAS and pass it
             // on here); no data writes of ours need covering, commit
             // aborts before write-back.
-            self.inner.locks[idx].store(prior, Ordering::Release);
+            self.map.locks[idx].store(prior, Ordering::Release);
         }
         self.ctx.acquired.clear();
     }
@@ -649,7 +751,7 @@ impl<'a> Tl2Tx<'a> {
         let me = self.me();
         for i in 0..self.ctx.wset.len() {
             let idx = self.ctx.wset[i].lock_idx;
-            let lock = &self.inner.locks[idx];
+            let lock = &self.map.locks[idx];
             loop {
                 // Site R1: Acquire.
                 let w = lock.load(Ordering::Acquire);
@@ -714,7 +816,7 @@ impl<'a> Tl2Tx<'a> {
         }
         for &(idx, _) in &self.ctx.acquired {
             // Site W4: lock release — Release covers the write-back.
-            self.inner.locks[idx].store(make_version(wv), Ordering::Release);
+            self.map.locks[idx].store(make_version(wv), Ordering::Release);
         }
         self.ctx.acquired.clear();
 
@@ -775,7 +877,7 @@ impl<'a> TmTx for Tl2Tx<'a> {
                 .fetch_add(1, Ordering::Relaxed);
         }
         let idx = self.lock_index(addr as usize);
-        let lock = &self.inner.locks[idx];
+        let lock = &self.map.locks[idx];
         let mut retries = 0u32;
         loop {
             // Site R1: Acquire.
@@ -966,6 +1068,41 @@ mod tests {
         let sa: Vec<u64> = (0..8).map(|_| a.next_rand()).collect();
         let sb: Vec<u64> = (0..8).map(|_| b.next_rand()).collect();
         assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn reconfigure_swaps_lock_array_and_preserves_data() {
+        use stm_api::mem::WordBlock;
+        let tm = Tl2::with_defaults();
+        let block = WordBlock::new(8);
+        tm.run(TxKind::ReadWrite, |tx| {
+            for i in 0..8 {
+                unsafe { tx.store_word(block.as_ptr().add(i), 100 + i) }?;
+            }
+            Ok(())
+        });
+        tm.reconfigure(Tl2Config::default().with_locks_log2(12).with_shifts(1))
+            .expect("valid config");
+        assert_eq!(tm.config().locks_log2, 12);
+        assert_eq!(tm.config().shifts, 1);
+        // Data survives the swap; the fresh lock array serves reads and
+        // further updates.
+        let sum = tm.run_ro(|tx| {
+            let mut acc = 0;
+            for i in 0..8 {
+                acc += unsafe { tx.load_word(block.as_ptr().add(i)) }?;
+            }
+            Ok(acc)
+        });
+        assert_eq!(sum, (0..8).map(|i| 100 + i).sum::<usize>());
+        tm.run(TxKind::ReadWrite, |tx| unsafe {
+            tx.store_word(block.as_ptr(), 1)
+        });
+        assert_eq!(tm.stats().reconfigurations, 1);
+        assert!(tm
+            .reconfigure(Tl2Config::default().with_locks_log2(0))
+            .is_err());
+        assert_eq!(tm.stats().reconfigurations, 1, "invalid config rejected");
     }
 
     #[test]

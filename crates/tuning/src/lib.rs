@@ -12,14 +12,26 @@
 //!   forbidden directions, second-best fallback);
 //! * [`runner`] — couples the tuner to a live [`tinystm::Stm`],
 //!   measuring each configuration three times and keeping the maximum,
-//!   as in Section 4.3.
+//!   as in Section 4.3;
+//! * [`sweep`] — the exhaustive static-grid baseline (best static
+//!   configuration) the tuning figures compare against;
+//! * [`validate`] (feature `record`) — the end-to-end fig10/fig11
+//!   validation: sweep, then autotune from the paper's poor start
+//!   configuration with the whole tuned run recorded across
+//!   `reconfigure` boundaries and checked by the stm-check oracle.
 
 pub mod moves;
 pub mod point;
 pub mod runner;
+pub mod sweep;
 pub mod tuner;
+#[cfg(feature = "record")]
+pub mod validate;
 
 pub use moves::Move;
 pub use point::TuningPoint;
-pub use runner::{autotune, AutoTuneOpts, TuneRecord};
+pub use runner::{autotune, AutoTuneOpts, AutoTuneOutcome, TuneRecord};
+pub use sweep::{sweep, SweepGrid, SweepOpts, SweepOutcome, SweepRecord};
 pub use tuner::{Decision, LogEntry, Tuner};
+#[cfg(feature = "record")]
+pub use validate::{validate_autotune, ValWorkload, ValidateOpts, ValidateReport};

@@ -35,6 +35,31 @@ impl Default for AutoTuneOpts {
     }
 }
 
+/// Max-of-samples measurement of the *current* configuration: sleep
+/// `period` per sample, diff the STM's aggregate counters, keep the
+/// best sample (the paper measures three times and keeps the maximum).
+/// Returns `(throughput, val_locks_processed/s, val_locks_skipped/s)`.
+pub(crate) fn measure_current(stm: &Stm, period: Duration, samples: usize) -> (f64, f64, f64) {
+    let mut best_sample = 0.0f64;
+    let mut processed_rate = 0.0;
+    let mut skipped_rate = 0.0;
+    for _ in 0..samples.max(1) {
+        let before = stm.stats().totals;
+        let t0 = Instant::now();
+        std::thread::sleep(period);
+        let after = stm.stats().totals;
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let delta = after.since(&before);
+        let throughput = delta.commits as f64 / secs;
+        if throughput >= best_sample {
+            best_sample = throughput;
+            processed_rate = delta.val_locks_processed as f64 / secs;
+            skipped_rate = delta.val_locks_skipped as f64 / secs;
+        }
+    }
+    (best_sample, processed_rate, skipped_rate)
+}
+
 /// One evaluated configuration (a point on Figures 10–12).
 #[derive(Debug, Clone)]
 pub struct TuneRecord {
@@ -54,40 +79,63 @@ pub struct TuneRecord {
     pub val_skipped_per_s: f64,
 }
 
+/// Result of one auto-tuning run: the per-configuration trajectory,
+/// plus an error annotation when the climb had to stop early (a
+/// `reconfigure` rejected a configuration). The records gathered up to
+/// that point — in particular the best-so-far configuration — are
+/// always returned; a tuning thread must never panic mid-climb.
+#[derive(Debug, Clone)]
+pub struct AutoTuneOutcome {
+    /// One record per evaluated configuration, in evaluation order.
+    pub records: Vec<TuneRecord>,
+    /// Why the climb stopped early, if it did (`None` = ran to
+    /// completion).
+    pub error: Option<String>,
+}
+
+impl AutoTuneOutcome {
+    /// The best configuration measured so far (highest throughput).
+    pub fn best(&self) -> Option<&TuneRecord> {
+        self.records
+            .iter()
+            .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+    }
+
+    /// True when the climb ran to completion.
+    pub fn is_complete(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
 /// Run the auto-tuner against `stm` while worker threads (driven by the
 /// caller, e.g. `stm_harness::drive_with_coordinator`) keep the system
 /// loaded. Starts from `start`, evaluates up to `opts.max_configs`
-/// configurations, returns one record per configuration.
+/// configurations, returns one record per configuration plus an error
+/// annotation if a configuration switch was rejected (best-so-far is
+/// preserved; the tuning thread never panics).
 pub fn autotune(
     stm: &Stm,
     template: StmConfig,
     start: TuningPoint,
     opts: AutoTuneOpts,
-) -> Vec<TuneRecord> {
-    stm.reconfigure(start.apply(template))
-        .expect("start point is valid");
-    let mut tuner = Tuner::new(start, opts.seed);
+) -> AutoTuneOutcome {
     let mut records = Vec::with_capacity(opts.max_configs);
+    if let Err(e) = stm.reconfigure(start.apply(template)) {
+        return AutoTuneOutcome {
+            records,
+            error: Some(format!(
+                "initial reconfigure to {} rejected: {e}",
+                start.label()
+            )),
+        };
+    }
+    let mut tuner = Tuner::new(start, opts.seed);
+    let mut error = None;
 
     for index in 1..=opts.max_configs {
         let point = tuner.current();
-        let mut best_sample = 0.0f64;
-        let mut processed_rate = 0.0;
-        let mut skipped_rate = 0.0;
-        for _ in 0..opts.samples_per_config.max(1) {
-            let before = stm.stats().totals;
-            let t0 = Instant::now();
-            std::thread::sleep(opts.period);
-            let after = stm.stats().totals;
-            let secs = t0.elapsed().as_secs_f64().max(1e-9);
-            let delta = after.since(&before);
-            let throughput = delta.commits as f64 / secs;
-            if throughput >= best_sample {
-                best_sample = throughput;
-                processed_rate = delta.val_locks_processed as f64 / secs;
-                skipped_rate = delta.val_locks_skipped as f64 / secs;
-            }
-        }
+        let (best_sample, processed_rate, skipped_rate) =
+            measure_current(stm, opts.period, opts.samples_per_config);
         let decision = tuner.record(best_sample);
         records.push(TuneRecord {
             index,
@@ -98,11 +146,16 @@ pub fn autotune(
             val_skipped_per_s: skipped_rate,
         });
         if decision.next != point {
-            stm.reconfigure(decision.next.apply(template))
-                .expect("tuner stays in the valid space");
+            if let Err(e) = stm.reconfigure(decision.next.apply(template)) {
+                error = Some(format!(
+                    "reconfigure to {} rejected after {index} configuration(s): {e}",
+                    decision.next.label()
+                ));
+                break;
+            }
         }
     }
-    records
+    AutoTuneOutcome { records, error }
 }
 
 #[cfg(test)]
@@ -142,6 +195,8 @@ mod tests {
                 )
             },
         );
+        assert!(records.is_complete(), "{:?}", records.error);
+        let records = records.records;
         assert_eq!(records.len(), 6);
         assert!(records.iter().all(|r| r.throughput > 0.0));
         assert_eq!(records[0].point, TuningPoint::experiment_start());
@@ -151,5 +206,31 @@ mod tests {
         }
         // The tuner must have switched configuration at least once.
         assert!(stm.stats().reconfigurations >= 1);
+    }
+
+    #[test]
+    fn rejected_reconfigure_annotates_instead_of_panicking() {
+        // A template whose max_clock fails validation makes every
+        // configuration switch impossible: autotune must return the
+        // error annotation (here: before any record), not panic.
+        let stm = Stm::new(StmConfig::default()).unwrap();
+        let bad_template = StmConfig::default().with_max_clock(2);
+        let out = autotune(
+            &stm,
+            bad_template,
+            TuningPoint::experiment_start(),
+            AutoTuneOpts {
+                period: Duration::from_millis(1),
+                samples_per_config: 1,
+                max_configs: 3,
+                seed: 1,
+            },
+        );
+        assert!(!out.is_complete());
+        let err = out.error.as_deref().expect("annotated");
+        assert!(err.contains("rejected"), "{err}");
+        assert!(out.records.is_empty());
+        assert!(out.best().is_none());
+        assert_eq!(stm.stats().reconfigurations, 0);
     }
 }

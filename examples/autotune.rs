@@ -52,7 +52,7 @@ fn main() {
         max_configs: configs,
         seed: 0xA070,
     };
-    let records = drive_with_coordinator(
+    let outcome = drive_with_coordinator(
         MeasureOpts::default().with_threads(threads),
         |_t| {
             let mut op = IntSetOp::new(&list, workload);
@@ -60,8 +60,12 @@ fn main() {
         },
         || autotune(&stm, template, start, tune_opts),
     );
+    if let Some(e) = &outcome.error {
+        eprintln!("autotune stopped early: {e}");
+    }
+    let records = &outcome.records;
 
-    for r in &records {
+    for r in records {
         println!(
             "{},{},{:.0},{}",
             r.index,

@@ -50,7 +50,10 @@ fn main() {
         "measured {:.1} txs/s ({} commits, {} aborts)",
         out.measurement.throughput, out.measurement.commits, out.measurement.aborts
     );
-    let history = out.history.expect("recording was on");
+    let history = out
+        .history
+        .expect("recording was on")
+        .expect("recording sound (no roll-over in the window)");
     println!("recorded {}", history.summary());
 
     // The checker rebuilds the version-order graph from the history and

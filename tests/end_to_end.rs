@@ -123,6 +123,8 @@ fn autotune_end_to_end_improves_or_holds() {
             )
         },
     );
+    assert!(records.is_complete(), "{:?}", records.error);
+    let records = records.records;
     assert_eq!(records.len(), 10);
     let first = records[0].throughput;
     let best = records.iter().map(|r| r.throughput).fold(0.0f64, f64::max);

@@ -101,8 +101,8 @@ fn run_tiny_mutation(strategy: AccessStrategy, backend: RecBackend) {
     stale_commit_choreography(&stm, x, y);
     stm.inject_fault(FaultInjection::None);
     stm.detach_trace();
-    // SAFETY: the choreography's worker scope has joined.
-    let history = unsafe { sink.drain_history() }.expect("well-formed log");
+    // Safe drain: the choreography's worker scope has joined.
+    let history = sink.drain_history().expect("recording sound");
     assert_cycle_witness(&history, &backend.check_opts(), backend.label());
 }
 
@@ -126,8 +126,8 @@ fn skipped_commit_validation_is_caught_on_tl2() {
     stale_commit_choreography(&tl2, x, y);
     tl2.inject_fault(FaultInjection::None);
     tl2.detach_trace();
-    // SAFETY: the choreography's worker scope has joined.
-    let history = unsafe { sink.drain_history() }.expect("well-formed log");
+    // Safe drain: the choreography's worker scope has joined.
+    let history = sink.drain_history().expect("recording sound");
     assert_cycle_witness(&history, &RecBackend::Tl2.check_opts(), "tl2");
 }
 
@@ -186,8 +186,8 @@ fn skipped_extend_validation_is_an_opacity_violation() {
     });
     stm.inject_fault(FaultInjection::None);
     stm.detach_trace();
-    // SAFETY: the worker scope has joined.
-    let history = unsafe { sink.drain_history() }.expect("well-formed log");
+    // Safe drain: the worker scope has joined.
+    let history = sink.drain_history().expect("recording sound");
     let report = check_history(&history, &CheckOpts::default());
     let found = report.violations.iter().any(|v| {
         matches!(
@@ -212,8 +212,8 @@ fn unmutated_choreography_records_clean_history() {
     let (_block, x, y) = two_words();
     stale_commit_choreography(&stm, x, y);
     stm.detach_trace();
-    // SAFETY: the choreography's worker scope has joined.
-    let history = unsafe { sink.drain_history() }.expect("well-formed log");
+    // Safe drain: the choreography's worker scope has joined.
+    let history = sink.drain_history().expect("recording sound");
     let report = check_history(&history, &CheckOpts::default());
     assert!(report.is_clean(), "{report}");
     // The stale attempt really happened: at least one abort recorded.

@@ -22,7 +22,12 @@ fn record_and_check(opts: &RecordOpts) {
         opts.backend.label(),
         opts.workload.label()
     );
-    let history = out.history.as_ref().expect("recording on");
+    let history = out
+        .history
+        .as_ref()
+        .expect("recording on")
+        .as_ref()
+        .expect("recording sound");
     let report = check_history(history, &out.check_opts);
     assert!(
         report.is_clean(),
@@ -46,6 +51,29 @@ fn record_and_check_quick_all_backends() {
                 ..RecordOpts::default()
             });
         }
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "stress variant needs release-build contention; run with --release"
+)]
+fn record_and_check_stress_across_reconfigures() {
+    // The tentpole under release contention: reconfigurations land
+    // mid-window on every backend and the per-epoch checker must still
+    // find the histories opaque.
+    for backend in RecBackend::ALL {
+        record_and_check(&RecordOpts {
+            backend,
+            workload: RecWorkload::IntsetList,
+            threads: 4,
+            duration_ms: 120,
+            size: 32,
+            update_pct: 80,
+            reconfigures: 4,
+            ..RecordOpts::default()
+        });
     }
 }
 
