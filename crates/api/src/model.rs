@@ -174,6 +174,9 @@ impl TmHandle for MutexTm {
             commits: c.commits.load(Ordering::Relaxed),
             aborts: c.aborts.load(Ordering::Relaxed),
             aborts_by_reason: by_reason,
+            // Commits are serialized under the global mutex; no clock,
+            // no commit-timestamp contention.
+            clock_conflicts: 0,
         }
     }
 

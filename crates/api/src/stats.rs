@@ -17,6 +17,16 @@ pub struct BasicStats {
     pub aborts: u64,
     /// Aborts broken down by reason, indexed by [`AbortReason::index`].
     pub aborts_by_reason: [u64; AbortReason::ALL.len()],
+    /// Commit-timestamp acquisition conflicts: foreign commit
+    /// timestamps consumed from the backend's clock between a
+    /// transaction's (last validated) snapshot and its own commit
+    /// increment — the number of steps a CAS-from-snapshot acquisition
+    /// loop would have to retry over. Zero for backends that serialize
+    /// commits (the reference model) and for read-only transactions.
+    /// This is the contention a *shared* commit clock manufactures:
+    /// partitioning state over independent clocks drives it down even
+    /// when raw throughput cannot scale (single-core hosts).
+    pub clock_conflicts: u64,
 }
 
 impl BasicStats {
@@ -25,6 +35,7 @@ impl BasicStats {
         commits: 0,
         aborts: 0,
         aborts_by_reason: [0; AbortReason::ALL.len()],
+        clock_conflicts: 0,
     };
 
     /// Counter-wise difference `self - earlier`, saturating at zero so a
@@ -38,6 +49,7 @@ impl BasicStats {
             commits: self.commits.saturating_sub(earlier.commits),
             aborts: self.aborts.saturating_sub(earlier.aborts),
             aborts_by_reason: by_reason,
+            clock_conflicts: self.clock_conflicts.saturating_sub(earlier.clock_conflicts),
         }
     }
 
@@ -51,6 +63,7 @@ impl BasicStats {
             commits: self.commits + other.commits,
             aborts: self.aborts + other.aborts,
             aborts_by_reason: by_reason,
+            clock_conflicts: self.clock_conflicts + other.clock_conflicts,
         }
     }
 
@@ -127,6 +140,18 @@ mod tests {
         assert!((s.abort_ratio() - 0.5).abs() < 1e-12);
         let all_aborts = sample(0, 4);
         assert_eq!(all_aborts.abort_ratio(), 1.0);
+    }
+
+    #[test]
+    fn clock_conflicts_flow_through_since_and_merged() {
+        let mut early = sample(10, 0);
+        early.clock_conflicts = 3;
+        let mut late = sample(20, 0);
+        late.clock_conflicts = 10;
+        assert_eq!(late.since(&early).clock_conflicts, 7);
+        assert_eq!(late.merged(&early).clock_conflicts, 13);
+        // Racy snapshot pairs saturate instead of wrapping.
+        assert_eq!(early.since(&late).clock_conflicts, 0);
     }
 
     #[test]

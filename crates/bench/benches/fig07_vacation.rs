@@ -8,19 +8,20 @@
 //! Paper shape: same general surface as Figure 6 but with the sweet spot
 //! at different parameter values — reinforcing that tuning is
 //! workload-dependent.
+//!
+//! Results go to stdout (CSV) and `target/perf/fig07.jsonl` via the
+//! shared perf pipeline. The JSONL is diagnostic only — fig07 has no
+//! baseline snapshot, so `perf-diff` does not gate it.
 
-use stm_bench::{default_opts, full_mode, make_tiny};
-use stm_harness::table::{f1, i, SeriesWriter};
-use stm_harness::VacationWorkload;
+use stm_bench::{bench_record, default_opts, full_mode, make_tiny, perf_emitter};
+use stm_harness::{IntSetWorkload, VacationWorkload};
 use tinystm::AccessStrategy;
 
 fn main() {
-    let mut out = SeriesWriter::default();
-    out.experiment(
+    let mut out = perf_emitter(
         "fig07",
         "vacation throughput vs #locks x #shifts (tinystm-wb, h=4, 8 thr)",
     );
-    out.columns(&["locks_log2", "shifts", "txs_per_s"]);
     let locks: Vec<u32> = if full_mode() {
         vec![16, 18, 20, 22, 24]
     } else {
@@ -32,11 +33,31 @@ fn main() {
         vec![0, 4, 8]
     };
     let workload = VacationWorkload::default();
+    // The record schema speaks intset: map the reservation tables onto
+    // its size fields (resources ≈ working set, customers ≈ key range);
+    // the reservation mix is all-update.
+    let record_workload = IntSetWorkload {
+        initial_size: workload.n_resources,
+        key_range: workload.n_customers,
+        update_pct: 100,
+    };
     for &l in &locks {
         for &sh in &shifts {
             let stm = make_tiny(AccessStrategy::WriteBack, l, sh, 2);
             let m = stm_harness::run_vacation(stm, workload, default_opts(8));
-            out.row(&[i(l as u64), i(sh as u64), f1(m.throughput)]);
+            let mut rec = bench_record(
+                "fig07",
+                &format!("l{l}/s{sh}"),
+                "vacation",
+                "tinystm-wb",
+                record_workload,
+                &m,
+            );
+            rec.extras.insert("locks_log2".to_string(), l as f64);
+            rec.extras.insert("shifts".to_string(), sh as f64);
+            out.record(rec);
         }
+        out.gap();
     }
+    out.finish();
 }

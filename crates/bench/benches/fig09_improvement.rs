@@ -9,44 +9,77 @@
 //! Paper shape: more locks help then flatten (with steps); a few shifts
 //! help then hurt; h rises then falls, with the list gaining much more
 //! from large h than the tree.
+//!
+//! Results go to stdout (CSV) and `target/perf/fig09.jsonl` via the
+//! shared perf pipeline: raw throughput as `ops_per_sec`, the paper's
+//! normalized `improvement_pct` in the extras. The JSONL is diagnostic
+//! only — fig09 has no baseline snapshot, so `perf-diff` does not
+//! gate it.
 
-use stm_bench::{default_opts, full_mode, make_tiny, run_structure_on, Structure};
-use stm_harness::table::{f1, i, s, SeriesWriter};
-use stm_harness::IntSetWorkload;
+use stm_bench::{
+    bench_record, default_opts, full_mode, make_tiny, perf_emitter, run_structure_on, Structure,
+};
+use stm_harness::{IntSetWorkload, Measurement};
+use stm_perf::PerfEmitter;
 use tinystm::AccessStrategy;
 
-fn measure(structure: Structure, locks: u32, shifts: u32, hier_log2: u32) -> f64 {
-    let stm = make_tiny(AccessStrategy::WriteBack, locks, shifts, hier_log2);
-    let stats_handle = stm.clone();
-    run_structure_on(
-        stm,
-        structure,
-        IntSetWorkload::new(4096, 20),
-        default_opts(8),
-        &move || stm_api::TmHandle::stats_snapshot(&stats_handle),
-    )
-    .throughput
+fn workload() -> IntSetWorkload {
+    IntSetWorkload::new(4096, 20)
 }
 
-fn improvements(points: &[(u64, f64)]) -> Vec<(u64, f64)> {
+fn measure(structure: Structure, locks: u32, shifts: u32, hier_log2: u32) -> Measurement {
+    let stm = make_tiny(AccessStrategy::WriteBack, locks, shifts, hier_log2);
+    let stats_handle = stm.clone();
+    run_structure_on(stm, structure, workload(), default_opts(8), &move || {
+        stm_api::TmHandle::stats_snapshot(&stats_handle)
+    })
+}
+
+/// Improvement over the worst point of the curve, in percent.
+fn improvements(points: &[(u64, Measurement)]) -> Vec<f64> {
     let min = points
         .iter()
-        .map(|&(_, t)| t)
+        .map(|(_, m)| m.throughput)
         .fold(f64::INFINITY, f64::min)
         .max(1e-9);
     points
         .iter()
-        .map(|&(x, t)| (x, (t / min - 1.0) * 100.0))
+        .map(|(_, m)| (m.throughput / min - 1.0) * 100.0)
         .collect()
 }
 
+/// Emit one curve: raw throughput per point plus the normalized
+/// improvement in the extras. The panel encodes sweep, series, and the
+/// x value, so every point keys uniquely in the JSONL.
+fn emit_curve(
+    out: &mut PerfEmitter,
+    sweep: &str,
+    series: &str,
+    structure: Structure,
+    points: &[(u64, Measurement)],
+) {
+    let imps = improvements(points);
+    for ((x, m), imp) in points.iter().zip(imps) {
+        let mut rec = bench_record(
+            "fig09",
+            &format!("{sweep}/{series}/x{x}"),
+            structure.label(),
+            "tinystm-wb",
+            workload(),
+            m,
+        );
+        rec.extras.insert("x".to_string(), *x as f64);
+        rec.extras.insert("improvement_pct".to_string(), imp);
+        out.record(rec);
+    }
+    out.gap();
+}
+
 fn main() {
-    let mut out = SeriesWriter::default();
-    out.experiment(
+    let mut out = perf_emitter(
         "fig09",
         "throughput improvement % vs #locks / #shifts / h (size=4096, 20% upd, 8 thr)",
     );
-    out.columns(&["panel", "series", "x", "improvement_pct"]);
 
     // Left: vs #locks. Paper pairs rbtree with shift=3, list with shift=2.
     let locks: Vec<u32> = if full_mode() {
@@ -56,41 +89,27 @@ fn main() {
     };
     for (structure, shift) in [(Structure::Rbtree, 3u32), (Structure::List, 2)] {
         for h in [2u32, 6] {
-            let pts: Vec<(u64, f64)> = locks
+            let pts: Vec<(u64, Measurement)> = locks
                 .iter()
                 .map(|&l| (l as u64, measure(structure, l, shift, h)))
                 .collect();
-            for (x, imp) in improvements(&pts) {
-                out.row(&[
-                    s("locks"),
-                    s(format!("{}-h{}-s{}", structure.label(), 1 << h, shift)),
-                    i(x),
-                    f1(imp),
-                ]);
-            }
+            let series = format!("{}-h{}-s{}", structure.label(), 1 << h, shift);
+            emit_curve(&mut out, "locks", &series, structure, &pts);
         }
     }
-    out.gap();
 
     // Middle: vs #shifts at 2^22 locks.
     let shifts: Vec<u32> = vec![0, 1, 2, 3, 4, 5, 6];
     for structure in [Structure::Rbtree, Structure::List] {
         for h in [2u32, 6] {
-            let pts: Vec<(u64, f64)> = shifts
+            let pts: Vec<(u64, Measurement)> = shifts
                 .iter()
                 .map(|&sh| (sh as u64, measure(structure, 22, sh, h)))
                 .collect();
-            for (x, imp) in improvements(&pts) {
-                out.row(&[
-                    s("shifts"),
-                    s(format!("{}-h{}", structure.label(), 1 << h)),
-                    i(x),
-                    f1(imp),
-                ]);
-            }
+            let series = format!("{}-h{}", structure.label(), 1 << h);
+            emit_curve(&mut out, "shifts", &series, structure, &pts);
         }
     }
-    out.gap();
 
     // Right: vs h at 2^22 locks (h = 4, 16, 64, 256).
     for (structure, shift) in [
@@ -99,17 +118,12 @@ fn main() {
         (Structure::Rbtree, 2),
         (Structure::List, 2),
     ] {
-        let pts: Vec<(u64, f64)> = [2u32, 4, 6, 8]
+        let pts: Vec<(u64, Measurement)> = [2u32, 4, 6, 8]
             .iter()
             .map(|&h| (1u64 << h, measure(structure, 22, shift, h)))
             .collect();
-        for (x, imp) in improvements(&pts) {
-            out.row(&[
-                s("hier"),
-                s(format!("{}-s{}", structure.label(), shift)),
-                i(x),
-                f1(imp),
-            ]);
-        }
+        let series = format!("{}-s{}", structure.label(), shift);
+        emit_curve(&mut out, "hier", &series, structure, &pts);
     }
+    out.finish();
 }

@@ -268,7 +268,11 @@ pub fn bench_record(
         elapsed_ms: m.elapsed.as_secs_f64() * 1000.0,
         aborts_by_reason: BenchRecord::taxonomy_from_array(&m.aborts_by_reason),
         worker_panics: m.worker_panics,
-        extras: Default::default(),
+        // Commit-clock contention rides along on every record; it is a
+        // diagnostic (not `_ns`-suffixed), so perf-diff never gates it.
+        extras: [("clock_conflicts".to_string(), m.clock_conflicts as f64)]
+            .into_iter()
+            .collect(),
     }
 }
 

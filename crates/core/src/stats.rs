@@ -43,6 +43,13 @@ pub struct ThreadStats {
     pub allocs: AtomicU64,
     /// Transactional frees (deferred to commit).
     pub frees: AtomicU64,
+    /// Commit-timestamp acquisition conflicts: foreign commit
+    /// timestamps that landed on the shared clock between this
+    /// transaction's (last validated) snapshot and its own commit
+    /// increment. Measures commit-clock *contention* independently of
+    /// throughput — a partitioned (per-shard) clock drives it down even
+    /// on a single core.
+    pub clock_conflicts: AtomicU64,
 }
 
 macro_rules! bump {
@@ -84,6 +91,12 @@ impl ThreadStats {
         self.wasted_reads.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Charge `n` foreign commit timestamps to the clock-conflict tally.
+    #[inline]
+    pub fn add_clock_conflicts(&self, n: u64) {
+        self.clock_conflicts.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Add to the validation processed/skipped tallies.
     #[inline]
     pub fn add_validation_locks(&self, processed: u64, skipped: u64) {
@@ -114,6 +127,7 @@ impl ThreadStats {
             commit_validation_skips: self.commit_validation_skips.load(Ordering::Relaxed),
             allocs: self.allocs.load(Ordering::Relaxed),
             frees: self.frees.load(Ordering::Relaxed),
+            clock_conflicts: self.clock_conflicts.load(Ordering::Relaxed),
         }
     }
 }
@@ -136,6 +150,7 @@ pub struct StatsSnapshot {
     pub commit_validation_skips: u64,
     pub allocs: u64,
     pub frees: u64,
+    pub clock_conflicts: u64,
 }
 
 macro_rules! fieldwise {
@@ -175,6 +190,7 @@ impl StatsSnapshot {
                 commit_validation_skips,
                 allocs,
                 frees,
+                clock_conflicts,
             ]
         )
     }
@@ -200,6 +216,7 @@ impl StatsSnapshot {
                 commit_validation_skips,
                 allocs,
                 frees,
+                clock_conflicts,
             ]
         )
     }
@@ -210,6 +227,7 @@ impl StatsSnapshot {
             commits: self.commits,
             aborts: self.aborts,
             aborts_by_reason: self.aborts_by_reason,
+            clock_conflicts: self.clock_conflicts,
         }
     }
 

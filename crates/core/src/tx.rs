@@ -525,6 +525,13 @@ impl<'a> Tx<'a> {
                 return AttemptEnd::Aborted(reason);
             }
         };
+        // Foreign commit timestamps consumed between our (last
+        // validated) snapshot bound and our own increment: the steps a
+        // CAS-from-snapshot timestamp acquisition would retry over.
+        let clock_lag = (wv - 1).saturating_sub(self.ctx.end);
+        if clock_lag > 0 {
+            self.ts.stats.add_clock_conflicts(clock_lag);
+        }
 
         // Validation can be skipped when no transaction committed since
         // our snapshot's upper bound (commit time adjacent to it).

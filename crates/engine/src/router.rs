@@ -1,0 +1,90 @@
+//! The key→shard router.
+//!
+//! Routing must be **total** (every key maps to a valid shard),
+//! **stable** (the same key always maps to the same shard for a given
+//! shard count — in particular across any number of per-shard
+//! `reconfigure` calls, which never touch the router), and **balanced**
+//! (adversarially clustered key ranges still spread evenly). The
+//! implementation is a SplitMix64 finalizer — a full-avalanche bijection
+//! on `u64` — followed by Lemire's multiply-shift range reduction, which
+//! maps the hash uniformly onto `[0, shards)` without the modulo bias
+//! or the power-of-two restriction of masking.
+
+/// SplitMix64 finalizer: full avalanche, bijective on `u64`.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Stateless key→shard map for a fixed shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Router {
+    shards: usize,
+}
+
+impl Router {
+    /// Router over `shards ≥ 1` shards.
+    pub fn new(shards: usize) -> Router {
+        assert!(shards >= 1, "a sharded engine needs at least one shard");
+        Router { shards }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Shard index for `key`, always `< self.shards()`.
+    #[inline]
+    pub fn route(&self, key: u64) -> usize {
+        // Lemire range reduction: top 64 bits of hash × shards.
+        ((splitmix64(key) as u128 * self.shards as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let r = Router::new(1);
+        for key in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(r.route(key), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        Router::new(0);
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let r = Router::new(4);
+        for key in 0..1000u64 {
+            assert_eq!(r.route(key), r.route(key));
+        }
+    }
+
+    #[test]
+    fn sequential_keys_spread() {
+        // The finalizer must break up the adversarially common case of
+        // dense sequential keys.
+        let r = Router::new(4);
+        let mut counts = [0usize; 4];
+        for key in 0..4096u64 {
+            counts[r.route(key)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (820..=1228).contains(&c),
+                "shard {i} got {c} of 4096 sequential keys"
+            );
+        }
+    }
+}

@@ -83,6 +83,10 @@ pub struct Measurement {
     pub abort_ratio: f64,
     /// Threads used.
     pub threads: usize,
+    /// Commit-timestamp acquisition conflicts inside the window (see
+    /// [`BasicStats::clock_conflicts`]) — the commit-clock contention
+    /// signal the shard-scaling bench gates on.
+    pub clock_conflicts: u64,
     /// Workers that panicked during the run. Non-zero means the window
     /// was cut short and the counters are *partial* — still emitted so
     /// a failed run leaves a diagnosable record instead of nothing.
@@ -106,6 +110,7 @@ impl Measurement {
             abort_rate: delta.aborts as f64 / secs,
             abort_ratio: delta.abort_ratio(),
             threads,
+            clock_conflicts: delta.clock_conflicts,
             worker_panics,
         }
     }
@@ -277,8 +282,10 @@ mod tests {
             commits: 1000,
             aborts: 100,
             aborts_by_reason: [100, 0, 0, 0, 0, 0, 0],
+            clock_conflicts: 42,
         };
         let m = Measurement::from_stats(delta, Duration::from_secs(2), 4, 0);
+        assert_eq!(m.clock_conflicts, 42);
         assert!((m.throughput - 500.0).abs() < 1e-9);
         assert!((m.abort_rate - 50.0).abs() < 1e-9);
         assert!((m.abort_ratio - 100.0 / 1100.0).abs() < 1e-9);

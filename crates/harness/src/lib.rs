@@ -7,7 +7,9 @@
 //! abort rates per second, over configurable thread counts, sizes, and
 //! update percentages.
 //!
-//! * [`driver`] — thread spawning + windowed measurement;
+//! * [`driver`] — thread spawning + windowed measurement (closed-loop);
+//! * [`open_loop`] — arrival-rate scheduled requests with per-request
+//!   latency measured from the scheduled arrival (queueing included);
 //! * [`intset`] — the red-black tree / linked list / overwrite harness;
 //! * [`vacation_mix`] — the STAMP-style vacation mix (Figure 7);
 //! * [`table`] — the series printer shared by the figure benches;
@@ -18,6 +20,7 @@
 
 pub mod driver;
 pub mod intset;
+pub mod open_loop;
 #[cfg(feature = "record")]
 pub mod record;
 pub mod table;
@@ -25,6 +28,7 @@ pub mod vacation_mix;
 
 pub use driver::{drive, drive_with_coordinator, MeasureOpts, Measurement};
 pub use intset::{populate, run_intset, run_overwrite, IntSetOp, IntSetWorkload};
+pub use open_loop::{run_open_loop, LatencyRecorder, OpenLoopOpts, OpenLoopResult};
 #[cfg(feature = "record")]
 pub use record::{run_recorded, RecBackend, RecWorkload, RecordOpts, RecordOutcome};
 pub use vacation_mix::{run_vacation, vacation_op, VacationWorkload};

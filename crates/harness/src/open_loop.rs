@@ -1,0 +1,318 @@
+//! Open-loop (arrival-rate) measurement driver.
+//!
+//! The closed-loop driver in [`crate::driver`] measures *throughput*:
+//! workers issue the next operation the instant the previous one
+//! finishes, so the system is always saturated and latency is
+//! meaningless (it is just 1/throughput). Service-style claims — "the
+//! sharded engine holds its p99 at a fixed offered load" — need the
+//! opposite: requests arrive on a schedule that does **not** slow down
+//! when the system does, and per-request latency is measured from the
+//! *scheduled* arrival, so queueing delay counts (no coordinated
+//! omission).
+//!
+//! Mechanics: arrival `i` of a run at `rate` requests/sec is due at
+//! `t_i = i / rate` after the start. Workers pull arrival tickets from
+//! a shared counter, wait until the ticket is due (coarse sleep far
+//! out, yield-spin close in), execute the operation, and record
+//! `completion − t_i` into their own [`LatencyRecorder`] — merging is
+//! the caller's problem, which keeps this crate free of any histogram
+//! dependency (`stm-perf` implements the trait for its histogram and
+//! depends on us, not vice versa). If the run falls behind schedule by
+//! more than `max_lag` the offered load exceeds capacity; the run stops
+//! early and reports `on_schedule = false` rather than emitting
+//! latencies that only measure the backlog.
+
+use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Sink for one latency sample per completed request.
+///
+/// Implemented by `stm_perf::LatencyHist`; tests use plain `Vec<u64>`.
+pub trait LatencyRecorder {
+    /// Record one request latency in nanoseconds.
+    fn record_latency(&mut self, nanos: u64);
+}
+
+impl LatencyRecorder for Vec<u64> {
+    fn record_latency(&mut self, nanos: u64) {
+        self.push(nanos);
+    }
+}
+
+/// Open-loop run options.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopOpts {
+    /// Offered load in arrivals per second.
+    pub rate: f64,
+    /// Warm-up: arrivals scheduled inside it run but are not recorded.
+    pub warmup: Duration,
+    /// Measured window (after warm-up).
+    pub duration: Duration,
+    /// Worker threads draining the arrival schedule.
+    pub workers: usize,
+    /// Lag bound: when the next ticket is already overdue by more than
+    /// this, the offered load exceeds capacity — stop and report
+    /// `on_schedule = false`.
+    pub max_lag: Duration,
+    /// Base RNG seed; worker `w` uses `seed + w`.
+    pub seed: u64,
+}
+
+impl Default for OpenLoopOpts {
+    fn default() -> Self {
+        OpenLoopOpts {
+            rate: 10_000.0,
+            warmup: Duration::from_millis(50),
+            duration: Duration::from_millis(500),
+            workers: 1,
+            max_lag: Duration::from_millis(250),
+            seed: 0x0417_CAFE,
+        }
+    }
+}
+
+impl OpenLoopOpts {
+    /// Builder-style setter for the offered rate (arrivals/sec).
+    pub fn with_rate(mut self, r: f64) -> Self {
+        self.rate = r;
+        self
+    }
+
+    /// Builder-style setter for the measured window.
+    pub fn with_duration(mut self, d: Duration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Builder-style setter for the warm-up window.
+    pub fn with_warmup(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Builder-style setter for the worker count.
+    pub fn with_workers(mut self, w: usize) -> Self {
+        self.workers = w;
+        self
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn with_seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+}
+
+/// Outcome of one open-loop run.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopResult {
+    /// Arrivals the schedule offered (warm-up + measured window).
+    pub offered: u64,
+    /// Arrivals actually executed.
+    pub completed: u64,
+    /// Completed arrivals inside the measured window (samples recorded).
+    pub measured: u64,
+    /// Wall time from start to last completion.
+    pub elapsed: Duration,
+    /// False when the run hit the `max_lag` bound and stopped early:
+    /// the offered rate exceeds capacity and recorded latencies would
+    /// only measure backlog depth.
+    pub on_schedule: bool,
+    /// Completed requests per second of elapsed time.
+    pub throughput: f64,
+}
+
+/// Run an open-loop measurement.
+///
+/// `make_worker(w)` builds, per worker, a latency recorder and the
+/// operation closure it times. Returns the run outcome plus every
+/// worker's recorder (merge them for a run-wide histogram).
+pub fn run_open_loop<R, F, G>(opts: OpenLoopOpts, make_worker: G) -> (OpenLoopResult, Vec<R>)
+where
+    R: LatencyRecorder + Send,
+    F: FnMut(&mut SmallRng) + Send,
+    G: Fn(usize) -> (R, F) + Sync,
+{
+    assert!(opts.rate > 0.0, "open-loop rate must be positive");
+    assert!(opts.workers > 0, "open-loop needs at least one worker");
+    let interval_ns = 1e9 / opts.rate;
+    let warmup_ns = opts.warmup.as_nanos() as u64;
+    let total_ns = (opts.warmup + opts.duration).as_nanos() as u64;
+    let offered = ((total_ns as f64) / interval_ns).floor() as u64;
+    let max_lag_ns = opts.max_lag.as_nanos() as u64;
+
+    let next = AtomicU64::new(0);
+    let saturated = AtomicBool::new(false);
+    let completed = AtomicU64::new(0);
+    let measured = AtomicU64::new(0);
+    let start = Instant::now();
+
+    let mut recorders: Vec<Option<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(opts.workers);
+        for w in 0..opts.workers {
+            let next = &next;
+            let saturated = &saturated;
+            let completed = &completed;
+            let measured = &measured;
+            let make_worker = &make_worker;
+            handles.push(scope.spawn(move || {
+                let (mut rec, mut op) = make_worker(w);
+                let mut rng = SmallRng::seed_from_u64(opts.seed.wrapping_add(w as u64));
+                loop {
+                    if saturated.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= offered {
+                        break;
+                    }
+                    let due_ns = (i as f64 * interval_ns) as u64;
+                    // Wait out the schedule: coarse sleep while the
+                    // deadline is far, then yield-spin — on a loaded
+                    // single-core host the yields double as the only way
+                    // other workers make progress.
+                    loop {
+                        let now_ns = start.elapsed().as_nanos() as u64;
+                        if now_ns >= due_ns {
+                            if now_ns - due_ns > max_lag_ns {
+                                saturated.store(true, Ordering::Relaxed);
+                            }
+                            break;
+                        }
+                        let gap = due_ns - now_ns;
+                        if gap > 1_000_000 {
+                            std::thread::sleep(Duration::from_nanos(gap - 500_000));
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    if saturated.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    op(&mut rng);
+                    let done_ns = start.elapsed().as_nanos() as u64;
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    if due_ns >= warmup_ns {
+                        rec.record_latency(done_ns.saturating_sub(due_ns));
+                        measured.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                rec
+            }));
+        }
+        for h in handles {
+            recorders.push(h.join().ok());
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let completed = completed.load(Ordering::Relaxed);
+    let result = OpenLoopResult {
+        offered,
+        completed,
+        measured: measured.load(Ordering::Relaxed),
+        elapsed,
+        on_schedule: !saturated.load(Ordering::Relaxed) && completed == offered,
+        throughput: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+    };
+    (result, recorders.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_schedule_at_modest_rate() {
+        let opts = OpenLoopOpts::default()
+            .with_rate(2_000.0)
+            .with_warmup(Duration::from_millis(20))
+            .with_duration(Duration::from_millis(100));
+        let (res, recs) = run_open_loop(opts, |_w| {
+            (Vec::new(), move |_rng: &mut SmallRng| {
+                std::hint::black_box(0u64);
+            })
+        });
+        assert!(res.on_schedule, "trivial op must keep schedule: {res:?}");
+        assert_eq!(res.completed, res.offered);
+        let samples: usize = recs.iter().map(Vec::len).sum();
+        assert_eq!(samples as u64, res.measured);
+        assert!(res.measured > 0, "no measured samples");
+        // Warm-up arrivals ran but were not recorded.
+        assert!(res.measured < res.offered);
+    }
+
+    #[test]
+    fn latency_counts_queueing_from_scheduled_arrival() {
+        // One worker, op takes ~2 ms, arrivals every 1 ms: each request
+        // queues behind its predecessor, so recorded latency must grow
+        // well beyond the 2 ms service time (no coordinated omission).
+        let opts = OpenLoopOpts {
+            rate: 1_000.0,
+            warmup: Duration::ZERO,
+            duration: Duration::from_millis(40),
+            workers: 1,
+            max_lag: Duration::from_secs(5),
+            seed: 1,
+        };
+        let (res, recs) = run_open_loop(opts, |_w| {
+            (Vec::new(), move |_rng: &mut SmallRng| {
+                std::thread::sleep(Duration::from_millis(2));
+            })
+        });
+        let samples = &recs[0];
+        assert!(!samples.is_empty());
+        let max = *samples.iter().max().expect("non-empty");
+        assert!(
+            max > 5_000_000,
+            "queueing must inflate tail latency, max={max}ns {res:?}"
+        );
+    }
+
+    #[test]
+    fn saturation_stops_the_run_and_clears_on_schedule() {
+        // Offered load far above capacity with a tight lag bound: the
+        // driver must bail out instead of grinding through the backlog.
+        let opts = OpenLoopOpts {
+            rate: 10_000.0,
+            warmup: Duration::ZERO,
+            duration: Duration::from_secs(2),
+            workers: 1,
+            max_lag: Duration::from_millis(20),
+            seed: 2,
+        };
+        let started = Instant::now();
+        let (res, _recs) = run_open_loop(opts, |_w| {
+            (Vec::new(), move |_rng: &mut SmallRng| {
+                std::thread::sleep(Duration::from_millis(5));
+            })
+        });
+        assert!(!res.on_schedule, "overload must be detected: {res:?}");
+        assert!(res.completed < res.offered);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "saturated run must stop early"
+        );
+    }
+
+    #[test]
+    fn multiple_workers_split_the_schedule() {
+        let opts = OpenLoopOpts::default()
+            .with_rate(2_000.0)
+            .with_warmup(Duration::ZERO)
+            .with_duration(Duration::from_millis(80))
+            .with_workers(2);
+        let (res, recs) = run_open_loop(opts, |_w| {
+            (Vec::new(), move |_rng: &mut SmallRng| {
+                std::hint::black_box(0u64);
+            })
+        });
+        assert_eq!(recs.len(), 2);
+        let total: usize = recs.iter().map(Vec::len).sum();
+        assert_eq!(total as u64, res.measured);
+        assert_eq!(res.completed, res.offered);
+    }
+}

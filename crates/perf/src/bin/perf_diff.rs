@@ -55,7 +55,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 .map_err(|e| format!("{name}: {e}"))
         };
         match arg.as_str() {
-            "--tolerance" => tolerance.throughput_drop = frac("--tolerance")?,
+            "--tolerance" => {
+                // One knob, two bands: the latency band tracks the
+                // throughput band multiplicatively (a d-fraction drop
+                // in capacity ≈ a d/(1-d) inflation in latency).
+                tolerance.throughput_drop = frac("--tolerance")?;
+                tolerance.latency_increase =
+                    Some(Tolerance::latency_band_for_drop(tolerance.throughput_drop));
+            }
             "--abort-tolerance" => tolerance.abort_rate_increase = Some(frac("--abort-tolerance")?),
             "--require-all" => require_all = true,
             "--allow-unmatched" => allow_unmatched = true,

@@ -9,6 +9,11 @@
 //! * `aborts_per_sec` is gated only when an abort tolerance is set
 //!   (noise in abort counts is far larger than in throughput), and only
 //!   above an absolute floor so near-zero baselines don't amplify.
+//! * Latency `extras` (keys ending `_ns`) are gated lower-is-better
+//!   under `latency_increase`, when the key appears on both sides —
+//!   in practice only the median (p50), because every tail key
+//!   ([`VOLATILE_LATENCY_KEYS`]: p95/p99/p999/mean/max) and all
+//!   non-`_ns` extras stay reported-only.
 //! * Partial records (worker panics) on the *current* side always
 //!   count as regressions — a crashed bench must never pass the gate.
 //! * Configs present on one side only are never silently skipped: they
@@ -21,6 +26,17 @@
 use crate::record::BenchRecord;
 use std::collections::BTreeMap;
 
+/// Latency extras excluded from gating even though they end in `_ns`:
+/// one multi-millisecond scheduler preemption inside a measurement
+/// window swings these by 10–40× between identical builds on a shared
+/// 1-core host, so a band wide enough to absorb that would be
+/// meaningless. p95 is volatile too: the open-loop driver counts
+/// queueing delay (no coordinated omission), so a single preemption
+/// backs up more than 5% of a quick-mode window's arrivals. They are
+/// still emitted and reported for inspection; the median (p50) is the
+/// only percentile robust enough to carry the gate.
+pub const VOLATILE_LATENCY_KEYS: [&str; 5] = ["p95_ns", "p99_ns", "p999_ns", "mean_ns", "max_ns"];
+
 /// Per-metric tolerance bands.
 #[derive(Debug, Clone, Copy)]
 pub struct Tolerance {
@@ -31,6 +47,19 @@ pub struct Tolerance {
     /// Abort gating only applies when the baseline rate exceeds this
     /// floor (aborts/s); below it the signal is pure noise.
     pub abort_rate_floor: f64,
+    /// Allowed fractional increase for latency extras (keys ending in
+    /// `_ns`, lower-is-better): a matched extra regresses when
+    /// `current > baseline * (1 + latency_increase)`. `None` disables
+    /// extras gating. Extras whose keys do not end in `_ns` (counters,
+    /// config echoes, ratios) are never gated — they carry no
+    /// universal "which direction is worse" convention.
+    ///
+    /// The default mirrors the throughput band multiplicatively: an
+    /// allowed throughput *drop* of `d` corresponds to an allowed
+    /// latency *inflation* of `d / (1 - d)` (the open-loop driver's
+    /// latency is roughly inverse to capacity), so `d = 0.25` gives
+    /// `1/3`.
+    pub latency_increase: Option<f64>,
 }
 
 impl Default for Tolerance {
@@ -39,7 +68,16 @@ impl Default for Tolerance {
             throughput_drop: 0.25,
             abort_rate_increase: None,
             abort_rate_floor: 100.0,
+            latency_increase: Some(0.25 / 0.75),
         }
+    }
+}
+
+impl Tolerance {
+    /// The latency band multiplicatively equivalent to a throughput
+    /// drop of `d`: `d / (1 - d)` (see [`Tolerance::latency_increase`]).
+    pub fn latency_band_for_drop(d: f64) -> f64 {
+        d / (1.0 - d).max(f64::EPSILON)
     }
 }
 
@@ -196,6 +234,40 @@ pub fn diff_records(
             }
         }
 
+        // Latency extras (`*_ns`, lower-is-better): gated when present
+        // on BOTH sides — a newly added or retired percentile is a
+        // schema change, not a regression. Other extras stay
+        // reported-only, as do the tail keys
+        // ([`VOLATILE_LATENCY_KEYS`]): on shared runners a single
+        // multi-millisecond preemption swings p95/p99/p999/mean/max
+        // by 10–40× between otherwise identical runs, so gating them
+        // would only produce flakes.
+        if let Some(allowed) = tol.latency_increase {
+            for (name, &base_v) in &base.extras {
+                if !name.ends_with("_ns") || VOLATILE_LATENCY_KEYS.contains(&name.as_str()) {
+                    continue;
+                }
+                let Some(&cur_v) = cur.extras.get(name) else {
+                    continue;
+                };
+                let verdict = if cur_v > base_v * (1.0 + allowed) {
+                    Verdict::Regressed
+                } else if cur_v * (1.0 + allowed) < base_v {
+                    Verdict::Improved
+                } else {
+                    Verdict::Ok
+                };
+                report.rows.push(DiffRow {
+                    key: key.clone(),
+                    metric: format!("extras.{name}"),
+                    baseline: base_v,
+                    current: cur_v,
+                    delta_pct: pct_change(base_v, cur_v),
+                    verdict,
+                });
+            }
+        }
+
         // A crashed current run never passes, whatever its numbers say.
         if cur.is_partial() {
             report.rows.push(DiffRow {
@@ -221,7 +293,7 @@ pub fn render_markdown(report: &DiffReport, tol: &Tolerance) -> String {
     let mut out = String::new();
     out.push_str("## perf-diff report\n\n");
     out.push_str(&format!(
-        "Tolerance: throughput −{:.0}%{}\n\n",
+        "Tolerance: throughput −{:.0}%{}{}\n\n",
         tol.throughput_drop * 100.0,
         match tol.abort_rate_increase {
             Some(a) => format!(
@@ -230,6 +302,10 @@ pub fn render_markdown(report: &DiffReport, tol: &Tolerance) -> String {
                 tol.abort_rate_floor
             ),
             None => ", abort rate not gated".to_string(),
+        },
+        match tol.latency_increase {
+            Some(l) => format!(", latency extras (*_ns, median only) +{:.0}%", l * 100.0),
+            None => ", latency extras not gated".to_string(),
         }
     ));
     out.push_str("| config | metric | baseline | current | Δ% | verdict |\n");
@@ -393,6 +469,98 @@ mod tests {
         assert!(md.contains("**REGRESSED**"), "{md}");
         assert!(md.contains("| ops_per_sec |"), "{md}");
         assert!(md.contains("1 regression(s)"), "{md}");
+    }
+
+    #[test]
+    fn latency_extras_gate_lower_is_better() {
+        let mut base = with_throughput("a", 1, 1000.0);
+        base.extras.insert("p50_ns".to_string(), 1_000_000.0);
+        let mut cur = base.clone();
+        let tol = Tolerance::default(); // latency band 1/3
+
+        // Within the band: +30% latency passes.
+        cur.extras.insert("p50_ns".to_string(), 1_300_000.0);
+        assert!(!diff_records(&[base.clone()], &[cur.clone()], &tol).failed(true));
+
+        // Beyond the band: +50% regresses, and the row names the extra.
+        cur.extras.insert("p50_ns".to_string(), 1_500_000.0);
+        let report = diff_records(&[base.clone()], &[cur.clone()], &tol);
+        assert!(report.failed(false));
+        let row = report.regressions().next().unwrap();
+        assert_eq!(row.metric, "extras.p50_ns");
+
+        // A latency *improvement* never fails.
+        cur.extras.insert("p50_ns".to_string(), 100_000.0);
+        let report = diff_records(&[base.clone()], &[cur.clone()], &tol);
+        assert!(!report.failed(true));
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.metric == "extras.p50_ns" && r.verdict == Verdict::Improved));
+
+        // Disabled: never gated.
+        cur.extras.insert("p50_ns".to_string(), 9e9);
+        let off = Tolerance {
+            latency_increase: None,
+            ..Tolerance::default()
+        };
+        assert!(!diff_records(&[base], &[cur], &off).failed(true));
+    }
+
+    #[test]
+    fn volatile_tail_extras_are_reported_but_never_gated() {
+        // One scheduler preemption can inflate p99/p999/mean/max by
+        // orders of magnitude on a shared host; they are exempt even
+        // though they end in `_ns`.
+        let mut base = with_throughput("a", 1, 1000.0);
+        let mut cur = base.clone();
+        for key in VOLATILE_LATENCY_KEYS {
+            base.extras.insert(key.to_string(), 10_000.0);
+            cur.extras.insert(key.to_string(), 4e9);
+        }
+        let report = diff_records(&[base], &[cur], &Tolerance::default());
+        assert!(!report.failed(true), "volatile tails must not gate");
+        assert!(!report.rows.iter().any(|r| r.metric.starts_with("extras.")));
+    }
+
+    #[test]
+    fn non_latency_extras_are_exempt() {
+        let mut base = with_throughput("a", 1, 1000.0);
+        base.extras.insert("clock_conflicts".to_string(), 10.0);
+        base.extras.insert("locks_log2".to_string(), 16.0);
+        let mut cur = base.clone();
+        cur.extras.insert("clock_conflicts".to_string(), 1e9);
+        cur.extras.insert("locks_log2".to_string(), 4.0);
+        let report = diff_records(&[base], &[cur], &Tolerance::default());
+        assert!(!report.failed(true), "non-_ns extras must not gate");
+        assert!(!report.rows.iter().any(|r| r.metric.starts_with("extras.")));
+    }
+
+    #[test]
+    fn one_sided_latency_extras_are_skipped() {
+        // A percentile only present on one side is a schema change,
+        // not a regression.
+        let mut base = with_throughput("a", 1, 1000.0);
+        base.extras.insert("p50_ns".to_string(), 1e6);
+        let cur = with_throughput("a", 1, 1000.0); // no extras
+        assert!(!diff_records(
+            std::slice::from_ref(&base),
+            std::slice::from_ref(&cur),
+            &Tolerance::default()
+        )
+        .failed(true));
+        // And the reverse direction.
+        assert!(!diff_records(&[cur], &[base], &Tolerance::default()).failed(true));
+    }
+
+    #[test]
+    fn latency_band_matches_throughput_band() {
+        // d = 0.75 (the CI setting) allows 4× slower latency.
+        let b = Tolerance::latency_band_for_drop(0.75);
+        assert!((b - 3.0).abs() < 1e-9);
+        // The default band mirrors the default 25% drop.
+        let t = Tolerance::default();
+        assert!((t.latency_increase.unwrap() - 1.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]

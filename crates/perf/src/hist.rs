@@ -1,0 +1,324 @@
+//! Log-scaled fixed-bucket latency histogram.
+//!
+//! The open-loop driver ([`stm_harness::open_loop`]) measures one
+//! latency per scheduled request; something has to aggregate millions
+//! of samples into the handful of numbers a `BenchRecord` can carry.
+//! This is an HDR-style histogram cut down to exactly what the perf
+//! pipeline needs: fixed memory (no allocation after construction), a
+//! bounded relative error, and cheap merging across worker threads.
+//!
+//! ## Bucketing
+//!
+//! Values are u64 nanoseconds. Each power-of-two octave is split into
+//! `2^SUB_BITS = 8` sub-buckets, so the bucket width is at most 1/8 of
+//! the value's magnitude and the midpoint representative is within
+//! ~6.25% of any sample in the bucket — more than enough resolution to
+//! gate p99-style metrics under a multiplicative tolerance band.
+//! Values below 8 ns get exact unit buckets. The full u64 range maps
+//! into [`BUCKETS`] = 496 slots, so the whole histogram is ~4 KiB.
+
+use std::collections::BTreeMap;
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` slots.
+const SUB_BITS: u32 = 3;
+const SUBS: u64 = 1 << SUB_BITS;
+
+/// Total bucket count covering the full u64 range.
+pub const BUCKETS: usize = ((64 - SUB_BITS as usize) * (1 << SUB_BITS)) + (1 << SUB_BITS);
+
+/// Fixed-size log-scaled histogram of nanosecond latencies.
+#[derive(Clone)]
+pub struct LatencyHist {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a value: exact below `SUBS`, log-scaled above.
+#[inline]
+fn index_for(v: u64) -> usize {
+    if v < SUBS {
+        v as usize
+    } else {
+        let m = 63 - v.leading_zeros(); // m >= SUB_BITS
+        let sub = (v >> (m - SUB_BITS)) & (SUBS - 1);
+        (((m - SUB_BITS) as u64 * SUBS) + SUBS + sub) as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+#[inline]
+fn lower_bound(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUBS {
+        idx
+    } else {
+        let block = idx >> SUB_BITS; // >= 1
+        let m = block as u32 - 1 + SUB_BITS;
+        let sub = idx & (SUBS - 1);
+        (SUBS + sub) << (m - SUB_BITS)
+    }
+}
+
+/// Width of a bucket (number of distinct values mapping into it).
+#[inline]
+fn bucket_width(idx: usize) -> u64 {
+    if (idx as u64) < SUBS {
+        1
+    } else {
+        let block = (idx as u64) >> SUB_BITS;
+        let m = block as u32 - 1 + SUB_BITS;
+        1u64 << (m - SUB_BITS)
+    }
+}
+
+impl LatencyHist {
+    /// Empty histogram.
+    pub fn new() -> LatencyHist {
+        LatencyHist {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one latency sample in nanoseconds.
+    #[inline]
+    pub fn record(&mut self, nanos: u64) {
+        self.buckets[index_for(nanos)] += 1;
+        self.count += 1;
+        self.sum += nanos as u128;
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold another histogram into this one (per-worker merge).
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += *src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Value at percentile `p` in `[0, 100]`: the representative
+    /// (bucket midpoint) of the bucket holding the `ceil(p% · count)`-th
+    /// smallest sample, clamped to the exact observed min/max so the
+    /// tails never report values outside the data. When the target rank
+    /// is the largest sample, the exact max is reported (so the extreme
+    /// tail of a small sample set is not smeared across a wide bucket).
+    /// Returns 0 when empty.
+    pub fn value_at_percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        if target >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            if seen >= target {
+                let mid = lower_bound(idx) + bucket_width(idx) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Standard percentile extras for a `BenchRecord`: p50/p95/p99/p999
+    /// plus the exact mean and max, all in nanoseconds.
+    pub fn extras(&self) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        m.insert("p50_ns".to_string(), self.value_at_percentile(50.0) as f64);
+        m.insert("p95_ns".to_string(), self.value_at_percentile(95.0) as f64);
+        m.insert("p99_ns".to_string(), self.value_at_percentile(99.0) as f64);
+        m.insert("p999_ns".to_string(), self.value_at_percentile(99.9) as f64);
+        m.insert("mean_ns".to_string(), self.mean());
+        m.insert("max_ns".to_string(), self.max() as f64);
+        m
+    }
+}
+
+impl stm_harness::open_loop::LatencyRecorder for LatencyHist {
+    #[inline]
+    fn record_latency(&mut self, nanos: u64) {
+        self.record(nanos);
+    }
+}
+
+impl std::fmt::Debug for LatencyHist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHist")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("max", &self.max)
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_map_is_total_and_monotone() {
+        // Every bucket's lower bound maps back to that bucket, bounds
+        // strictly increase, and widths tile without gaps.
+        for idx in 0..BUCKETS - 1 {
+            let lo = lower_bound(idx);
+            assert_eq!(index_for(lo), idx, "lower bound of {idx}");
+            assert_eq!(
+                lower_bound(idx + 1),
+                lo + bucket_width(idx),
+                "gap after {idx}"
+            );
+        }
+        assert_eq!(index_for(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHist::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        for (q, want) in [(12.5, 0), (50.0, 3), (100.0, 7)] {
+            assert_eq!(h.value_at_percentile(q), want, "q={q}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // The representative of any sample's bucket is within 1/16 of
+        // the sample (half the 1/8 bucket width).
+        for v in [9u64, 100, 1_000, 65_537, 1 << 40, u64::MAX / 3] {
+            let idx = index_for(v);
+            let mid = lower_bound(idx) + bucket_width(idx) / 2;
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 16.0 + 1e-9, "v={v} mid={mid} err={err}");
+        }
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = LatencyHist::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 100); // 100 ns .. 1 ms
+        }
+        for (q, exact) in [(50.0, 500_000.0), (95.0, 950_000.0), (99.0, 990_000.0)] {
+            let got = h.value_at_percentile(q) as f64;
+            let err = (got - exact).abs() / exact;
+            assert!(err < 0.07, "q={q} got={got} err={err}");
+        }
+        assert_eq!(h.count(), 10_000);
+        let mean = h.mean();
+        assert!((mean - 500_050.0).abs() < 1.0, "mean={mean}");
+    }
+
+    #[test]
+    fn tails_clamp_to_observed_extremes() {
+        let mut h = LatencyHist::new();
+        h.record(1_000);
+        h.record(1_001);
+        h.record(9_999_999);
+        // p999 lands in the outlier's wide bucket; the clamp keeps it at
+        // the exact max instead of the bucket midpoint.
+        assert_eq!(h.value_at_percentile(99.9), 9_999_999);
+        assert_eq!(h.value_at_percentile(0.0), 1_000);
+        assert_eq!(h.min(), 1_000);
+        assert_eq!(h.max(), 9_999_999);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        let mut both = LatencyHist::new();
+        for i in 0..1_000u64 {
+            let v = (i * 7919) % 100_000;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        for q in [10.0, 50.0, 90.0, 99.0] {
+            assert_eq!(a.value_at_percentile(q), both.value_at_percentile(q));
+        }
+    }
+
+    #[test]
+    fn extras_contain_the_gated_keys() {
+        let mut h = LatencyHist::new();
+        for v in 1..=100u64 {
+            h.record(v * 1_000);
+        }
+        let e = h.extras();
+        for key in ["p50_ns", "p95_ns", "p99_ns", "p999_ns", "mean_ns", "max_ns"] {
+            assert!(e.contains_key(key), "missing {key}");
+        }
+        assert!(e["p50_ns"] <= e["p99_ns"]);
+        assert!(e["p99_ns"] <= e["max_ns"]);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.value_at_percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+}

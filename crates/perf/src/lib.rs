@@ -11,6 +11,8 @@
 //!   build environment is offline, so no serde);
 //! * [`emit`] — the [`emit::PerfEmitter`] the wired benches write
 //!   through (stdout CSV + `target/perf/<experiment>.jsonl`);
+//! * [`hist`] — the log-scaled fixed-bucket latency histogram the
+//!   open-loop driver fills, summarized into percentile `extras`;
 //! * [`diff`] — config-keyed comparison with per-metric tolerance
 //!   bands and a markdown report;
 //! * [`shape`] — opt-in paper-shape invariants (scaling monotonicity,
@@ -29,11 +31,15 @@
 
 pub mod diff;
 pub mod emit;
+pub mod hist;
 pub mod json;
 pub mod record;
 pub mod shape;
 
-pub use diff::{diff_records, render_markdown, DiffReport, Tolerance, Verdict};
+pub use diff::{
+    diff_records, render_markdown, DiffReport, Tolerance, Verdict, VOLATILE_LATENCY_KEYS,
+};
 pub use emit::{perf_dir, PerfEmitter};
+pub use hist::LatencyHist;
 pub use record::{load_records, BenchRecord, BenchRun, SCHEMA_VERSION};
 pub use shape::{check_all, ShapeOpts, ShapeViolation};

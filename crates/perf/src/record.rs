@@ -54,7 +54,12 @@ pub struct BenchRecord {
     pub aborts_by_reason: BTreeMap<String, u64>,
     /// Workers that panicked; non-zero marks the record as partial.
     pub worker_panics: u64,
-    /// Bench-specific extra metrics (reported, never gated).
+    /// Bench-specific extra metrics. Keys ending in `_ns` (latency
+    /// percentiles from the open-loop histogram) are gated
+    /// lower-is-better by `perf-diff` when present in both baseline and
+    /// current — except the volatile extreme tails
+    /// ([`crate::diff::VOLATILE_LATENCY_KEYS`]); those and everything
+    /// else are reported, never gated.
     pub extras: BTreeMap<String, f64>,
 }
 

@@ -791,6 +791,14 @@ impl<'a> Tl2Tx<'a> {
                 return Err(reason);
             }
         };
+        // Foreign commit timestamps consumed between our read version
+        // and our own increment: the steps a CAS-from-snapshot
+        // timestamp acquisition would retry over. TL2 never extends the
+        // snapshot, so the distance is measured from `rv` directly.
+        let clock_lag = (wv - 1).saturating_sub(self.ctx.rv);
+        if clock_lag > 0 {
+            self.ts.stats.add_clock_conflicts(clock_lag);
+        }
 
         #[cfg(feature = "fault-inject")]
         let skip_validation = matches!(
