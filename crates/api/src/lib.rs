@@ -57,9 +57,14 @@
 //! assert_eq!(tm.stats_snapshot().commits, 2);
 //! ```
 
+pub mod lifecycle;
 pub mod mem;
 pub mod model;
 pub mod stats;
+#[cfg(feature = "durable")]
+pub mod wal;
+
+pub use lifecycle::{LifecycleError, TmLifecycle};
 
 use core::sync::atomic::AtomicUsize;
 

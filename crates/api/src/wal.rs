@@ -1,0 +1,44 @@
+//! The write-ahead-log sink contract (feature `durable`).
+//!
+//! A backend with an attached [`WalSink`] calls [`WalSink::publish`]
+//! once per committed **update** transaction, from inside the commit
+//! critical section: after the commit timestamp is drawn and the write
+//! set is applied to memory, but *before* the stripe locks are
+//! released. That placement is the crux of crash consistency:
+//!
+//! * Two transactions that conflict (touch a common stripe) hold the
+//!   common lock across their publish, so their WAL records appear in
+//!   commit order.
+//! * Therefore *any* prefix of a sink's append stream is conflict-closed
+//!   — replaying it yields a state some prefix of the committed
+//!   execution could have produced (strata-core's M1.4, crash
+//!   consistency).
+//!
+//! Non-conflicting commits may interleave arbitrarily in the stream;
+//! that is fine, because replay folds records in append order and
+//! non-conflicting writes commute.
+//!
+//! The trait lives in `stm-api` (not in `stm-wal`) so the backends can
+//! publish through it without depending on any particular log
+//! implementation — the same inversion the [`crate::TmHandle`] trait
+//! performs for the data path.
+
+/// Receives the write set of each committed update transaction.
+///
+/// `publish` is called with stripe locks held: implementations must not
+/// run transactions, block on transactional state, or panic on ordinary
+/// input. Panicking is reserved for integrity violations (e.g. a write
+/// outside the durable address range — a would-be phantom write), where
+/// failing loudly beats logging garbage.
+pub trait WalSink: Send + Sync {
+    /// Record one committed update transaction.
+    ///
+    /// * `epoch` — the backend's durability epoch (see
+    ///   `TmLifecycle::wal_epoch`); commit timestamps are unique and
+    ///   per-key monotone only *within* an epoch.
+    /// * `commit_ts` — the transaction's commit timestamp (the paper's
+    ///   write version `wv`).
+    /// * `writes` — deduplicated `(address, value)` pairs of the write
+    ///   set, as applied to memory.
+    fn publish(&self, epoch: u64, commit_ts: u64, writes: &[(usize, usize)]);
+}

@@ -54,9 +54,11 @@ pub mod check;
 pub mod events;
 pub mod graph;
 pub mod history;
+pub mod replay;
 
 pub use check::{
     check_history, CheckOpts, CheckReport, CycleWitness, EdgeKind, NodeRef, Violation,
 };
 pub use events::{AttemptGuard, Event, RecordingError, SessionLog, TraceSink};
 pub use history::{History, HistoryError, Outcome, Txn, TxnId};
+pub use replay::{check_wal_commits, ReplayViolation, WalCommit};

@@ -61,6 +61,8 @@ pub mod stm;
 pub mod trace;
 pub mod tvar;
 pub mod tx;
+#[cfg(feature = "durable")]
+pub mod wal;
 pub mod writelog;
 
 pub use cacheline::CacheAligned;

@@ -56,6 +56,9 @@ pub(crate) struct ThreadState {
     /// Cached recording session — owning thread only.
     #[cfg(feature = "record")]
     trace: UnsafeCell<crate::trace::TraceLocal>,
+    /// Cached WAL sink — owning thread only.
+    #[cfg(feature = "durable")]
+    wal: UnsafeCell<crate::wal::WalLocal>,
 }
 
 // SAFETY: `ctx` is only touched by the owning thread (enforced by the
@@ -73,6 +76,8 @@ impl ThreadState {
             commits_since_reclaim: AtomicU64::new(0),
             #[cfg(feature = "record")]
             trace: UnsafeCell::new(crate::trace::TraceLocal::new()),
+            #[cfg(feature = "durable")]
+            wal: UnsafeCell::new(crate::wal::WalLocal::new()),
         }
     }
 }
@@ -93,6 +98,9 @@ pub(crate) struct StmInner {
     /// Attached event-recording sink, if any.
     #[cfg(feature = "record")]
     pub(crate) trace: crate::trace::TraceControl,
+    /// Attached WAL sink + durability epoch, if any.
+    #[cfg(feature = "durable")]
+    pub(crate) wal: crate::wal::WalControl,
     /// Active protocol mutation (checker self-tests only).
     #[cfg(feature = "fault-inject")]
     pub(crate) fault: crate::fault::FaultSwitch,
@@ -189,6 +197,8 @@ impl Stm {
                 reconfigurations: AtomicU64::new(0),
                 #[cfg(feature = "record")]
                 trace: crate::trace::TraceControl::new(),
+                #[cfg(feature = "durable")]
+                wal: crate::wal::WalControl::new(),
                 #[cfg(feature = "fault-inject")]
                 fault: crate::fault::FaultSwitch::default(),
             }),
@@ -283,6 +293,10 @@ impl Stm {
                     })
                 };
             }
+            // The WAL sink the commit publishes through (durable only).
+            // SAFETY: the wal local belongs to this thread.
+            #[cfg(feature = "durable")]
+            let wal = unsafe { &mut *ts.wal.get() }.sink(&inner.wal);
             let outcome: Result<R, AbortReason> = {
                 let mut tx = Tx {
                     inner,
@@ -295,6 +309,8 @@ impl Stm {
                     me: Arc::as_ptr(&ts) as usize,
                     #[cfg(feature = "record")]
                     trace,
+                    #[cfg(feature = "durable")]
+                    wal: wal.map(|s| &**s),
                 };
                 match body(&mut tx) {
                     Ok(value) => match tx.commit() {
@@ -358,6 +374,12 @@ impl Stm {
             // poison it (the drain fails with a dedicated error).
             #[cfg(feature = "record")]
             inner.trace.mark_rollover();
+            // Commit timestamps also renumber for the WAL — but an
+            // epoch bump is all the log format needs to stay sound
+            // (per-key monotonicity is scoped to an epoch), so
+            // durability survives roll-over where recording cannot.
+            #[cfg(feature = "durable")]
+            inner.wal.advance_epoch();
             // Site S3: diagnostic counter.
             inner.rollovers.fetch_add(1, Ordering::Relaxed);
         });
@@ -391,6 +413,9 @@ impl Stm {
             // the switch.
             #[cfg(feature = "record")]
             inner.trace.advance_epoch();
+            // The durability epoch segments the WAL the same way.
+            #[cfg(feature = "durable")]
+            inner.wal.advance_epoch();
             // Site S3: diagnostic counter.
             inner.reconfigurations.fetch_add(1, Ordering::Relaxed);
         });
@@ -495,6 +520,83 @@ impl Stm {
     #[cfg(feature = "fault-inject")]
     pub fn inject_fault(&self, fault: crate::fault::FaultInjection) {
         self.inner.fault.set(fault);
+    }
+
+    /// Run `critical` inside this instance's quiesce fence: no
+    /// transaction is active while it runs and every prior commit is
+    /// fully published (locks released, write-backs visible). This is
+    /// the checkpoint boundary the durable layer snapshots under.
+    ///
+    /// Must not be called from inside a transaction closure (deadlock:
+    /// the fence waits for the calling transaction itself).
+    pub fn quiesce<R>(&self, critical: impl FnOnce() -> R) -> R {
+        self.inner.quiesce.fence(critical)
+    }
+
+    /// Attach a WAL sink: every subsequently committed update
+    /// transaction publishes its write set (epoch, commit timestamp,
+    /// deduplicated `(addr, value)` pairs) through the sink *before*
+    /// releasing its stripe locks, so conflicting commits appear in the
+    /// log in commit order. Replaces any previous sink.
+    #[cfg(feature = "durable")]
+    pub fn attach_wal(&self, sink: &std::sync::Arc<dyn stm_api::wal::WalSink>) {
+        self.inner.wal.attach(sink);
+    }
+
+    /// Stop publishing to the WAL sink; threads notice at their next
+    /// attempt (an in-flight commit may publish once more — the sink's
+    /// `Arc` keeps it valid).
+    #[cfg(feature = "durable")]
+    pub fn detach_wal(&self) {
+        self.inner.wal.detach();
+    }
+
+    /// Current durability epoch (advances on reconfigure *and* clock
+    /// roll-over — every fence that renumbers commit timestamps).
+    #[cfg(feature = "durable")]
+    pub fn wal_epoch(&self) -> u64 {
+        self.inner.wal.epoch()
+    }
+}
+
+impl From<ConfigError> for stm_api::LifecycleError {
+    fn from(e: ConfigError) -> stm_api::LifecycleError {
+        stm_api::LifecycleError::InvalidConfig(e.to_string())
+    }
+}
+
+impl stm_api::TmLifecycle for Stm {
+    type Config = StmConfig;
+
+    fn build(config: &StmConfig) -> Result<Stm, stm_api::LifecycleError> {
+        Stm::new(*config).map_err(Into::into)
+    }
+
+    fn reconfigure(&self, config: &StmConfig) -> Result<(), stm_api::LifecycleError> {
+        Stm::reconfigure(self, *config).map_err(Into::into)
+    }
+
+    fn clock_now(&self) -> u64 {
+        Stm::clock_now(self)
+    }
+
+    fn quiesce<R>(&self, critical: impl FnOnce() -> R) -> R {
+        Stm::quiesce(self, critical)
+    }
+
+    #[cfg(feature = "durable")]
+    fn attach_wal(&self, sink: &std::sync::Arc<dyn stm_api::wal::WalSink>) {
+        Stm::attach_wal(self, sink)
+    }
+
+    #[cfg(feature = "durable")]
+    fn detach_wal(&self) {
+        Stm::detach_wal(self)
+    }
+
+    #[cfg(feature = "durable")]
+    fn wal_epoch(&self) -> u64 {
+        Stm::wal_epoch(self)
     }
 }
 

@@ -98,6 +98,11 @@ pub(crate) struct TxCtx {
     pub consecutive_aborts: u32,
     /// xorshift state for randomized backoff.
     pub rng: u64,
+    /// Scratch buffer for the commit-path WAL publish: the attempt's
+    /// `(addr, value)` write set, deduplicated and address-sorted.
+    /// Recycled across attempts like the read set and write log.
+    #[cfg(feature = "durable")]
+    pub wal_scratch: Vec<(usize, usize)>,
 }
 
 impl TxCtx {
@@ -116,6 +121,8 @@ impl TxCtx {
             last_contended: None,
             consecutive_aborts: 0,
             rng: seed | 1,
+            #[cfg(feature = "durable")]
+            wal_scratch: Vec::new(),
         }
     }
 
@@ -169,6 +176,9 @@ pub struct Tx<'a> {
     /// This thread's recording session, if a trace sink is attached.
     #[cfg(feature = "record")]
     pub(crate) trace: Option<&'a stm_check::SessionLog>,
+    /// The attached WAL sink, if durability is on for this attempt.
+    #[cfg(feature = "durable")]
+    pub(crate) wal: Option<&'a dyn stm_api::wal::WalSink>,
 }
 
 impl<'a> Drop for Tx<'a> {
@@ -566,6 +576,51 @@ impl<'a> Tx<'a> {
                     }
                 }
             }
+        }
+        // WAL publish — inside the commit critical section: after the
+        // data stores (so write-through reads below see our values) and
+        // before the lock releases. A conflicting later commit can only
+        // acquire our stripes after our release, so conflicting records
+        // enter the sink in commit-timestamp order and every log prefix
+        // is conflict-closed (the crash-consistency invariant M1.4).
+        #[cfg(feature = "durable")]
+        if let Some(wal) = self.wal {
+            let TxCtx {
+                wlog, wal_scratch, ..
+            } = &mut *self.ctx;
+            wal_scratch.clear();
+            match strategy {
+                AccessStrategy::WriteBack => {
+                    // Entry chains hold the buffered values, one entry
+                    // per written word (`add_entry` deduplicates).
+                    for rec in wlog.records() {
+                        // SAFETY: records/entries of the current attempt.
+                        unsafe {
+                            let mut e = (*rec).first_entry;
+                            while !e.is_null() {
+                                wal_scratch.push(((*e).addr as usize, (*e).value));
+                                e = (*e).next;
+                            }
+                        }
+                    }
+                }
+                AccessStrategy::WriteThrough => {
+                    // Memory already holds our values (encounter-time
+                    // in-place stores) and we still own every covering
+                    // lock, so a Relaxed read returns our own write.
+                    // The undo log may list an address more than once;
+                    // dedup after sorting (any survivor reads the same
+                    // current value).
+                    for u in wlog.undo.iter() {
+                        // SAFETY: addresses recorded by this attempt.
+                        let value = unsafe { atomic_view(u.addr).load(Ordering::Relaxed) };
+                        wal_scratch.push((u.addr as usize, value));
+                    }
+                }
+            }
+            wal_scratch.sort_unstable_by_key(|&(addr, _)| addr);
+            wal_scratch.dedup_by_key(|&mut (addr, _)| addr);
+            wal.publish(self.inner.wal.epoch(), wv, wal_scratch);
         }
         let release_word = make_version(wv, strategy);
         for rec in self.ctx.wlog.records() {

@@ -1,33 +1,23 @@
 //! The backend abstraction one shard instantiates.
 //!
-//! [`stm_api::TmHandle`] covers running transactions and reading stats;
-//! a shard additionally needs *lifecycle* operations — construction
-//! from a config, dynamic reconfiguration, clock inspection, and
-//! (feature `record`) trace attachment. Both concrete backends already
-//! expose these as inherent methods with identical shapes; this trait
-//! lifts them so [`crate::ShardedEngine`] is generic over TinySTM
-//! (write-back or write-through, via [`tinystm::StmConfig`]) and TL2.
+//! The lifecycle surface — construction from a config, dynamic
+//! reconfiguration, clock inspection, the quiesce fence, and (feature
+//! `durable`) WAL attachment — lives in [`stm_api::TmLifecycle`], where
+//! any backend crate can implement it without depending on the engine.
+//! [`ShardBackend`] adds the one concern that *cannot* live there:
+//! trace attachment (feature `record`), whose sink type comes from
+//! `stm-check` — a crate that itself depends on `stm-api`, so putting
+//! these methods on the api trait would create a dependency cycle.
+//!
+//! With `record` off, `ShardBackend` is an empty extension trait and
+//! [`crate::ShardedEngine`] is effectively generic over plain
+//! [`stm_api::TmLifecycle`] backends.
 
-use stm_api::TmHandle;
-use tinystm::config::ConfigError;
+use stm_api::TmLifecycle;
 
-/// A TM backend a [`crate::ShardedEngine`] shard can host.
-pub trait ShardBackend: TmHandle {
-    /// Backend configuration (validated by [`ShardBackend::build`]).
-    type Config: Clone + Send + Sync;
-
-    /// Construct an independent instance: its own clock, lock array,
-    /// quiesce gate, and limbo list — nothing shared with any other
-    /// instance built from the same config.
-    fn build(config: &Self::Config) -> Result<Self, ConfigError>;
-
-    /// Quiesce this instance and switch it to `config` (other shards
-    /// are unaffected — that independence is the point of sharding).
-    fn shard_reconfigure(&self, config: &Self::Config) -> Result<(), ConfigError>;
-
-    /// Current value of this instance's commit clock.
-    fn shard_clock_now(&self) -> u64;
-
+/// A TM backend a [`crate::ShardedEngine`] shard can host: the full
+/// [`TmLifecycle`] surface plus per-instance trace attachment.
+pub trait ShardBackend: TmLifecycle {
     /// Attach an event-recording sink to this instance.
     #[cfg(feature = "record")]
     fn shard_attach_trace(&self, sink: &std::sync::Arc<stm_check::TraceSink>);
@@ -42,20 +32,6 @@ pub trait ShardBackend: TmHandle {
 }
 
 impl ShardBackend for tinystm::Stm {
-    type Config = tinystm::StmConfig;
-
-    fn build(config: &Self::Config) -> Result<Self, ConfigError> {
-        tinystm::Stm::new(*config)
-    }
-
-    fn shard_reconfigure(&self, config: &Self::Config) -> Result<(), ConfigError> {
-        self.reconfigure(*config)
-    }
-
-    fn shard_clock_now(&self) -> u64 {
-        self.clock_now()
-    }
-
     #[cfg(feature = "record")]
     fn shard_attach_trace(&self, sink: &std::sync::Arc<stm_check::TraceSink>) {
         self.attach_trace(sink)
@@ -73,20 +49,6 @@ impl ShardBackend for tinystm::Stm {
 }
 
 impl ShardBackend for stm_tl2::Tl2 {
-    type Config = stm_tl2::Tl2Config;
-
-    fn build(config: &Self::Config) -> Result<Self, ConfigError> {
-        stm_tl2::Tl2::new(*config)
-    }
-
-    fn shard_reconfigure(&self, config: &Self::Config) -> Result<(), ConfigError> {
-        self.reconfigure(*config)
-    }
-
-    fn shard_clock_now(&self) -> u64 {
-        self.clock_now()
-    }
-
     #[cfg(feature = "record")]
     fn shard_attach_trace(&self, sink: &std::sync::Arc<stm_check::TraceSink>) {
         self.attach_trace(sink)

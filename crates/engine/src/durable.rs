@@ -1,0 +1,353 @@
+//! The durable layer (feature `durable`): a key/value facade over the
+//! sharded engine whose committed state survives crashes.
+//!
+//! ## Shape
+//!
+//! A [`DurableEngine`] owns one [`ShardedEngine`] plus, per shard:
+//!
+//! * a **table** — a [`WordBlock`] of `n_keys` words; key `k` lives at
+//!   word index `k` of the table of the shard `k` routes to (words for
+//!   keys routed elsewhere are simply never touched);
+//! * a **WAL sink** ([`ShardWalSink`]) attached to the shard's backend:
+//!   every committed update transaction publishes its `(addr, value)`
+//!   write set *inside* its commit critical section, the sink maps
+//!   addresses back to keys and appends one checksummed record to the
+//!   shard's [`WalStore`] through a [`LogWriter`].
+//!
+//! Because the publish happens before the stripe locks are released,
+//! conflicting commits appear in the shard's log in commit-timestamp
+//! order, so **every log prefix is conflict-closed** — replaying any
+//! prefix yields a state some crash-free execution could have reached
+//! (invariant M1.4 in `stm-wal`).
+//!
+//! ## Checkpoint = quiesce fence
+//!
+//! [`DurableEngine::checkpoint`] runs each shard's snapshot inside that
+//! shard's quiesce fence ([`stm_api::TmLifecycle::quiesce`]): no
+//! transaction is active, every prior commit is fully published and —
+//! because the sink publishes inside the commit critical section —
+//! fully logged. The snapshot (all routed keys, current values) and the
+//! log truncation happen atomically inside the store.
+//!
+//! ## Recovery
+//!
+//! [`DurableEngine::recover`] replays each shard's store from empty
+//! state (`stm_wal::recover_store`: snapshot, then intact log records,
+//! with torn/corrupt tails reported and interior damage rejected
+//! loudly), seeds fresh tables with the recovered state, and
+//! immediately re-checkpoints so the new incarnation's log starts
+//! clean. Epochs are made monotonic across incarnations by an
+//! **epoch base** in the sink: the effective epoch of a published
+//! record is `base + backend_epoch`, with `base` the recovered maximum
+//! epoch (a fresh engine starts at base 0).
+
+use crate::backend::ShardBackend;
+use crate::engine::ShardedEngine;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use stm_api::mem::WordBlock;
+use stm_api::wal::WalSink;
+use stm_api::{LifecycleError, TmTx, TxKind};
+use stm_wal::{recover_store, snapshot_of, LogWriter, Recovery, WalError, WalStore};
+
+/// Word size of the tables (the engine is 64-bit word based).
+const WORD: usize = core::mem::size_of::<usize>();
+
+/// Errors building or recovering a [`DurableEngine`].
+#[derive(Debug)]
+pub enum DurableError {
+    /// A shard's store failed recovery (interior corruption, snapshot
+    /// damage, or a replay-invariant violation). Never silent: the
+    /// failing shard and the precise violation are carried along.
+    Wal {
+        /// Shard whose store failed.
+        shard: usize,
+        /// The violation.
+        error: WalError,
+    },
+    /// The backend rejected the configuration.
+    Lifecycle(LifecycleError),
+    /// `stores.len()` did not match the shard count.
+    StoreCount {
+        /// Shards requested.
+        shards: usize,
+        /// Stores supplied.
+        stores: usize,
+    },
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Wal { shard, error } => {
+                write!(f, "shard {shard}: WAL recovery failed: {error}")
+            }
+            DurableError::Lifecycle(e) => write!(f, "backend lifecycle error: {e}"),
+            DurableError::StoreCount { shards, stores } => {
+                write!(f, "{shards} shard(s) but {stores} store(s) supplied")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<LifecycleError> for DurableError {
+    fn from(e: LifecycleError) -> DurableError {
+        DurableError::Lifecycle(e)
+    }
+}
+
+/// The per-shard WAL sink: maps the backend's `(addr, value)` write set
+/// back to keys and appends one record per commit.
+struct ShardWalSink {
+    /// Base address of the shard's table.
+    base: usize,
+    /// Table length in words.
+    words: usize,
+    /// Added to the backend's durability epoch (monotonicity across
+    /// recover incarnations).
+    epoch_base: u64,
+    writer: Arc<LogWriter>,
+}
+
+impl WalSink for ShardWalSink {
+    fn publish(&self, epoch: u64, commit_ts: u64, writes: &[(usize, usize)]) {
+        let mut keys: Vec<(u64, u64)> = Vec::with_capacity(writes.len());
+        for &(addr, value) in writes {
+            // The no-phantom guard (M1.5): a durable transaction must
+            // only write words of its shard's table — anything else
+            // cannot be replayed and dying here beats logging garbage.
+            let in_table = addr >= self.base
+                && addr < self.base + self.words * WORD
+                && (addr - self.base).is_multiple_of(WORD);
+            assert!(
+                in_table,
+                "durable commit wrote {addr:#x}, outside the shard table \
+                 [{:#x}, {:#x})",
+                self.base,
+                self.base + self.words * WORD
+            );
+            keys.push((((addr - self.base) / WORD) as u64, value as u64));
+        }
+        self.writer
+            .append_commit(self.epoch_base + epoch, commit_ts, &keys);
+    }
+}
+
+/// One shard's durable state (the sink holds the shard's [`LogWriter`]).
+struct DurableShard {
+    table: WordBlock,
+    store: Arc<dyn WalStore>,
+    epoch_base: u64,
+}
+
+/// A crash-recoverable key/value engine over [`ShardedEngine`].
+///
+/// Keys are dense `0..n_keys`; values are words. Not `Clone` — the
+/// tables and writers have one owner (share it behind an `Arc`).
+pub struct DurableEngine<B: ShardBackend> {
+    engine: ShardedEngine<B>,
+    shards: Vec<DurableShard>,
+    n_keys: usize,
+}
+
+impl<B: ShardBackend> DurableEngine<B> {
+    /// Build a fresh engine: `shards` backend instances, one table and
+    /// one WAL writer per shard, sinks attached. `stores[i]` receives
+    /// shard `i`'s log; supply one store per shard.
+    pub fn new(
+        shards: usize,
+        n_keys: usize,
+        config: &B::Config,
+        stores: Vec<Arc<dyn WalStore>>,
+    ) -> Result<DurableEngine<B>, DurableError> {
+        Self::build(shards, n_keys, config, stores, None)
+    }
+
+    /// Recover an engine from the stores of a crashed (or cleanly
+    /// stopped) incarnation: replay every shard from empty state, seed
+    /// fresh tables, re-checkpoint so the new logs start clean. The
+    /// per-shard [`Recovery`] reports (replayed records, tail status)
+    /// are returned for inspection.
+    ///
+    /// Fails loudly — never with a silently diverged state — if any
+    /// shard's store has interior corruption, a damaged snapshot, or a
+    /// replay-invariant violation.
+    pub fn recover(
+        shards: usize,
+        n_keys: usize,
+        config: &B::Config,
+        stores: Vec<Arc<dyn WalStore>>,
+    ) -> Result<(DurableEngine<B>, Vec<Recovery>), DurableError> {
+        let mut recoveries = Vec::with_capacity(shards);
+        for (i, store) in stores.iter().enumerate() {
+            let r = recover_store(store.as_ref())
+                .map_err(|error| DurableError::Wal { shard: i, error })?;
+            recoveries.push(r);
+        }
+        let engine = Self::build(shards, n_keys, config, stores, Some(&recoveries))?;
+        // Re-checkpoint immediately: the recovered state becomes the
+        // new snapshot and the (possibly torn-tailed) old log is
+        // truncated, so the fresh incarnation appends to a clean log.
+        engine.checkpoint();
+        Ok((engine, recoveries))
+    }
+
+    fn build(
+        n_shards: usize,
+        n_keys: usize,
+        config: &B::Config,
+        stores: Vec<Arc<dyn WalStore>>,
+        recovered: Option<&[Recovery]>,
+    ) -> Result<DurableEngine<B>, DurableError> {
+        if stores.len() != n_shards {
+            return Err(DurableError::StoreCount {
+                shards: n_shards,
+                stores: stores.len(),
+            });
+        }
+        let engine: ShardedEngine<B> = ShardedEngine::new(n_shards, config)?;
+        let mut shards = Vec::with_capacity(n_shards);
+        for (i, store) in stores.into_iter().enumerate() {
+            let table = WordBlock::new(n_keys.max(1));
+            let (epoch_base, first_seq) = match recovered {
+                Some(rs) => {
+                    let r = &rs[i];
+                    for (&k, &v) in &r.state {
+                        assert!(
+                            (k as usize) < n_keys && engine.route(k) == i,
+                            "recovered key {k} does not belong to shard {i}"
+                        );
+                        table.write(k as usize, v as usize);
+                    }
+                    (
+                        r.max_epoch,
+                        r.records.last().map(|rec| rec.seq + 1).unwrap_or(0),
+                    )
+                }
+                None => (0, 0),
+            };
+            let writer = Arc::new(LogWriter::new(i as u32, Arc::clone(&store), first_seq));
+            let sink: Arc<dyn WalSink> = Arc::new(ShardWalSink {
+                base: table.as_ptr() as usize,
+                words: table.words(),
+                epoch_base,
+                writer,
+            });
+            engine.shard(i).attach_wal(&sink);
+            shards.push(DurableShard {
+                table,
+                store,
+                epoch_base,
+            });
+        }
+        Ok(DurableEngine {
+            engine,
+            shards,
+            n_keys,
+        })
+    }
+
+    /// The underlying sharded engine (stats, routing, reconfigure).
+    pub fn engine(&self) -> &ShardedEngine<B> {
+        &self.engine
+    }
+
+    /// Number of keys.
+    pub fn n_keys(&self) -> usize {
+        self.n_keys
+    }
+
+    /// Shard `i`'s store (corruption simulation, inspection).
+    pub fn store(&self, i: usize) -> &Arc<dyn WalStore> {
+        &self.shards[i].store
+    }
+
+    /// Shard `i`'s effective durability epoch (epoch base of this
+    /// incarnation + the backend's epoch).
+    pub fn wal_epoch(&self, i: usize) -> u64 {
+        self.shards[i].epoch_base + self.engine.shard(i).wal_epoch()
+    }
+
+    /// Transactionally set `key` to `value`.
+    ///
+    /// # Panics
+    /// If `key >= n_keys`.
+    pub fn put(&self, key: u64, value: u64) {
+        assert!((key as usize) < self.n_keys, "key {key} out of range");
+        let shard = self.engine.route(key);
+        let addr = unsafe { self.shards[shard].table.as_ptr().add(key as usize) };
+        self.engine.run_on(key, TxKind::ReadWrite, |tx| {
+            // SAFETY: addr points into the routed shard's table.
+            unsafe { tx.store_word(addr, value as usize) }
+        });
+    }
+
+    /// Transactionally read `key`.
+    ///
+    /// # Panics
+    /// If `key >= n_keys`.
+    pub fn get(&self, key: u64) -> u64 {
+        assert!((key as usize) < self.n_keys, "key {key} out of range");
+        let shard = self.engine.route(key);
+        let addr = unsafe { self.shards[shard].table.as_ptr().add(key as usize) };
+        self.engine.run_on(key, TxKind::ReadOnly, |tx| {
+            // SAFETY: addr points into the routed shard's table.
+            unsafe { tx.load_word(addr) }
+        }) as u64
+    }
+
+    /// Run a multi-key transaction on the shard all `keys` route to
+    /// (they must route to one shard; use the engine's cross-shard API
+    /// otherwise).
+    pub fn update<R>(
+        &self,
+        anchor_key: u64,
+        body: impl for<'a> FnMut(&mut B::Tx<'a>) -> stm_api::TxResult<R>,
+    ) -> R {
+        self.engine.run_on(anchor_key, TxKind::ReadWrite, body)
+    }
+
+    /// Address of `key`'s word (for multi-key closures via
+    /// [`DurableEngine::update`]). The caller must keep accesses inside
+    /// the anchor key's shard.
+    pub fn addr_of(&self, key: u64) -> *mut usize {
+        assert!((key as usize) < self.n_keys, "key {key} out of range");
+        let shard = self.engine.route(key);
+        unsafe { self.shards[shard].table.as_ptr().add(key as usize) }
+    }
+
+    /// Snapshot every shard inside its quiesce fence and truncate its
+    /// log: the durable checkpoint. Safe to run while workers commit —
+    /// each shard's fence drains that shard's transactions first.
+    pub fn checkpoint(&self) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let backend = self.engine.shard(i);
+            backend.quiesce(|| {
+                // Inside the fence: no transaction is active on this
+                // shard, every commit is published *and* logged.
+                let mut state: BTreeMap<u64, u64> = BTreeMap::new();
+                for k in 0..self.n_keys {
+                    if self.engine.route(k as u64) == i {
+                        state.insert(k as u64, shard.table.read(k) as u64);
+                    }
+                }
+                let epoch = shard.epoch_base + backend.wal_epoch();
+                let snap = snapshot_of(&state, epoch);
+                shard.store.checkpoint(&snap.encode());
+            });
+        }
+    }
+
+    /// Direct (non-transactional) dump of all keys. Only meaningful
+    /// while no workers are running.
+    pub fn read_all(&self) -> BTreeMap<u64, u64> {
+        let mut out = BTreeMap::new();
+        for k in 0..self.n_keys {
+            let shard = self.engine.route(k as u64);
+            out.insert(k as u64, self.shards[shard].table.read(k) as u64);
+        }
+        out
+    }
+}

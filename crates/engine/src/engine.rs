@@ -46,8 +46,7 @@ use core::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use stm_api::stats::BasicStats;
-use stm_api::{TxKind, TxResult};
-use tinystm::config::ConfigError;
+use stm_api::{LifecycleError, TmLifecycle, TxKind, TxResult};
 
 /// What [`ShardedEngine::run_cross`] does with a multi-shard key set.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -60,8 +59,8 @@ pub enum CrossShardPolicy {
     TwoPhase,
 }
 
-/// Engine-level errors (backend config errors surface as
-/// [`tinystm::config::ConfigError`]).
+/// Engine-level errors (backend config errors surface as the
+/// backend-neutral [`stm_api::LifecycleError`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
     /// A multi-shard request arrived under [`CrossShardPolicy::Reject`].
@@ -122,7 +121,7 @@ impl<B: ShardBackend> Clone for ShardedEngine<B> {
 impl<B: ShardBackend> ShardedEngine<B> {
     /// Build `shards` independent instances of `config` with the
     /// default [`CrossShardPolicy::Reject`].
-    pub fn new(shards: usize, config: &B::Config) -> Result<ShardedEngine<B>, ConfigError> {
+    pub fn new(shards: usize, config: &B::Config) -> Result<ShardedEngine<B>, LifecycleError> {
         let router = Router::new(shards); // panics on 0, like Router
         let mut slots = Vec::with_capacity(shards);
         for _ in 0..shards {
@@ -229,15 +228,15 @@ impl<B: ShardBackend> ShardedEngine<B> {
     /// Quiesce shard `i` only and switch it to `config`; every other
     /// shard keeps running untouched. Routing is unaffected — the
     /// router depends only on the shard count.
-    pub fn reconfigure_shard(&self, i: usize, config: &B::Config) -> Result<(), ConfigError> {
-        self.inner.shards[i].tm.shard_reconfigure(config)?;
+    pub fn reconfigure_shard(&self, i: usize, config: &B::Config) -> Result<(), LifecycleError> {
+        self.inner.shards[i].tm.reconfigure(config)?;
         self.inner.shards[i].epoch.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Reconfigure every shard (sequentially; each shard quiesces on
     /// its own — there is no global stop-the-world).
-    pub fn reconfigure_all(&self, config: &B::Config) -> Result<(), ConfigError> {
+    pub fn reconfigure_all(&self, config: &B::Config) -> Result<(), LifecycleError> {
         for i in 0..self.shards() {
             self.reconfigure_shard(i, config)?;
         }
@@ -251,7 +250,7 @@ impl<B: ShardBackend> ShardedEngine<B> {
 
     /// Shard `i`'s commit-clock value.
     pub fn clock_now(&self, i: usize) -> u64 {
-        self.inner.shards[i].tm.shard_clock_now()
+        TmLifecycle::clock_now(&self.inner.shards[i].tm)
     }
 
     /// Commit/abort/clock-conflict counters summed over all shards.

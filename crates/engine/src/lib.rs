@@ -14,11 +14,19 @@
 //!
 //! * [`Router`] — stateless, stable key→shard map (SplitMix64 +
 //!   multiply-shift);
-//! * [`ShardBackend`] — the lifecycle trait lifting construction /
-//!   reconfigure / clock / trace over TinySTM and TL2;
+//! * [`stm_api::TmLifecycle`] (re-exported here) — the backend
+//!   lifecycle trait: construction, reconfigure, clock, quiesce fence,
+//!   and (feature `durable`) WAL attachment;
+//! * [`ShardBackend`] — the engine's extension of `TmLifecycle` adding
+//!   trace attachment (feature `record`; its sink type lives in
+//!   `stm-check`, which depends on `stm-api`, so it cannot sit on the
+//!   api trait);
 //! * [`ShardedEngine`] — the engine: [`ShardedEngine::run_on`] fast
 //!   path, [`ShardedEngine::run_cross`] under a [`CrossShardPolicy`],
-//!   per-shard reconfigure with epoch tracking.
+//!   per-shard reconfigure with epoch tracking;
+//! * [`DurableEngine`] (feature `durable`) — the crash-recoverable KV
+//!   facade: per-shard WAL sinks, checkpoint inside the quiesce fence,
+//!   replay-based recovery.
 //!
 //! ```
 //! use stm_engine::ShardedEngine;
@@ -40,12 +48,19 @@
 //! ```
 
 mod backend;
+#[cfg(feature = "durable")]
+mod durable;
 mod engine;
 mod router;
 
 pub use backend::ShardBackend;
+#[cfg(feature = "durable")]
+pub use durable::{DurableEngine, DurableError};
 pub use engine::{CrossCtx, CrossShardPolicy, EngineError, ShardedEngine};
 pub use router::Router;
+// Compat re-exports: the lifecycle trait moved to `stm-api` (PR 7);
+// dependents that imported it from here keep compiling.
+pub use stm_api::{LifecycleError, TmLifecycle};
 
 #[cfg(test)]
 mod tests {

@@ -18,12 +18,23 @@
 //!   --no-record      measure only, record nothing
 //!   --check          run the opacity/serializability checker
 //!   --dump PATH      write the history as readable text to PATH
+//!
+//! durable mode (needs the `durable` cargo feature):
+//!   --durable        run the KV workload on the durable sharded engine
+//!                    instead (WAL + recovery); --backend/--threads/
+//!                    --size/--seed apply, --size is the key space
+//!   --shards N       shard count                (default 2)
+//!   --crash-at N     cut the stores after N puts, then recover the
+//!                    torn logs (default: clean shutdown)
+//!   --recover-check  verify recovery: exact state match when clean,
+//!                    second-incarnation durability, and (when built
+//!                    with `record` too) the WAL/history replay oracle
 //! ```
 //!
-//! Exit codes: 0 clean, 1 checker violation or unsound recording (e.g.
-//! a clock roll-over inside the window), 2 usage error. This is the CI
-//! `record-check` gate: any violation on any backend fails the job with
-//! a printed cycle witness.
+//! Exit codes: 0 clean, 1 checker violation, unsound recording (e.g. a
+//! clock roll-over inside the window) or failed recovery verification,
+//! 2 usage error. This is the CI `record-check`/`durability` gate: any
+//! violation on any backend fails the job with a printed witness.
 
 use std::process::ExitCode;
 use stm_harness::record::{run_recorded, RecBackend, RecWorkload, RecordOpts};
@@ -33,13 +44,18 @@ struct Args {
     opts: RecordOpts,
     check: bool,
     dump: Option<std::path::PathBuf>,
+    durable: bool,
+    shards: usize,
+    crash_at: Option<u64>,
+    recover_check: bool,
 }
 
 fn usage() -> String {
     "usage: stm-record [--workload intset-rbtree|intset-list|overwrite|vacation] \
      [--backend wb|wt|tl2] [--threads N] [--ms MS] [--size N] [--update-pct P] \
      [--cm immediate|suicide|delay|backoff] [--reconfigure N] [--seed S] \
-     [--no-record] [--check] [--dump PATH]"
+     [--no-record] [--check] [--dump PATH] \
+     [--durable [--shards N] [--crash-at N] [--recover-check]]"
         .to_string()
 }
 
@@ -47,6 +63,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut opts = RecordOpts::default();
     let mut check = false;
     let mut dump = None;
+    let mut durable = false;
+    let mut shards = 2usize;
+    let mut crash_at = None;
+    let mut recover_check = false;
     let mut iter = argv.iter();
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -101,6 +121,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--no-record" => opts.record = false,
             "--check" => check = true,
             "--dump" => dump = Some(std::path::PathBuf::from(value("--dump")?)),
+            "--durable" => durable = true,
+            "--shards" => {
+                shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--crash-at" => {
+                crash_at = Some(
+                    value("--crash-at")?
+                        .parse()
+                        .map_err(|e| format!("--crash-at: {e}"))?,
+                );
+            }
+            "--recover-check" => recover_check = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
@@ -108,7 +142,78 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if check && !opts.record {
         return Err("--check requires recording (drop --no-record)".to_string());
     }
-    Ok(Args { opts, check, dump })
+    if !durable && (crash_at.is_some() || recover_check) {
+        return Err("--crash-at/--recover-check need --durable".to_string());
+    }
+    Ok(Args {
+        opts,
+        check,
+        dump,
+        durable,
+        shards,
+        crash_at,
+        recover_check,
+    })
+}
+
+/// The `--durable` mode: workload → (maybe) crash → recover → verify,
+/// via [`stm_harness::durable`].
+#[cfg(feature = "durable")]
+fn durable_mode(args: &Args) -> ExitCode {
+    use stm_harness::durable::{run_durable, DurBackend, DurableOpts};
+    let backend = match args.opts.backend {
+        RecBackend::TinyWb => DurBackend::WriteBack,
+        RecBackend::TinyWt => DurBackend::WriteThrough,
+        RecBackend::Tl2 => DurBackend::Tl2,
+    };
+    let opts = DurableOpts {
+        backend,
+        shards: args.shards,
+        keys: args.opts.size as usize,
+        threads: args.opts.threads,
+        crash_at: args.crash_at,
+        recover_check: args.recover_check,
+        seed: args.opts.seed,
+        ..DurableOpts::default()
+    };
+    println!(
+        "# stm-record --durable: backend={} shards={} keys={} threads={} ops={} \
+         crash_at={:?} recover_check={}",
+        opts.backend.label(),
+        opts.shards,
+        opts.keys,
+        opts.threads,
+        opts.ops,
+        opts.crash_at,
+        opts.recover_check,
+    );
+    match run_durable(&opts) {
+        Err(e) => {
+            eprintln!("stm-record: {e}");
+            ExitCode::from(2)
+        }
+        Ok(report) => {
+            println!("{}", report.summary());
+            for f in &report.failures {
+                eprintln!("FAILURE: {f}");
+            }
+            if report.failures.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "durable"))]
+fn durable_mode(args: &Args) -> ExitCode {
+    let _ = (args.shards, args.crash_at, args.recover_check);
+    eprintln!(
+        "stm-record: this binary was built without the `durable` feature; \
+         rebuild with `--features record,durable`"
+    );
+    ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
@@ -120,6 +225,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if args.durable {
+        return durable_mode(&args);
+    }
 
     let opts = args.opts;
     println!(

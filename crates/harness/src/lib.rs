@@ -16,9 +16,15 @@
 //! * [`record`] (feature `record`) — the `--record` mode: run any
 //!   workload on a concrete backend with event recording attached and
 //!   drain the history for the `stm-check` oracle (also exposed as the
-//!   `stm-record` binary).
+//!   `stm-record` binary);
+//! * [`durable`] (feature `durable`) — the `--durable` mode: a KV
+//!   workload on the durable sharded engine with an optional mid-run
+//!   crash, followed by WAL recovery and verification (plus the
+//!   replay-equivalence oracle when `record` is also on).
 
 pub mod driver;
+#[cfg(feature = "durable")]
+pub mod durable;
 pub mod intset;
 pub mod open_loop;
 #[cfg(feature = "record")]
@@ -27,6 +33,8 @@ pub mod table;
 pub mod vacation_mix;
 
 pub use driver::{drive, drive_with_coordinator, MeasureOpts, Measurement};
+#[cfg(feature = "durable")]
+pub use durable::{run_durable, DurBackend, DurableOpts, DurableReport};
 pub use intset::{populate, run_intset, run_overwrite, IntSetOp, IntSetWorkload};
 pub use open_loop::{run_open_loop, LatencyRecorder, OpenLoopOpts, OpenLoopResult};
 #[cfg(feature = "record")]

@@ -137,6 +137,9 @@ struct Tl2Ctx {
     last_contended: Option<usize>,
     consecutive_aborts: u32,
     rng: u64,
+    /// Scratch buffer for the commit-path WAL publish (recycled).
+    #[cfg(feature = "durable")]
+    wal_scratch: Vec<(usize, usize)>,
 }
 
 impl Tl2Ctx {
@@ -155,6 +158,8 @@ impl Tl2Ctx {
             last_contended: None,
             consecutive_aborts: 0,
             rng: seed | 1,
+            #[cfg(feature = "durable")]
+            wal_scratch: Vec::new(),
         }
     }
 
@@ -191,6 +196,9 @@ struct ThreadState {
     /// Cached recording session — owning thread only.
     #[cfg(feature = "record")]
     trace: UnsafeCell<tinystm::trace::TraceLocal>,
+    /// Cached WAL sink — owning thread only.
+    #[cfg(feature = "durable")]
+    wal: UnsafeCell<tinystm::wal::WalLocal>,
 }
 
 // SAFETY: ctx is only touched by the owning thread; everything else is
@@ -239,6 +247,9 @@ struct Tl2Inner {
     /// Attached event-recording sink, if any.
     #[cfg(feature = "record")]
     trace: tinystm::trace::TraceControl,
+    /// Attached WAL sink + durability epoch, if any.
+    #[cfg(feature = "durable")]
+    wal: tinystm::wal::WalControl,
     /// Active protocol mutation (checker self-tests only).
     #[cfg(feature = "fault-inject")]
     fault: tinystm::fault::FaultSwitch,
@@ -321,6 +332,8 @@ impl Tl2 {
                 reconfigurations: AtomicU64::new(0),
                 #[cfg(feature = "record")]
                 trace: tinystm::trace::TraceControl::new(),
+                #[cfg(feature = "durable")]
+                wal: tinystm::wal::WalControl::new(),
                 #[cfg(feature = "fault-inject")]
                 fault: tinystm::fault::FaultSwitch::default(),
             }),
@@ -352,6 +365,8 @@ impl Tl2 {
                 ctx: UnsafeCell::new(Tl2Ctx::new(0xD1CE_5EED ^ (id << 20))),
                 #[cfg(feature = "record")]
                 trace: UnsafeCell::new(tinystm::trace::TraceLocal::new()),
+                #[cfg(feature = "durable")]
+                wal: UnsafeCell::new(tinystm::wal::WalLocal::new()),
             });
             self.inner.registry.lock().push(Arc::clone(&ts));
             v.push((id, Arc::clone(&ts)));
@@ -414,6 +429,10 @@ impl Tl2 {
                 };
             }
 
+            // The WAL sink the commit publishes through (durable only).
+            // SAFETY: the wal local belongs to this thread.
+            #[cfg(feature = "durable")]
+            let wal = unsafe { &mut *ts.wal.get() }.sink(&inner.wal);
             let outcome: Result<R, AbortReason> = {
                 let mut tx = Tl2Tx {
                     inner,
@@ -423,6 +442,8 @@ impl Tl2 {
                     finished: false,
                     #[cfg(feature = "record")]
                     trace,
+                    #[cfg(feature = "durable")]
+                    wal: wal.map(|s| &**s),
                 };
                 match body(&mut tx) {
                     Ok(value) => match tx.commit() {
@@ -485,6 +506,11 @@ impl Tl2 {
             // attached recording sink so the drain fails loudly.
             #[cfg(feature = "record")]
             inner.trace.mark_rollover();
+            // Commit timestamps renumber for the WAL too, but an epoch
+            // bump restores per-epoch monotonicity — durability
+            // survives roll-over where recording cannot.
+            #[cfg(feature = "durable")]
+            inner.wal.advance_epoch();
             // Diagnostic counter (site S3).
             inner.rollovers.fetch_add(1, Ordering::Relaxed);
         });
@@ -516,6 +542,8 @@ impl Tl2 {
             // recorded histories segment on the epoch.
             #[cfg(feature = "record")]
             inner.trace.advance_epoch();
+            #[cfg(feature = "durable")]
+            inner.wal.advance_epoch();
             inner.reconfigurations.fetch_add(1, Ordering::Relaxed);
         });
         Ok(())
@@ -585,6 +613,73 @@ impl Tl2 {
     pub fn inject_fault(&self, fault: tinystm::fault::FaultInjection) {
         self.inner.fault.set(fault);
     }
+
+    /// Run `critical` inside this instance's quiesce fence: no
+    /// transaction is active while it runs and every prior commit is
+    /// fully published. The checkpoint boundary of the durable layer.
+    ///
+    /// Must not be called from inside a transaction closure (deadlock:
+    /// the fence waits for the calling transaction itself).
+    pub fn quiesce<R>(&self, critical: impl FnOnce() -> R) -> R {
+        self.inner.quiesce.fence(critical)
+    }
+
+    /// Attach a WAL sink (see [`tinystm::Stm::attach_wal`] — same
+    /// contract: committed update transactions publish their write set
+    /// before releasing their stripe locks).
+    #[cfg(feature = "durable")]
+    pub fn attach_wal(&self, sink: &std::sync::Arc<dyn stm_api::wal::WalSink>) {
+        self.inner.wal.attach(sink);
+    }
+
+    /// Stop publishing to the WAL sink; threads notice at their next
+    /// attempt.
+    #[cfg(feature = "durable")]
+    pub fn detach_wal(&self) {
+        self.inner.wal.detach();
+    }
+
+    /// Current durability epoch (advances on reconfigure *and* clock
+    /// roll-over).
+    #[cfg(feature = "durable")]
+    pub fn wal_epoch(&self) -> u64 {
+        self.inner.wal.epoch()
+    }
+}
+
+impl stm_api::TmLifecycle for Tl2 {
+    type Config = Tl2Config;
+
+    fn build(config: &Tl2Config) -> Result<Tl2, stm_api::LifecycleError> {
+        Tl2::new(*config).map_err(Into::into)
+    }
+
+    fn reconfigure(&self, config: &Tl2Config) -> Result<(), stm_api::LifecycleError> {
+        Tl2::reconfigure(self, *config).map_err(Into::into)
+    }
+
+    fn clock_now(&self) -> u64 {
+        Tl2::clock_now(self)
+    }
+
+    fn quiesce<R>(&self, critical: impl FnOnce() -> R) -> R {
+        Tl2::quiesce(self, critical)
+    }
+
+    #[cfg(feature = "durable")]
+    fn attach_wal(&self, sink: &std::sync::Arc<dyn stm_api::wal::WalSink>) {
+        Tl2::attach_wal(self, sink)
+    }
+
+    #[cfg(feature = "durable")]
+    fn detach_wal(&self) {
+        Tl2::detach_wal(self)
+    }
+
+    #[cfg(feature = "durable")]
+    fn wal_epoch(&self) -> u64 {
+        Tl2::wal_epoch(self)
+    }
 }
 
 /// Bound on the CM_DELAY wait loop (contention management, not a
@@ -637,6 +732,9 @@ pub struct Tl2Tx<'a> {
     /// This thread's recording session, if a trace sink is attached.
     #[cfg(feature = "record")]
     trace: Option<&'a stm_check::SessionLog>,
+    /// The attached WAL sink, if durability is on for this attempt.
+    #[cfg(feature = "durable")]
+    wal: Option<&'a dyn stm_api::wal::WalSink>,
 }
 
 impl<'a> Drop for Tl2Tx<'a> {
@@ -821,6 +919,21 @@ impl<'a> Tl2Tx<'a> {
             // SAFETY: caller contract of store_word.
             // Site W3: Release, for racing seqlock readers (F1).
             unsafe { atomic_view(e.addr).store(e.value, Ordering::Release) };
+        }
+        // WAL publish — inside the commit critical section, before the
+        // lock releases, so conflicting records enter the sink in
+        // commit-timestamp order (see tinystm::tx for the argument).
+        // The write set is already unique per address (store_word
+        // updates in place); sort for a canonical record.
+        #[cfg(feature = "durable")]
+        if let Some(wal) = self.wal {
+            let Tl2Ctx {
+                wset, wal_scratch, ..
+            } = &mut *self.ctx;
+            wal_scratch.clear();
+            wal_scratch.extend(wset.iter().map(|e| (e.addr as usize, e.value)));
+            wal_scratch.sort_unstable_by_key(|&(addr, _)| addr);
+            wal.publish(self.inner.wal.epoch(), wv, wal_scratch);
         }
         for &(idx, _) in &self.ctx.acquired {
             // Site W4: lock release — Release covers the write-back.

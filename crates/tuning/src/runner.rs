@@ -2,12 +2,16 @@
 //!
 //! Following Section 4.3: throughput is measured over a period per
 //! configuration, **three times**, and the maximum of the three samples
-//! feeds the adaptation strategy; configuration switches reuse the clock
-//! roll-over quiesce (`Stm::reconfigure`).
+//! feeds the adaptation strategy; configuration switches go through the
+//! backend-neutral lifecycle trait ([`stm_api::TmLifecycle`], whose
+//! `reconfigure` reuses the clock roll-over quiesce), so rejections
+//! surface as [`stm_api::LifecycleError`] rather than a backend's
+//! config-error type.
 
 use crate::point::TuningPoint;
 use crate::tuner::Tuner;
 use std::time::{Duration, Instant};
+use stm_api::TmLifecycle;
 use tinystm::{Stm, StmConfig};
 
 /// Runner options.
@@ -120,7 +124,7 @@ pub fn autotune(
     opts: AutoTuneOpts,
 ) -> AutoTuneOutcome {
     let mut records = Vec::with_capacity(opts.max_configs);
-    if let Err(e) = stm.reconfigure(start.apply(template)) {
+    if let Err(e) = TmLifecycle::reconfigure(stm, &start.apply(template)) {
         return AutoTuneOutcome {
             records,
             error: Some(format!(
@@ -146,7 +150,7 @@ pub fn autotune(
             val_skipped_per_s: skipped_rate,
         });
         if decision.next != point {
-            if let Err(e) = stm.reconfigure(decision.next.apply(template)) {
+            if let Err(e) = TmLifecycle::reconfigure(stm, &decision.next.apply(template)) {
                 error = Some(format!(
                     "reconfigure to {} rejected after {index} configuration(s): {e}",
                     decision.next.label()

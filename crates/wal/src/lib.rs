@@ -1,0 +1,45 @@
+//! # stm-wal — write-ahead logging and crash recovery for the STM engines
+//!
+//! The durability substrate under the `durable` feature of the backends
+//! and `stm-engine`: every committed update transaction publishes an
+//! append-only, CRC-checksummed record (epoch, commit timestamp, write
+//! set) through a per-shard sink; recovery replays the log from empty
+//! (or from the last checkpoint snapshot) and reconstructs the
+//! committed state — or fails loudly, never silently diverging.
+//!
+//! The pieces:
+//!
+//! * [`record::WalRecord`] — the framed on-log record format;
+//! * [`writer::LogWriter`] — serialized append side (seq assignment);
+//! * [`store::WalStore`] / [`store::MemStore`] / [`store::CrashSwitch`]
+//!   — storage with byte-granular crash simulation;
+//! * [`snapshot::Snapshot`] — checkpoint base state (written inside a
+//!   quiesce fence; checkpoint = snapshot + log truncation);
+//! * [`log::decode_log`] / [`log::recover_store`] — decoding, the
+//!   torn-tail vs interior-corruption policy, invariant checks, replay.
+//!
+//! The crash-consistency invariants follow strata-core's M1 set (see
+//! SNIPPETS.md): append-only (M1.1), deterministic replay (M1.2), state
+//! reconstruction (M1.3), crash consistency via prefix recovery (M1.4),
+//! no phantom writes (M1.5, enforced by the engine's address-range
+//! check), no missing writes (M1.6, checked by the stm-check oracle),
+//! replay idempotence (M1.7).
+//!
+//! The backends do not depend on this crate: they publish through
+//! `stm_api::wal::WalSink`, and `stm-engine`'s durable layer adapts
+//! that to a [`writer::LogWriter`].
+
+pub mod crc;
+pub mod log;
+pub mod record;
+pub mod snapshot;
+pub mod store;
+pub mod writer;
+
+pub use log::{
+    decode_log, recover_store, replay_onto, snapshot_of, Recovery, TailStatus, WalError,
+};
+pub use record::WalRecord;
+pub use snapshot::Snapshot;
+pub use store::{CrashSwitch, MemStore, WalStore};
+pub use writer::LogWriter;

@@ -1,0 +1,268 @@
+//! Log storage: the [`WalStore`] abstraction, an in-memory
+//! implementation, and the crash switch that simulates power loss.
+//!
+//! ## Crash simulation
+//!
+//! Real crashes cut an append stream at an arbitrary *byte*: the tail
+//! record of the surviving log may be incomplete (torn). [`CrashSwitch`]
+//! models exactly that — a byte budget shared by every store of an
+//! engine. Once the budget runs out (or [`CrashSwitch::cut_now`] fires)
+//! each append lands only partially or not at all, and checkpoint
+//! operations stop taking effect, just as they would after the power
+//! went. The store also keeps a *shadow* copy of the full, uncut stream
+//! so tests can assert the surviving log is a byte prefix of what was
+//! written (strata-core's append-only invariant M1.1).
+
+use crate::snapshot::Snapshot;
+use core::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Durable storage for one shard: an append-only log plus one snapshot
+/// slot (the checkpoint base the log is replayed on top of).
+///
+/// Implementations must make `append` atomic with respect to concurrent
+/// `append`s (no interleaved bytes) — callers already serialize appends
+/// per sink, but the store must not assume it.
+pub trait WalStore: Send + Sync {
+    /// Append `bytes` to the log. A crashed store may apply a prefix.
+    fn append(&self, bytes: &[u8]);
+    /// The current log contents.
+    fn log_bytes(&self) -> Vec<u8>;
+    /// The current snapshot, if a checkpoint ever completed.
+    fn snapshot(&self) -> Option<Vec<u8>>;
+    /// Checkpoint: atomically install `snapshot` and clear the log.
+    /// A crashed store ignores this (the old snapshot + log survive).
+    fn checkpoint(&self, snapshot: &[u8]);
+}
+
+/// Shared kill switch for a set of stores (one per engine).
+///
+/// `remaining` is the byte budget left for appends across *all* stores
+/// sharing the switch; it going non-positive is the crash instant.
+pub struct CrashSwitch {
+    remaining: AtomicI64,
+    cut: AtomicBool,
+}
+
+impl CrashSwitch {
+    /// A switch that never fires (healthy operation).
+    pub fn unlimited() -> Arc<CrashSwitch> {
+        Arc::new(CrashSwitch {
+            remaining: AtomicI64::new(i64::MAX),
+            cut: AtomicBool::new(false),
+        })
+    }
+
+    /// Crash after `bytes` total appended bytes — mid-record when the
+    /// budget edge falls inside one, which is the torn-tail case.
+    pub fn after_bytes(bytes: u64) -> Arc<CrashSwitch> {
+        Arc::new(CrashSwitch {
+            remaining: AtomicI64::new(bytes.min(i64::MAX as u64) as i64),
+            cut: AtomicBool::new(false),
+        })
+    }
+
+    /// Crash immediately: every subsequent append/checkpoint is lost.
+    pub fn cut_now(&self) {
+        self.cut.store(true, Ordering::SeqCst);
+    }
+
+    /// Has the crash happened?
+    pub fn is_cut(&self) -> bool {
+        self.cut.load(Ordering::SeqCst) || self.remaining.load(Ordering::SeqCst) <= 0
+    }
+
+    /// How many of `want` bytes this append may still persist.
+    fn admit(&self, want: usize) -> usize {
+        if self.cut.load(Ordering::SeqCst) {
+            return 0;
+        }
+        let before = self.remaining.fetch_sub(want as i64, Ordering::SeqCst);
+        before.clamp(0, want as i64) as usize
+    }
+}
+
+struct MemInner {
+    log: Vec<u8>,
+    snapshot: Option<Vec<u8>>,
+    /// Full uncut append stream (what the log would hold had the crash
+    /// not happened) — test oracle only, a real store has no shadow.
+    shadow: Vec<u8>,
+}
+
+/// In-memory [`WalStore`] with crash simulation hooks.
+pub struct MemStore {
+    inner: Mutex<MemInner>,
+    switch: Arc<CrashSwitch>,
+}
+
+impl MemStore {
+    /// A store wired to `switch` (share one switch across an engine's
+    /// stores so they crash at the same instant).
+    pub fn new(switch: Arc<CrashSwitch>) -> Arc<MemStore> {
+        Arc::new(MemStore {
+            inner: Mutex::new(MemInner {
+                log: Vec::new(),
+                snapshot: None,
+                shadow: Vec::new(),
+            }),
+            switch,
+        })
+    }
+
+    /// A store that never crashes.
+    pub fn healthy() -> Arc<MemStore> {
+        MemStore::new(CrashSwitch::unlimited())
+    }
+
+    /// The power-cycle: a fresh healthy store booted from the bytes
+    /// that survived on `prev`. The crash switch dies with the old
+    /// machine; only the persisted log and snapshot carry over.
+    pub fn rebooted(prev: &dyn WalStore) -> Arc<MemStore> {
+        let store = MemStore::healthy();
+        {
+            let mut inner = store.inner.lock();
+            inner.log = prev.log_bytes();
+            inner.shadow = inner.log.clone();
+            inner.snapshot = prev.snapshot();
+        }
+        store
+    }
+
+    /// The full uncut stream (test oracle for prefix assertions).
+    pub fn shadow_bytes(&self) -> Vec<u8> {
+        self.inner.lock().shadow.clone()
+    }
+
+    /// Flip one bit of the stored log in place (corruption injection).
+    ///
+    /// # Panics
+    /// If `offset` is out of range.
+    pub fn flip_log_bit(&self, offset: usize, bit: u8) {
+        let mut inner = self.inner.lock();
+        inner.log[offset] ^= 1 << (bit & 7);
+    }
+
+    /// Truncate the stored log to `len` bytes (torn-tail injection).
+    pub fn truncate_log(&self, len: usize) {
+        let mut inner = self.inner.lock();
+        inner.log.truncate(len);
+    }
+
+    /// Current log length in bytes.
+    pub fn log_len(&self) -> usize {
+        self.inner.lock().log.len()
+    }
+}
+
+impl WalStore for MemStore {
+    fn append(&self, bytes: &[u8]) {
+        let mut inner = self.inner.lock();
+        // Shadow sees everything; the survivable log only what the
+        // crash budget admits. Taking the budget under the store mutex
+        // keeps the cut point consistent with append order.
+        inner.shadow.extend_from_slice(bytes);
+        let admitted = self.switch.admit(bytes.len());
+        inner.log.extend_from_slice(&bytes[..admitted]);
+    }
+
+    fn log_bytes(&self) -> Vec<u8> {
+        self.inner.lock().log.clone()
+    }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        self.inner.lock().snapshot.clone()
+    }
+
+    fn checkpoint(&self, snapshot: &[u8]) {
+        if self.switch.is_cut() {
+            return; // the machine is "off"; nothing reaches the disk
+        }
+        let mut inner = self.inner.lock();
+        inner.snapshot = Some(snapshot.to_vec());
+        inner.log.clear();
+        inner.shadow.clear();
+    }
+}
+
+/// Decode a store's snapshot slot, if present.
+pub fn read_snapshot(store: &dyn WalStore) -> Result<Option<Snapshot>, crate::log::WalError> {
+    match store.snapshot() {
+        None => Ok(None),
+        Some(bytes) => Snapshot::decode(&bytes).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_store_keeps_everything() {
+        let store = MemStore::healthy();
+        store.append(b"abc");
+        store.append(b"defg");
+        assert_eq!(store.log_bytes(), b"abcdefg");
+        assert_eq!(store.shadow_bytes(), b"abcdefg");
+    }
+
+    #[test]
+    fn byte_budget_cuts_mid_append() {
+        let switch = CrashSwitch::after_bytes(5);
+        let store = MemStore::new(Arc::clone(&switch));
+        store.append(b"abc"); // 3 of 5
+        store.append(b"defg"); // 2 admitted, torn
+        store.append(b"hij"); // 0 admitted
+        assert_eq!(store.log_bytes(), b"abcde");
+        assert_eq!(store.shadow_bytes(), b"abcdefghij");
+        assert!(switch.is_cut());
+    }
+
+    #[test]
+    fn cut_now_freezes_log_and_checkpoint() {
+        let switch = CrashSwitch::unlimited();
+        let store = MemStore::new(Arc::clone(&switch));
+        store.append(b"abc");
+        switch.cut_now();
+        store.append(b"def");
+        store.checkpoint(b"snap");
+        assert_eq!(store.log_bytes(), b"abc");
+        assert_eq!(store.snapshot(), None);
+    }
+
+    #[test]
+    fn reboot_carries_persisted_bytes_onto_a_live_machine() {
+        let switch = CrashSwitch::after_bytes(5);
+        let store = MemStore::new(switch);
+        store.append(b"abcdefg"); // torn at 5
+        let booted = MemStore::rebooted(&*store);
+        assert_eq!(booted.log_bytes(), b"abcde");
+        booted.append(b"hij"); // the new machine is healthy
+        assert_eq!(booted.log_bytes(), b"abcdehij");
+        booted.checkpoint(b"snap");
+        assert_eq!(booted.snapshot().unwrap(), b"snap");
+    }
+
+    #[test]
+    fn checkpoint_replaces_snapshot_and_clears_log() {
+        let store = MemStore::healthy();
+        store.append(b"abc");
+        store.checkpoint(b"snap");
+        assert_eq!(store.log_bytes(), b"");
+        assert_eq!(store.snapshot().unwrap(), b"snap");
+    }
+
+    #[test]
+    fn surviving_log_is_a_prefix_of_shadow() {
+        let switch = CrashSwitch::after_bytes(17);
+        let store = MemStore::new(switch);
+        for i in 0u8..10 {
+            store.append(&[i; 4]);
+        }
+        let log = store.log_bytes();
+        let shadow = store.shadow_bytes();
+        assert_eq!(log.len(), 17);
+        assert_eq!(&shadow[..log.len()], &log[..]);
+    }
+}
