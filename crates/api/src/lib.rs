@@ -93,6 +93,12 @@ pub enum AbortReason {
     /// The lock word changed between the two loads of a read (inconsistent
     /// value observed, e.g. write-through incarnation change).
     InconsistentRead,
+    /// The attached WAL sink failed to persist the commit record: the
+    /// attempt rolled back cleanly (no memory or log effect), but the
+    /// retry loop must *not* restart it — durability is gone, not the
+    /// snapshot. Surfaced through [`TmHandle::try_run`] as
+    /// [`RunError::WalFailed`].
+    WalFailed,
 }
 
 impl AbortReason {
@@ -106,11 +112,12 @@ impl AbortReason {
             AbortReason::ClockOverflow => "clock-overflow",
             AbortReason::Explicit => "explicit",
             AbortReason::InconsistentRead => "inconsistent-read",
+            AbortReason::WalFailed => "wal-failed",
         }
     }
 
     /// All reasons, in a stable order (used to size per-reason counters).
-    pub const ALL: [AbortReason; 7] = [
+    pub const ALL: [AbortReason; 8] = [
         AbortReason::ReadLocked,
         AbortReason::WriteLocked,
         AbortReason::ExtendFailed,
@@ -118,6 +125,7 @@ impl AbortReason {
         AbortReason::ClockOverflow,
         AbortReason::Explicit,
         AbortReason::InconsistentRead,
+        AbortReason::WalFailed,
     ];
 
     /// Stable dense index of this reason inside [`AbortReason::ALL`].
@@ -130,9 +138,34 @@ impl AbortReason {
             AbortReason::ClockOverflow => 4,
             AbortReason::Explicit => 5,
             AbortReason::InconsistentRead => 6,
+            AbortReason::WalFailed => 7,
         }
     }
 }
+
+/// Terminal failure of a [`TmHandle::try_run`] call: the transaction was
+/// rolled back cleanly but cannot be retried to success.
+///
+/// Distinct from [`Abort`], which is transient and consumed by the retry
+/// loop. A `RunError` escapes the loop: the caller must decide what a
+/// non-durable (or otherwise unservable) commit means for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// The attached WAL sink reported an unrecoverable publish failure
+    /// ([`AbortReason::WalFailed`]); the commit was rolled back and no
+    /// memory or log effect survives.
+    WalFailed,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::WalFailed => write!(f, "WAL publish failed; commit rolled back"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
 
 /// Marker carried through `Result` to unwind a failed speculation back to
 /// the retry loop.
@@ -226,6 +259,20 @@ pub trait TmHandle: Clone + Send + Sync + 'static {
     fn run<R, F>(&self, kind: TxKind, body: F) -> R
     where
         F: for<'a> FnMut(&mut Self::Tx<'a>) -> TxResult<R>;
+
+    /// Like [`TmHandle::run`], but surface terminal failures instead of
+    /// panicking: an abort the retry loop cannot absorb (today only
+    /// [`AbortReason::WalFailed`]) rolls back cleanly and returns `Err`.
+    ///
+    /// Backends without a terminal failure mode (no WAL attached, or no
+    /// durable support at all) never return `Err`; the default
+    /// implementation just delegates to `run`.
+    fn try_run<R, F>(&self, kind: TxKind, body: F) -> Result<R, RunError>
+    where
+        F: for<'a> FnMut(&mut Self::Tx<'a>) -> TxResult<R>,
+    {
+        Ok(self.run(kind, body))
+    }
 
     /// Sum of per-thread commit/abort counters at this instant.
     fn stats_snapshot(&self) -> stats::BasicStats;

@@ -7,6 +7,7 @@
 //! over time).
 
 use crate::AbortReason;
+use core::sync::atomic::{AtomicU64, Ordering};
 
 /// A point-in-time aggregate of commit/abort counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -89,6 +90,61 @@ impl BasicStats {
     }
 }
 
+/// Shared fault-handling counters of a durable engine (one instance per
+/// engine, updated from inside commit critical sections — plain relaxed
+/// atomics, no locks).
+///
+/// These count *storage* trouble, which [`BasicStats`] cannot see: a
+/// retried append that eventually succeeds is invisible to commit/abort
+/// counters, and a rejected write on a degraded shard never reaches the
+/// backend at all.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Transient store errors absorbed by the sink's bounded retry loop
+    /// (each retried append attempt counts once).
+    pub wal_retries: AtomicU64,
+    /// Publish failures that exhausted retry or were not retryable
+    /// (torn/permanent) — each one degrades a shard.
+    pub wal_faults: AtomicU64,
+    /// Write attempts rejected with a typed error because the target
+    /// shard was Degraded or Quarantined.
+    pub degraded_rejects: AtomicU64,
+    /// Successful rejoin cycles (Degraded shard recovered, checkpointed,
+    /// and reopened Healthy).
+    pub rejoins: AtomicU64,
+}
+
+impl FaultStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> FaultStats {
+        FaultStats::default()
+    }
+
+    /// A consistent-enough point-in-time copy (counters are independent;
+    /// exact cross-counter atomicity is not needed for reporting).
+    pub fn snapshot(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            wal_retries: self.wal_retries.load(Ordering::Relaxed),
+            wal_faults: self.wal_faults.load(Ordering::Relaxed),
+            degraded_rejects: self.degraded_rejects.load(Ordering::Relaxed),
+            rejoins: self.rejoins.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`FaultStats`] for reporting and JSONL extras.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// See [`FaultStats::wal_retries`].
+    pub wal_retries: u64,
+    /// See [`FaultStats::wal_faults`].
+    pub wal_faults: u64,
+    /// See [`FaultStats::degraded_rejects`].
+    pub degraded_rejects: u64,
+    /// See [`FaultStats::rejoins`].
+    pub rejoins: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +208,20 @@ mod tests {
         assert_eq!(late.merged(&early).clock_conflicts, 13);
         // Racy snapshot pairs saturate instead of wrapping.
         assert_eq!(early.since(&late).clock_conflicts, 0);
+    }
+
+    #[test]
+    fn fault_stats_snapshot_reads_counters() {
+        let f = FaultStats::new();
+        f.wal_retries.fetch_add(3, Ordering::Relaxed);
+        f.wal_faults.fetch_add(1, Ordering::Relaxed);
+        f.degraded_rejects.fetch_add(7, Ordering::Relaxed);
+        f.rejoins.fetch_add(2, Ordering::Relaxed);
+        let s = f.snapshot();
+        assert_eq!(
+            (s.wal_retries, s.wal_faults, s.degraded_rejects, s.rejoins),
+            (3, 1, 7, 2)
+        );
     }
 
     #[test]

@@ -2,9 +2,13 @@
 //!
 //! A backend with an attached [`WalSink`] calls [`WalSink::publish`]
 //! once per committed **update** transaction, from inside the commit
-//! critical section: after the commit timestamp is drawn and the write
-//! set is applied to memory, but *before* the stripe locks are
-//! released. That placement is the crux of crash consistency:
+//! critical section: after the commit timestamp is drawn and validation
+//! has passed, but *before* the stripe locks are released. (Write-back
+//! backends publish before applying the write set to memory so a
+//! failed publish can abort with zero memory effect; write-through
+//! backends publish after their encounter-time stores and rely on the
+//! undo log for the same guarantee.) That placement is the crux of
+//! crash consistency:
 //!
 //! * Two transactions that conflict (touch a common stripe) hold the
 //!   common lock across their publish, so their WAL records appear in
@@ -23,6 +27,37 @@
 //! implementation — the same inversion the [`crate::TmHandle`] trait
 //! performs for the data path.
 
+/// A sink's report that a commit record could not be persisted.
+///
+/// The backend receiving this must abort the committing transaction
+/// cleanly — undo its memory effect, release its locks — and surface
+/// [`crate::RunError::WalFailed`] instead of publishing a commit whose
+/// durability is a lie. Retry policy (backoff, health bookkeeping) is
+/// the *sink's* job: by the time `publish` returns `Err`, the sink has
+/// exhausted whatever retries it was willing to spend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishError {
+    /// Human-readable cause, for logs and typed engine errors upstream.
+    pub detail: String,
+}
+
+impl PublishError {
+    /// A publish error with the given cause.
+    pub fn new(detail: impl Into<String>) -> PublishError {
+        PublishError {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WAL publish failed: {}", self.detail)
+    }
+}
+
+impl std::error::Error for PublishError {}
+
 /// Receives the write set of each committed update transaction.
 ///
 /// `publish` is called with stripe locks held: implementations must not
@@ -39,6 +74,17 @@ pub trait WalSink: Send + Sync {
     /// * `commit_ts` — the transaction's commit timestamp (the paper's
     ///   write version `wv`).
     /// * `writes` — deduplicated `(address, value)` pairs of the write
-    ///   set, as applied to memory.
-    fn publish(&self, epoch: u64, commit_ts: u64, writes: &[(usize, usize)]);
+    ///   set the transaction is about to apply (write-back) or has
+    ///   applied (write-through).
+    ///
+    /// `Err` means the record is durably *absent* (nothing, or only a
+    /// torn prefix the recovery tail-scan discards, reached storage);
+    /// the caller must roll the transaction back. `Ok` means the record
+    /// is persisted at the sink's durability level.
+    fn publish(
+        &self,
+        epoch: u64,
+        commit_ts: u64,
+        writes: &[(usize, usize)],
+    ) -> Result<(), PublishError>;
 }

@@ -3,26 +3,27 @@
 //! The TinySTM paper defers lock-based comparisons to the TL2 paper;
 //! this bench supplies the missing series: a single `Mutex<BTreeSet>`
 //! against TinySTM-WB on the red-black tree across thread counts and
-//! update rates.
+//! update rates. Emitted as perf records
+//! (`target/perf/ablation-baseline.jsonl`); diagnostic only — no
+//! baseline gates these series.
 //!
 //! Expected shape: the coarse lock wins at 1 thread (no instrumentation
 //! overhead) and loses scalability as threads and update rates grow —
 //! on a multicore host. On a single-core host the lock stays ahead;
 //! the series still quantifies the STM's instrumentation overhead.
 
-use stm_bench::{default_opts, make_tiny, thread_list};
-use stm_harness::table::{f1, i, s, SeriesWriter};
+use stm_bench::{bench_record, default_opts, make_tiny, perf_emitter, thread_list};
 use stm_harness::IntSetWorkload;
 use stm_structures::{CoarseLockSet, RbTree};
 use tinystm::AccessStrategy;
 
+const EXPERIMENT: &str = "ablation-baseline";
+
 fn main() {
-    let mut out = SeriesWriter::default();
-    out.experiment(
-        "ablation-baseline",
+    let mut out = perf_emitter(
+        EXPERIMENT,
         "tinystm-wb vs coarse lock, rbtree 1024 elements",
     );
-    out.columns(&["series", "update_pct", "threads", "txs_per_s"]);
     for &updates in &[0u32, 20, 60] {
         let workload = IntSetWorkload::new(1024, updates);
         for &threads in &thread_list() {
@@ -35,12 +36,14 @@ fn main() {
                 move || stm_api::TmHandle::stats_snapshot(&stm)
             };
             let m = stm_harness::run_intset(&set, workload, opts, &stats);
-            out.row(&[
-                s("tinystm-wb"),
-                i(updates as u64),
-                i(threads as u64),
-                f1(m.throughput),
-            ]);
+            out.record(bench_record(
+                EXPERIMENT,
+                "lock-vs-stm",
+                "rbtree",
+                "tinystm-wb",
+                workload,
+                &m,
+            ));
 
             // The coarse lock has no TM stats; count ops via a counter
             // stood up as BasicStats.
@@ -64,13 +67,16 @@ fn main() {
                     ops.fetch_add(1, Ordering::Relaxed);
                 }
             });
-            out.row(&[
-                s("coarse-lock"),
-                i(updates as u64),
-                i(threads as u64),
-                f1(m.throughput),
-            ]);
+            out.record(bench_record(
+                EXPERIMENT,
+                "lock-vs-stm",
+                "rbtree",
+                "coarse-lock",
+                workload,
+                &m,
+            ));
         }
         out.gap();
     }
+    out.finish();
 }

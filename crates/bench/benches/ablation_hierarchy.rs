@@ -3,26 +3,22 @@
 //! Isolates Section 3.2's mechanism on the workload it was built for
 //! (linked list, large read sets): h = 1 (disabled) vs growing
 //! hierarchies, reporting throughput and the validation fast-path
-//! counters that Figure 12 plots.
+//! counters that Figure 12 plots. Emitted as perf records
+//! (`target/perf/ablation-hierarchy.jsonl`) — the hierarchy size rides
+//! in the panel (`h-N`) because it is not a config-key field; the
+//! validation counters are diagnostic `extras` (never gated).
 
-use stm_bench::{default_opts, make_tiny, Structure};
-use stm_harness::table::{f1, i, SeriesWriter};
+use stm_bench::{bench_record, default_opts, make_tiny, perf_emitter, Structure};
 use stm_harness::{IntSetOp, IntSetWorkload};
 use tinystm::AccessStrategy;
 
+const EXPERIMENT: &str = "ablation-hierarchy";
+
 fn main() {
-    let mut out = SeriesWriter::default();
-    out.experiment(
-        "ablation-hierarchy",
+    let mut out = perf_emitter(
+        EXPERIMENT,
         "hierarchy size sweep on the list (4096, 20% upd, 4 thr): validation savings",
     );
-    out.columns(&[
-        "h",
-        "txs_per_s",
-        "val_processed_per_s",
-        "val_skipped_per_s",
-        "skip_fraction_pct",
-    ]);
     let workload = IntSetWorkload::new(4096, 20);
     for hier_log2 in [0u32, 2, 4, 6, 8] {
         let stm = make_tiny(AccessStrategy::WriteBack, 16, 0, hier_log2);
@@ -50,12 +46,19 @@ fn main() {
         } else {
             0.0
         };
-        out.row(&[
-            i(1u64 << hier_log2),
-            f1(m.throughput),
-            f1(processed),
-            f1(skipped),
-            f1(frac),
-        ]);
+        let mut rec = bench_record(
+            EXPERIMENT,
+            &format!("h-{}", 1u64 << hier_log2),
+            "list",
+            "tinystm-wb",
+            workload,
+            &m,
+        );
+        rec.extras
+            .insert("val_processed_per_s".to_string(), processed);
+        rec.extras.insert("val_skipped_per_s".to_string(), skipped);
+        rec.extras.insert("skip_fraction_pct".to_string(), frac);
+        out.record(rec);
     }
+    out.finish();
 }

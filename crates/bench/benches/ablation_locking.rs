@@ -5,43 +5,36 @@
 //! useless traversals. This bench isolates that choice on the linked
 //! list (the structure where traversals are long) by sweeping the update
 //! rate and comparing TinySTM-WB (encounter-time) against TL2
-//! (commit-time) at 4 threads.
+//! (commit-time) at 4 threads. Emitted as perf records
+//! (`target/perf/ablation-locking.jsonl`); diagnostic only — no
+//! baseline gates these series.
 //!
 //! Expected shape: the two are comparable at low update rates; the
 //! encounter-time design pulls ahead as the update rate grows.
 
-use stm_bench::{default_opts, run_cell, Backend, Structure};
-use stm_harness::table::{f1, i, s, SeriesWriter};
+use stm_bench::{bench_record, default_opts, perf_emitter, run_cell, Backend, Structure};
 use stm_harness::IntSetWorkload;
 
+const EXPERIMENT: &str = "ablation-locking";
+
 fn main() {
-    let mut out = SeriesWriter::default();
-    out.experiment(
-        "ablation-locking",
+    let mut out = perf_emitter(
+        EXPERIMENT,
         "encounter-time (tinystm-wb) vs commit-time (tl2), list 256, 4 threads",
     );
-    out.columns(&[
-        "backend",
-        "update_pct",
-        "txs_per_s",
-        "aborts_per_s",
-        "abort_ratio",
-    ]);
     for &updates in &[0u32, 10, 20, 40, 60, 80, 100] {
         for backend in [Backend::TinyWb, Backend::Tl2] {
-            let m = run_cell(
-                backend,
-                Structure::List,
-                IntSetWorkload::new(256, updates),
-                default_opts(4),
-            );
-            out.row(&[
-                s(backend.label()),
-                i(updates as u64),
-                f1(m.throughput),
-                f1(m.abort_rate),
-                f1(m.abort_ratio * 100.0),
-            ]);
+            let workload = IntSetWorkload::new(256, updates);
+            let m = run_cell(backend, Structure::List, workload, default_opts(4));
+            out.record(bench_record(
+                EXPERIMENT,
+                "update-sweep",
+                Structure::List.label(),
+                backend.label(),
+                workload,
+                &m,
+            ));
         }
     }
+    out.finish();
 }

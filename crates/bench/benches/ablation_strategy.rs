@@ -6,26 +6,30 @@
 //! difference small enough to drop the strategy from the tuning knobs
 //! (footnote 7). This bench measures both on a low-conflict workload
 //! (commit cost dominates) and a high-conflict one (abort cost
-//! dominates).
+//! dominates). Emitted as perf records
+//! (`target/perf/ablation-strategy.jsonl`); diagnostic only — no
+//! baseline gates these series.
 
-use stm_bench::{default_opts, make_tiny, run_structure_on, Structure};
-use stm_harness::table::{f1, s, SeriesWriter};
+use stm_bench::{bench_record, default_opts, make_tiny, perf_emitter, run_structure_on, Structure};
 use stm_harness::IntSetWorkload;
 use tinystm::AccessStrategy;
 
+const EXPERIMENT: &str = "ablation-strategy";
+
 fn main() {
-    let mut out = SeriesWriter::default();
-    out.experiment(
-        "ablation-strategy",
+    let mut out = perf_emitter(
+        EXPERIMENT,
         "write-back vs write-through under low and high conflict (rbtree, 4 thr)",
     );
-    out.columns(&["strategy", "workload", "txs_per_s", "aborts_per_s"]);
     let cases = [
-        ("low-conflict-4096/20%", IntSetWorkload::new(4096, 20)),
-        ("high-conflict-64/100%", IntSetWorkload::new(64, 100)),
+        ("low-conflict", IntSetWorkload::new(4096, 20)),
+        ("high-conflict", IntSetWorkload::new(64, 100)),
     ];
-    for strategy in [AccessStrategy::WriteBack, AccessStrategy::WriteThrough] {
-        for (label, workload) in cases {
+    for (strategy, label) in [
+        (AccessStrategy::WriteBack, "tinystm-wb"),
+        (AccessStrategy::WriteThrough, "tinystm-wt"),
+    ] {
+        for (panel, workload) in cases {
             let stm = make_tiny(strategy, 16, 0, 0);
             let stats_handle = stm.clone();
             let m = run_structure_on(
@@ -35,12 +39,16 @@ fn main() {
                 default_opts(4),
                 &move || stm_api::TmHandle::stats_snapshot(&stats_handle),
             );
-            out.row(&[
-                s(strategy.short_name()),
-                s(label),
-                f1(m.throughput),
-                f1(m.abort_rate),
-            ]);
+            out.record(bench_record(
+                EXPERIMENT,
+                panel,
+                Structure::Rbtree.label(),
+                label,
+                workload,
+                &m,
+            ));
         }
+        out.gap();
     }
+    out.finish();
 }

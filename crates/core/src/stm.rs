@@ -34,7 +34,7 @@ use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use parking_lot::Mutex;
 use std::cell::{RefCell, UnsafeCell};
 use std::sync::Arc;
-use stm_api::{Abort, AbortReason, TmHandle, TxKind, TxResult};
+use stm_api::{Abort, AbortReason, RunError, TmHandle, TxKind, TxResult};
 
 /// Commits between opportunistic limbo-reclamation attempts (per thread).
 const RECLAIM_PERIOD: u64 = 1024;
@@ -237,7 +237,28 @@ impl Stm {
 
     /// Run `body` as a transaction, retrying until commit. See
     /// [`stm_api::TmHandle::run`] for the contract.
-    pub fn run<R, F>(&self, kind: TxKind, mut body: F) -> R
+    ///
+    /// # Panics
+    /// On a terminal failure ([`RunError`], e.g. the attached WAL sink
+    /// giving up) — the transaction was already rolled back cleanly at
+    /// that point. Callers that must survive storage faults use
+    /// [`Stm::try_run`].
+    pub fn run<R, F>(&self, kind: TxKind, body: F) -> R
+    where
+        F: for<'x> FnMut(&mut Tx<'x>) -> TxResult<R>,
+    {
+        match self.try_run(kind, body) {
+            Ok(value) => value,
+            Err(e) => panic!("Stm::run: {e} (use try_run to handle this)"),
+        }
+    }
+
+    /// [`Stm::run`], but a terminal failure surfaces as `Err` instead
+    /// of panicking: the attempt is rolled back (no memory effect, no
+    /// log effect, locks released) and the retry loop exits — retrying
+    /// cannot help when the WAL sink has already exhausted its own
+    /// retry budget.
+    pub fn try_run<R, F>(&self, kind: TxKind, mut body: F) -> Result<R, RunError>
     where
         F: for<'x> FnMut(&mut Tx<'x>) -> TxResult<R>,
     {
@@ -332,7 +353,13 @@ impl Stm {
                 Ok(value) => {
                     ctx.consecutive_aborts = 0;
                     self.maybe_reclaim(&ts);
-                    return value;
+                    return Ok(value);
+                }
+                Err(AbortReason::WalFailed) => {
+                    // Terminal: the sink already rolled through its own
+                    // retry policy; the attempt is rolled back. Exit
+                    // the loop instead of retrying a doomed commit.
+                    return Err(RunError::WalFailed);
                 }
                 Err(reason) => {
                     ctx.consecutive_aborts = ctx.consecutive_aborts.saturating_add(1);
@@ -608,6 +635,13 @@ impl TmHandle for Stm {
         F: for<'a> FnMut(&mut Self::Tx<'a>) -> TxResult<R>,
     {
         Stm::run(self, kind, body)
+    }
+
+    fn try_run<R, F>(&self, kind: TxKind, body: F) -> Result<R, RunError>
+    where
+        F: for<'a> FnMut(&mut Self::Tx<'a>) -> TxResult<R>,
+    {
+        Stm::try_run(self, kind, body)
     }
 
     fn stats_snapshot(&self) -> stm_api::stats::BasicStats {

@@ -560,29 +560,19 @@ impl<'a> Tx<'a> {
             return AttemptEnd::Aborted(reason);
         }
 
-        // Point of no return: apply buffered writes (write-back), then
-        // release every lock with the new version.
         let strategy = self.strategy();
-        if matches!(strategy, AccessStrategy::WriteBack) {
-            for rec in self.ctx.wlog.records() {
-                // SAFETY: records/entries of the current attempt.
-                unsafe {
-                    let mut e = (*rec).first_entry;
-                    while !e.is_null() {
-                        // Site W3 (module docs): write-back publication
-                        // — Release, for racing seqlock readers (F1).
-                        atomic_view((*e).addr).store((*e).value, Ordering::Release);
-                        e = (*e).next;
-                    }
-                }
-            }
-        }
         // WAL publish — inside the commit critical section: after the
-        // data stores (so write-through reads below see our values) and
-        // before the lock releases. A conflicting later commit can only
+        // commit timestamp is drawn and validation has passed, before
+        // the lock releases. A conflicting later commit can only
         // acquire our stripes after our release, so conflicting records
         // enter the sink in commit-timestamp order and every log prefix
         // is conflict-closed (the crash-consistency invariant M1.4).
+        //
+        // Publishing runs *before* the write-back loop below: a failed
+        // publish must abort with zero memory effect, and for
+        // write-back the buffered values are available without touching
+        // memory. Write-through already stored in place at encounter
+        // time; its failure path restores through the undo log.
         #[cfg(feature = "durable")]
         if let Some(wal) = self.wal {
             let TxCtx {
@@ -620,7 +610,34 @@ impl<'a> Tx<'a> {
             }
             wal_scratch.sort_unstable_by_key(|&(addr, _)| addr);
             wal_scratch.dedup_by_key(|&mut (addr, _)| addr);
-            wal.publish(self.inner.wal.epoch(), wv, wal_scratch);
+            if wal
+                .publish(self.inner.wal.epoch(), wv, wal_scratch)
+                .is_err()
+            {
+                // The record is durably absent; the commit must not
+                // happen. Roll back cleanly (undo + lock release) and
+                // let the run loop surface the failure — never retry.
+                let reason = AbortReason::WalFailed;
+                self.rollback(reason);
+                return AttemptEnd::Aborted(reason);
+            }
+        }
+
+        // Point of no return: apply buffered writes (write-back), then
+        // release every lock with the new version.
+        if matches!(strategy, AccessStrategy::WriteBack) {
+            for rec in self.ctx.wlog.records() {
+                // SAFETY: records/entries of the current attempt.
+                unsafe {
+                    let mut e = (*rec).first_entry;
+                    while !e.is_null() {
+                        // Site W3 (module docs): write-back publication
+                        // — Release, for racing seqlock readers (F1).
+                        atomic_view((*e).addr).store((*e).value, Ordering::Release);
+                        e = (*e).next;
+                    }
+                }
+            }
         }
         let release_word = make_version(wv, strategy);
         for rec in self.ctx.wlog.records() {

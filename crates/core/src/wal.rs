@@ -122,8 +122,14 @@ mod tests {
     }
 
     impl WalSink for CountingSink {
-        fn publish(&self, _epoch: u64, _commit_ts: u64, _writes: &[(usize, usize)]) {
+        fn publish(
+            &self,
+            _epoch: u64,
+            _commit_ts: u64,
+            _writes: &[(usize, usize)],
+        ) -> Result<(), stm_api::wal::PublishError> {
             self.published.fetch_add(1, Ordering::Relaxed);
+            Ok(())
         }
     }
 
@@ -146,7 +152,8 @@ mod tests {
         local
             .sink(&control)
             .expect("attached")
-            .publish(0, 1, &[(8, 9)]);
+            .publish(0, 1, &[(8, 9)])
+            .unwrap();
         control.detach();
         assert!(local.sink(&control).is_none());
         assert_eq!(sink.published.load(Ordering::Relaxed), 1);

@@ -1,5 +1,6 @@
 //! The durable layer (feature `durable`): a key/value facade over the
-//! sharded engine whose committed state survives crashes.
+//! sharded engine whose committed state survives crashes — and whose
+//! shards degrade, not the process, when their stores fail.
 //!
 //! ## Shape
 //!
@@ -12,13 +13,43 @@
 //!   every committed update transaction publishes its `(addr, value)`
 //!   write set *inside* its commit critical section, the sink maps
 //!   addresses back to keys and appends one checksummed record to the
-//!   shard's [`WalStore`] through a [`LogWriter`].
+//!   shard's [`WalStore`] through a [`LogWriter`], then syncs;
+//! * a **health slot** ([`HealthSlot`]) — Healthy shards publish;
+//!   Degraded/Quarantined shards reject writes with a typed error and
+//!   keep serving reads (see `crate::health`).
 //!
 //! Because the publish happens before the stripe locks are released,
 //! conflicting commits appear in the shard's log in commit-timestamp
 //! order, so **every log prefix is conflict-closed** — replaying any
 //! prefix yields a state some crash-free execution could have reached
-//! (invariant M1.4 in `stm-wal`).
+//! (invariant M1.4 in `stm-wal`). And because the backends publish
+//! *before* applying their write-back (TL2/wb) or surface the failure
+//! after undo-log rollback (wt), a failed publish aborts the commit
+//! with **zero memory effect**: memory never runs ahead of the acked
+//! log.
+//!
+//! ## Fault handling
+//!
+//! The sink classifies [`StoreError`]s per the taxonomy's retry
+//! contract: *transient* errors (nothing persisted) are retried in
+//! place under the bounded [`RetryPolicy`]; *torn* and *permanent*
+//! errors — and exhausted retries, and failed fsyncs — degrade the
+//! shard and fail the commit. A sync failure after a successful append
+//! leaves an **in-doubt** record: present and decodable in the log but
+//! never acknowledged (the commit rolled back). The engine tracks these
+//! per shard ([`DurableEngine::in_doubt`]); the rejoin checkpoint
+//! clears them.
+//!
+//! ## Rejoin: memory is the source of truth
+//!
+//! [`DurableEngine::rejoin`] repairs a Degraded shard *from memory*,
+//! not from its log: since every acknowledged commit reached memory and
+//! every failed one rolled back, the table holds exactly the acked
+//! state. Rejoin re-checkpoints that state under the shard's quiesce
+//! fence — atomically replacing whatever the store holds (torn bytes,
+//! in-doubt orphans) with a snapshot of the truth — and reopens the
+//! shard. If even the checkpoint fails, the shard is Quarantined:
+//! writes stay rejected, reads keep serving.
 //!
 //! ## Checkpoint = quiesce fence
 //!
@@ -43,17 +74,21 @@
 
 use crate::backend::ShardBackend;
 use crate::engine::ShardedEngine;
+use crate::health::{HealthSlot, RetryPolicy, ShardHealth};
+use core::sync::atomic::Ordering;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use stm_api::mem::WordBlock;
-use stm_api::wal::WalSink;
+use stm_api::stats::{FaultSnapshot, FaultStats};
+use stm_api::wal::{PublishError, WalSink};
 use stm_api::{LifecycleError, TmTx, TxKind};
-use stm_wal::{recover_store, snapshot_of, LogWriter, Recovery, WalError, WalStore};
+use stm_wal::{recover_store, snapshot_of, LogWriter, Recovery, StoreError, WalError, WalStore};
 
 /// Word size of the tables (the engine is 64-bit word based).
 const WORD: usize = core::mem::size_of::<usize>();
 
-/// Errors building or recovering a [`DurableEngine`].
+/// Errors building, recovering, or maintaining a [`DurableEngine`].
 #[derive(Debug)]
 pub enum DurableError {
     /// A shard's store failed recovery (interior corruption, snapshot
@@ -74,6 +109,18 @@ pub enum DurableError {
         /// Stores supplied.
         stores: usize,
     },
+    /// A checkpoint (or rejoin checkpoint) could not be written.
+    Checkpoint {
+        /// Shard whose store refused the snapshot.
+        shard: usize,
+        /// The store's verdict.
+        error: StoreError,
+    },
+    /// A rejoin was requested on a Quarantined shard (terminal).
+    Quarantined {
+        /// The quarantined shard.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for DurableError {
@@ -85,6 +132,15 @@ impl std::fmt::Display for DurableError {
             DurableError::Lifecycle(e) => write!(f, "backend lifecycle error: {e}"),
             DurableError::StoreCount { shards, stores } => {
                 write!(f, "{shards} shard(s) but {stores} store(s) supplied")
+            }
+            DurableError::Checkpoint { shard, error } => {
+                write!(f, "shard {shard}: checkpoint failed: {error}")
+            }
+            DurableError::Quarantined { shard } => {
+                write!(
+                    f,
+                    "shard {shard} is quarantined (rejoin checkpoint failed earlier)"
+                )
             }
         }
     }
@@ -98,9 +154,62 @@ impl From<LifecycleError> for DurableError {
     }
 }
 
+/// A write refused or failed by the durable layer. The transaction
+/// never takes effect: rejections happen before it runs, WAL failures
+/// roll it back cleanly inside its commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteError {
+    /// The target shard is not Healthy; the write was rejected up
+    /// front. Reads on the shard still serve.
+    Rejected {
+        /// The unhealthy shard.
+        shard: usize,
+        /// Its health at rejection time.
+        health: ShardHealth,
+    },
+    /// The WAL publish inside the commit failed (the shard is now
+    /// Degraded); the transaction rolled back with no memory effect.
+    Wal {
+        /// The shard that degraded.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteError::Rejected { shard, health } => {
+                write!(f, "write rejected: shard {shard} is {health}")
+            }
+            WriteError::Wal { shard } => {
+                write!(f, "WAL publish failed on shard {shard}; commit rolled back")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+/// A commit whose record reached the log but whose durability was never
+/// confirmed (the fsync after the append failed). The commit was NOT
+/// acknowledged — its transaction rolled back — so recovery from the
+/// log may or may not surface it. Cleared by the rejoin checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InDoubtCommit {
+    /// Effective durability epoch of the record.
+    pub epoch: u64,
+    /// Backend commit timestamp of the record.
+    pub commit_ts: u64,
+    /// The `(key, value)` write set, address-sorted.
+    pub writes: Vec<(u64, u64)>,
+}
+
 /// The per-shard WAL sink: maps the backend's `(addr, value)` write set
-/// back to keys and appends one record per commit.
+/// back to keys and appends one record per commit, retrying transients
+/// and degrading the shard on anything worse.
 struct ShardWalSink {
+    /// Shard index (error messages, jitter salt).
+    shard: usize,
     /// Base address of the shard's table.
     base: usize,
     /// Table length in words.
@@ -109,10 +218,31 @@ struct ShardWalSink {
     /// recover incarnations).
     epoch_base: u64,
     writer: Arc<LogWriter>,
+    /// The store, for the post-append sync.
+    store: Arc<dyn WalStore>,
+    health: Arc<HealthSlot>,
+    stats: Arc<FaultStats>,
+    retry: RetryPolicy,
+    in_doubt: Arc<Mutex<Vec<InDoubtCommit>>>,
 }
 
 impl WalSink for ShardWalSink {
-    fn publish(&self, epoch: u64, commit_ts: u64, writes: &[(usize, usize)]) {
+    fn publish(
+        &self,
+        epoch: u64,
+        commit_ts: u64,
+        writes: &[(usize, usize)],
+    ) -> Result<(), PublishError> {
+        // A commit racing the degradation of its shard: refuse before
+        // touching the store (counted as a rejection, not a new fault).
+        if !self.health.is_healthy() {
+            self.stats.degraded_rejects.fetch_add(1, Ordering::Relaxed);
+            return Err(PublishError::new(format!(
+                "shard {} is {}",
+                self.shard,
+                self.health.get()
+            )));
+        }
         let mut keys: Vec<(u64, u64)> = Vec::with_capacity(writes.len());
         for &(addr, value) in writes {
             // The no-phantom guard (M1.5): a durable transaction must
@@ -130,19 +260,68 @@ impl WalSink for ShardWalSink {
             );
             keys.push((((addr - self.base) / WORD) as u64, value as u64));
         }
-        self.writer
-            .append_commit(self.epoch_base + epoch, commit_ts, &keys);
+        let epoch = self.epoch_base + epoch;
+        // Append, retrying transients in place (safe: nothing was
+        // persisted and the writer consumes the seq only on success).
+        // Torn and permanent errors are terminal — re-appending over a
+        // torn frame would turn a recoverable tail into interior
+        // corruption. The loop runs with the commit's stripe locks
+        // held; the policy's budget is µs-scale and hard-bounded.
+        let salt = commit_ts ^ (self.shard as u64).rotate_left(32);
+        let mut attempt = 0u32;
+        loop {
+            match self.writer.append_commit(epoch, commit_ts, &keys) {
+                Ok(()) => break,
+                Err(e) if e.is_transient() && attempt < self.retry.max_retries => {
+                    self.stats.wal_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.retry.backoff(attempt, salt));
+                    attempt += 1;
+                }
+                Err(e) => {
+                    self.stats.wal_faults.fetch_add(1, Ordering::Relaxed);
+                    self.health.set(ShardHealth::Degraded);
+                    return Err(PublishError::new(format!(
+                        "shard {} append: {e}",
+                        self.shard
+                    )));
+                }
+            }
+        }
+        // The record is in the log; confirm durability. A failed fsync
+        // is never retried — the kernel may have dropped the dirty
+        // pages, so a later "successful" fsync would prove nothing.
+        // The record becomes in-doubt and the shard degrades; the
+        // rejoin checkpoint rewrites the store from memory.
+        if let Err(e) = self.store.sync() {
+            self.in_doubt.lock().push(InDoubtCommit {
+                epoch,
+                commit_ts,
+                writes: keys,
+            });
+            self.stats.wal_faults.fetch_add(1, Ordering::Relaxed);
+            self.health.set(ShardHealth::Degraded);
+            return Err(PublishError::new(format!(
+                "shard {} fsync: {e}",
+                self.shard
+            )));
+        }
+        Ok(())
     }
 }
 
-/// One shard's durable state (the sink holds the shard's [`LogWriter`]).
+/// One shard's durable state (the sink shares the writer, health slot,
+/// and in-doubt list).
 struct DurableShard {
     table: WordBlock,
     store: Arc<dyn WalStore>,
     epoch_base: u64,
+    writer: Arc<LogWriter>,
+    health: Arc<HealthSlot>,
+    in_doubt: Arc<Mutex<Vec<InDoubtCommit>>>,
 }
 
-/// A crash-recoverable key/value engine over [`ShardedEngine`].
+/// A crash-recoverable key/value engine over [`ShardedEngine`] with
+/// per-shard fault degradation.
 ///
 /// Keys are dense `0..n_keys`; values are words. Not `Clone` — the
 /// tables and writers have one owner (share it behind an `Arc`).
@@ -150,6 +329,8 @@ pub struct DurableEngine<B: ShardBackend> {
     engine: ShardedEngine<B>,
     shards: Vec<DurableShard>,
     n_keys: usize,
+    stats: Arc<FaultStats>,
+    retry: RetryPolicy,
 }
 
 impl<B: ShardBackend> DurableEngine<B> {
@@ -190,7 +371,7 @@ impl<B: ShardBackend> DurableEngine<B> {
         // Re-checkpoint immediately: the recovered state becomes the
         // new snapshot and the (possibly torn-tailed) old log is
         // truncated, so the fresh incarnation appends to a clean log.
-        engine.checkpoint();
+        engine.checkpoint()?;
         Ok((engine, recoveries))
     }
 
@@ -208,6 +389,8 @@ impl<B: ShardBackend> DurableEngine<B> {
             });
         }
         let engine: ShardedEngine<B> = ShardedEngine::new(n_shards, config)?;
+        let stats = Arc::new(FaultStats::new());
+        let retry = RetryPolicy::default();
         let mut shards = Vec::with_capacity(n_shards);
         for (i, store) in stores.into_iter().enumerate() {
             let table = WordBlock::new(n_keys.max(1));
@@ -229,23 +412,36 @@ impl<B: ShardBackend> DurableEngine<B> {
                 None => (0, 0),
             };
             let writer = Arc::new(LogWriter::new(i as u32, Arc::clone(&store), first_seq));
+            let health = Arc::new(HealthSlot::new());
+            let in_doubt = Arc::new(Mutex::new(Vec::new()));
             let sink: Arc<dyn WalSink> = Arc::new(ShardWalSink {
+                shard: i,
                 base: table.as_ptr() as usize,
                 words: table.words(),
                 epoch_base,
-                writer,
+                writer: Arc::clone(&writer),
+                store: Arc::clone(&store),
+                health: Arc::clone(&health),
+                stats: Arc::clone(&stats),
+                retry,
+                in_doubt: Arc::clone(&in_doubt),
             });
             engine.shard(i).attach_wal(&sink);
             shards.push(DurableShard {
                 table,
                 store,
                 epoch_base,
+                writer,
+                health,
+                in_doubt,
             });
         }
         Ok(DurableEngine {
             engine,
             shards,
             n_keys,
+            stats,
+            retry,
         })
     }
 
@@ -270,21 +466,45 @@ impl<B: ShardBackend> DurableEngine<B> {
         self.shards[i].epoch_base + self.engine.shard(i).wal_epoch()
     }
 
-    /// Transactionally set `key` to `value`.
+    /// Shard `i`'s current health.
+    pub fn health(&self, i: usize) -> ShardHealth {
+        self.shards[i].health.get()
+    }
+
+    /// Fault counters (retries, faults, rejections, rejoins) summed
+    /// over all shards.
+    pub fn fault_stats(&self) -> FaultSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Shard `i`'s in-doubt commits: appended to the log but never
+    /// durability-confirmed (their transactions rolled back). Cleared
+    /// by a successful [`DurableEngine::rejoin`].
+    pub fn in_doubt(&self, i: usize) -> Vec<InDoubtCommit> {
+        self.shards[i].in_doubt.lock().clone()
+    }
+
+    /// Transactionally set `key` to `value`. Fails with a typed error —
+    /// never a panic, never a silent drop — if the routed shard is
+    /// unhealthy or degrades during the commit.
     ///
     /// # Panics
     /// If `key >= n_keys`.
-    pub fn put(&self, key: u64, value: u64) {
+    pub fn put(&self, key: u64, value: u64) -> Result<(), WriteError> {
         assert!((key as usize) < self.n_keys, "key {key} out of range");
         let shard = self.engine.route(key);
+        self.check_writable(shard)?;
         let addr = unsafe { self.shards[shard].table.as_ptr().add(key as usize) };
-        self.engine.run_on(key, TxKind::ReadWrite, |tx| {
-            // SAFETY: addr points into the routed shard's table.
-            unsafe { tx.store_word(addr, value as usize) }
-        });
+        self.engine
+            .try_run_on(key, TxKind::ReadWrite, |tx| {
+                // SAFETY: addr points into the routed shard's table.
+                unsafe { tx.store_word(addr, value as usize) }
+            })
+            .map_err(|_| WriteError::Wal { shard })
     }
 
-    /// Transactionally read `key`.
+    /// Transactionally read `key`. Reads serve in every health state —
+    /// memory holds exactly the acknowledged writes.
     ///
     /// # Panics
     /// If `key >= n_keys`.
@@ -298,15 +518,30 @@ impl<B: ShardBackend> DurableEngine<B> {
         }) as u64
     }
 
-    /// Run a multi-key transaction on the shard all `keys` route to
-    /// (they must route to one shard; use the engine's cross-shard API
-    /// otherwise).
+    /// Run a multi-key update transaction on the shard all `keys` route
+    /// to (they must route to one shard; use the engine's cross-shard
+    /// API otherwise). Same failure semantics as [`DurableEngine::put`].
     pub fn update<R>(
         &self,
         anchor_key: u64,
         body: impl for<'a> FnMut(&mut B::Tx<'a>) -> stm_api::TxResult<R>,
-    ) -> R {
-        self.engine.run_on(anchor_key, TxKind::ReadWrite, body)
+    ) -> Result<R, WriteError> {
+        let shard = self.engine.route(anchor_key);
+        self.check_writable(shard)?;
+        self.engine
+            .try_run_on(anchor_key, TxKind::ReadWrite, body)
+            .map_err(|_| WriteError::Wal { shard })
+    }
+
+    /// Typed up-front health gate for the write paths.
+    fn check_writable(&self, shard: usize) -> Result<(), WriteError> {
+        let health = self.shards[shard].health.get();
+        if health == ShardHealth::Healthy {
+            Ok(())
+        } else {
+            self.stats.degraded_rejects.fetch_add(1, Ordering::Relaxed);
+            Err(WriteError::Rejected { shard, health })
+        }
     }
 
     /// Address of `key`'s word (for multi-key closures via
@@ -318,26 +553,96 @@ impl<B: ShardBackend> DurableEngine<B> {
         unsafe { self.shards[shard].table.as_ptr().add(key as usize) }
     }
 
-    /// Snapshot every shard inside its quiesce fence and truncate its
-    /// log: the durable checkpoint. Safe to run while workers commit —
-    /// each shard's fence drains that shard's transactions first.
-    pub fn checkpoint(&self) {
-        for (i, shard) in self.shards.iter().enumerate() {
-            let backend = self.engine.shard(i);
-            backend.quiesce(|| {
-                // Inside the fence: no transaction is active on this
-                // shard, every commit is published *and* logged.
-                let mut state: BTreeMap<u64, u64> = BTreeMap::new();
-                for k in 0..self.n_keys {
-                    if self.engine.route(k as u64) == i {
-                        state.insert(k as u64, shard.table.read(k) as u64);
-                    }
-                }
-                let epoch = shard.epoch_base + backend.wal_epoch();
-                let snap = snapshot_of(&state, epoch);
-                shard.store.checkpoint(&snap.encode());
-            });
+    /// Snapshot every Healthy shard inside its quiesce fence and
+    /// truncate its log: the durable checkpoint. Safe to run while
+    /// workers commit — each shard's fence drains that shard's
+    /// transactions first. Unhealthy shards are skipped (their
+    /// checkpoint is [`DurableEngine::rejoin`]'s job); a store that
+    /// refuses its snapshot degrades its shard and surfaces here.
+    pub fn checkpoint(&self) -> Result<(), DurableError> {
+        for i in 0..self.shards.len() {
+            if !self.shards[i].health.is_healthy() {
+                continue;
+            }
+            if let Err(error) = self.checkpoint_shard(i, false) {
+                self.shards[i].health.set(ShardHealth::Degraded);
+                return Err(DurableError::Checkpoint { shard: i, error });
+            }
         }
+        Ok(())
+    }
+
+    /// Bring a Degraded shard back: verify what its store still holds
+    /// (diagnostic only — memory, not the log, is the source of truth),
+    /// atomically re-checkpoint the in-memory state over whatever the
+    /// store holds, clear the in-doubt list, and mark the shard
+    /// Healthy. A shard whose rejoin checkpoint fails is Quarantined.
+    ///
+    /// Rejoining a Healthy shard is a no-op; rejoining a Quarantined
+    /// shard fails (terminal).
+    pub fn rejoin(&self, i: usize) -> Result<(), DurableError> {
+        let shard = &self.shards[i];
+        match shard.health.get() {
+            ShardHealth::Healthy => return Ok(()),
+            ShardHealth::Quarantined => return Err(DurableError::Quarantined { shard: i }),
+            ShardHealth::Degraded => {}
+        }
+        // Diagnostic pass: surfaces what survived (acked prefix, torn
+        // tail, in-doubt orphan) for operators/tests. Its verdict does
+        // not gate the rejoin — the checkpoint below atomically
+        // replaces the store's contents with the acked state either
+        // way, which also heals interior damage a recovery would
+        // reject.
+        let _diagnostic = recover_store(shard.store.as_ref());
+        match self.checkpoint_shard(i, true) {
+            Ok(()) => {
+                shard.in_doubt.lock().clear();
+                shard.health.set(ShardHealth::Healthy);
+                self.stats.rejoins.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(error) => {
+                shard.health.set(ShardHealth::Quarantined);
+                Err(DurableError::Checkpoint { shard: i, error })
+            }
+        }
+    }
+
+    /// Snapshot shard `i` from memory inside its quiesce fence,
+    /// retrying transient store errors under the engine's policy.
+    /// `reset_seq` restarts the writer's record numbering for the fresh
+    /// log (rejoin; safe inside the fence with publishes excluded).
+    fn checkpoint_shard(&self, i: usize, reset_seq: bool) -> Result<(), StoreError> {
+        let shard = &self.shards[i];
+        let backend = self.engine.shard(i);
+        backend.quiesce(|| {
+            // Inside the fence: no transaction is active on this
+            // shard, every commit is published *and* logged.
+            let mut state: BTreeMap<u64, u64> = BTreeMap::new();
+            for k in 0..self.n_keys {
+                if self.engine.route(k as u64) == i {
+                    state.insert(k as u64, shard.table.read(k) as u64);
+                }
+            }
+            let epoch = shard.epoch_base + backend.wal_epoch();
+            let snap = snapshot_of(&state, epoch).encode();
+            let mut attempt = 0u32;
+            loop {
+                match shard.store.checkpoint(&snap) {
+                    Ok(()) => break,
+                    Err(e) if e.is_transient() && attempt < self.retry.max_retries => {
+                        self.stats.wal_retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(self.retry.backoff(attempt, epoch ^ i as u64));
+                        attempt += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if reset_seq {
+                shard.writer.set_next_seq(0);
+            }
+            Ok(())
+        })
     }
 
     /// Direct (non-transactional) dump of all keys. Only meaningful

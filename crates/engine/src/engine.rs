@@ -186,6 +186,17 @@ impl<B: ShardBackend> ShardedEngine<B> {
         self.inner.shards[self.route(key)].tm.run(kind, body)
     }
 
+    /// [`ShardedEngine::run_on`] surfacing terminal failures (a WAL
+    /// publish error under the `durable` feature) as a typed error
+    /// instead of a panic. The failed attempt rolls back cleanly first.
+    #[inline]
+    pub fn try_run_on<R, F>(&self, key: u64, kind: TxKind, body: F) -> Result<R, stm_api::RunError>
+    where
+        F: for<'a> FnMut(&mut B::Tx<'a>) -> TxResult<R>,
+    {
+        self.inner.shards[self.route(key)].tm.try_run(kind, body)
+    }
+
     /// Run a cross-shard request over `keys` under the engine's policy.
     ///
     /// The distinct routed shards are computed first; a key set that

@@ -51,12 +51,16 @@ mod backend;
 #[cfg(feature = "durable")]
 mod durable;
 mod engine;
+#[cfg(feature = "durable")]
+mod health;
 mod router;
 
 pub use backend::ShardBackend;
 #[cfg(feature = "durable")]
-pub use durable::{DurableEngine, DurableError};
+pub use durable::{DurableEngine, DurableError, InDoubtCommit, WriteError};
 pub use engine::{CrossCtx, CrossShardPolicy, EngineError, ShardedEngine};
+#[cfg(feature = "durable")]
+pub use health::{HealthSlot, RetryPolicy, ShardHealth};
 pub use router::Router;
 // Compat re-exports: the lifecycle trait moved to `stm-api` (PR 7);
 // dependents that imported it from here keep compiling.

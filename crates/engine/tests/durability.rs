@@ -33,7 +33,7 @@ fn drive<B: ShardBackend>(engine: &DurableEngine<B>) -> Vec<Vec<(u64, u64)>> {
     for i in 0..OPS {
         let key = ((i * 7 + 3) % KEYS) as u64;
         let value = 1_000 + i as u64;
-        engine.put(key, value);
+        engine.put(key, value).unwrap();
         issued[engine.engine().route(key)].push((key, value));
     }
     issued
@@ -108,13 +108,13 @@ fn checkpoint_then_recover<B: ShardBackend>(config: &B::Config) {
     let (mems, dyns) = stores(&switch);
     let engine: DurableEngine<B> = DurableEngine::new(SHARDS, KEYS, config, dyns.clone()).unwrap();
     drive(&engine);
-    engine.checkpoint();
+    engine.checkpoint().unwrap();
     assert!(
         mems.iter().all(|m| m.log_len() == 0),
         "checkpoint must truncate the log"
     );
     for k in 0..8u64 {
-        engine.put(k, 9_000 + k);
+        engine.put(k, 9_000 + k).unwrap();
     }
     let expected = engine.read_all();
     drop(engine);
@@ -237,7 +237,7 @@ fn recovered_engine_keeps_working() {
     let (recovered, _) =
         DurableEngine::<Stm>::recover(SHARDS, KEYS, &config, dyns.clone()).unwrap();
     for k in 0..KEYS as u64 {
-        recovered.put(k, 70_000 + k);
+        recovered.put(k, 70_000 + k).unwrap();
     }
     let expected = recovered.read_all();
     drop(recovered);

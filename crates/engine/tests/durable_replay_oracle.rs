@@ -48,7 +48,7 @@ fn run_recorded(engine: &DurableEngine<Stm>) -> Vec<History> {
                     if i % 4 == 0 {
                         engine.get(key);
                     } else {
-                        engine.put(key, t * 1_000_000 + i as u64);
+                        engine.put(key, t * 1_000_000 + i as u64).unwrap();
                     }
                 }
             });

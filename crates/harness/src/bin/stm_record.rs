@@ -29,6 +29,20 @@
 //!   --recover-check  verify recovery: exact state match when clean,
 //!                    second-incarnation durability, and (when built
 //!                    with `record` too) the WAL/history replay oracle
+//!   --file-store DIR back the WAL with real files under DIR (one
+//!                    shard-N subdirectory per shard; DIR should start
+//!                    empty) instead of in-memory stores
+//!
+//! chaos mode (needs the `durable` cargo feature):
+//!   --chaos          run the KV workload under deterministic seeded
+//!                    fault injection (transient bursts, torn appends,
+//!                    permanent failures, fsync errors) with live
+//!                    shard rejoin, then verify no acked commit is
+//!                    lost; --backend/--threads/--size apply
+//!   --chaos-seed S   fault-schedule seed (decimal or 0x-hex; the
+//!                    STM_CHAOS_SEED env var overrides it — failures
+//!                    print the seed + schedules on stderr)
+//!   --chaos-faults N fault events injected per shard (default 3)
 //! ```
 //!
 //! Exit codes: 0 clean, 1 checker violation, unsound recording (e.g. a
@@ -48,6 +62,10 @@ struct Args {
     shards: usize,
     crash_at: Option<u64>,
     recover_check: bool,
+    file_store: Option<std::path::PathBuf>,
+    chaos: bool,
+    chaos_seed: Option<u64>,
+    chaos_faults: usize,
 }
 
 fn usage() -> String {
@@ -55,8 +73,18 @@ fn usage() -> String {
      [--backend wb|wt|tl2] [--threads N] [--ms MS] [--size N] [--update-pct P] \
      [--cm immediate|suicide|delay|backoff] [--reconfigure N] [--seed S] \
      [--no-record] [--check] [--dump PATH] \
-     [--durable [--shards N] [--crash-at N] [--recover-check]]"
+     [--durable [--shards N] [--crash-at N] [--recover-check] [--file-store DIR]] \
+     [--chaos [--chaos-seed S] [--chaos-faults N]]"
         .to_string()
+}
+
+/// Decimal or `0x`-prefixed hex.
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -67,6 +95,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut shards = 2usize;
     let mut crash_at = None;
     let mut recover_check = false;
+    let mut file_store = None;
+    let mut chaos = false;
+    let mut chaos_seed = None;
+    let mut chaos_faults = 3usize;
     let mut iter = argv.iter();
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -135,6 +167,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 );
             }
             "--recover-check" => recover_check = true,
+            "--file-store" => {
+                file_store = Some(std::path::PathBuf::from(value("--file-store")?));
+            }
+            "--chaos" => chaos = true,
+            "--chaos-seed" => {
+                let v = value("--chaos-seed")?;
+                chaos_seed =
+                    Some(parse_u64(v).ok_or_else(|| format!("--chaos-seed: bad seed {v}"))?);
+            }
+            "--chaos-faults" => {
+                chaos_faults = value("--chaos-faults")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-faults: {e}"))?;
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
@@ -142,8 +188,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if check && !opts.record {
         return Err("--check requires recording (drop --no-record)".to_string());
     }
-    if !durable && (crash_at.is_some() || recover_check) {
-        return Err("--crash-at/--recover-check need --durable".to_string());
+    if !durable && (crash_at.is_some() || recover_check || file_store.is_some()) {
+        return Err("--crash-at/--recover-check/--file-store need --durable".to_string());
+    }
+    if !chaos && (chaos_seed.is_some() || chaos_faults != 3) {
+        return Err("--chaos-seed/--chaos-faults need --chaos".to_string());
+    }
+    if chaos && durable {
+        return Err("--chaos and --durable are exclusive modes".to_string());
     }
     Ok(Args {
         opts,
@@ -153,6 +205,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         shards,
         crash_at,
         recover_check,
+        file_store,
+        chaos,
+        chaos_seed,
+        chaos_faults,
     })
 }
 
@@ -174,6 +230,7 @@ fn durable_mode(args: &Args) -> ExitCode {
         crash_at: args.crash_at,
         recover_check: args.recover_check,
         seed: args.opts.seed,
+        file_store: args.file_store.clone(),
         ..DurableOpts::default()
     };
     println!(
@@ -216,6 +273,69 @@ fn durable_mode(args: &Args) -> ExitCode {
     ExitCode::from(2)
 }
 
+/// The `--chaos` mode: workload under seeded fault injection → rejoin →
+/// recover → verify, via [`stm_harness::chaos`].
+#[cfg(feature = "durable")]
+fn chaos_mode(args: &Args) -> ExitCode {
+    use stm_harness::chaos::{run_chaos, ChaosOpts};
+    use stm_harness::durable::DurBackend;
+    let backend = match args.opts.backend {
+        RecBackend::TinyWb => DurBackend::WriteBack,
+        RecBackend::TinyWt => DurBackend::WriteThrough,
+        RecBackend::Tl2 => DurBackend::Tl2,
+    };
+    let mut opts = ChaosOpts {
+        backend,
+        shards: args.shards,
+        keys: args.opts.size as usize,
+        threads: args.opts.threads,
+        faults_per_shard: args.chaos_faults,
+        ..ChaosOpts::default()
+    };
+    if let Some(seed) = args.chaos_seed {
+        opts.seed = seed;
+    }
+    println!(
+        "# stm-record --chaos: backend={} shards={} keys={} threads={} ops={} \
+         faults/shard={} seed={:#x}",
+        opts.backend.label(),
+        opts.shards,
+        opts.keys,
+        opts.threads,
+        opts.ops,
+        opts.faults_per_shard,
+        opts.seed,
+    );
+    match run_chaos(&opts) {
+        Err(e) => {
+            eprintln!("stm-record: {e}");
+            ExitCode::from(2)
+        }
+        Ok(report) => {
+            println!("{}", report.summary());
+            for s in &report.schedules {
+                println!("  {s}");
+            }
+            if report.failures.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                // run_chaos already printed the reproduction recipe.
+                ExitCode::from(1)
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "durable"))]
+fn chaos_mode(args: &Args) -> ExitCode {
+    let _ = (args.chaos_seed, args.chaos_faults);
+    eprintln!(
+        "stm-record: this binary was built without the `durable` feature; \
+         rebuild with `--features record,durable`"
+    );
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -226,6 +346,9 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.chaos {
+        return chaos_mode(&args);
+    }
     if args.durable {
         return durable_mode(&args);
     }

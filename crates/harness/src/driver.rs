@@ -281,7 +281,7 @@ mod tests {
         let delta = BasicStats {
             commits: 1000,
             aborts: 100,
-            aborts_by_reason: [100, 0, 0, 0, 0, 0, 0],
+            aborts_by_reason: [100, 0, 0, 0, 0, 0, 0, 0],
             clock_conflicts: 42,
         };
         let m = Measurement::from_stats(delta, Duration::from_secs(2), 4, 0);

@@ -84,6 +84,12 @@ pub struct DurableOpts {
     pub recover_check: bool,
     /// Base RNG seed.
     pub seed: u64,
+    /// Back the WAL with real files under this directory (one
+    /// `shard-N` subdirectory per shard) instead of in-memory stores;
+    /// the recovery incarnation reopens the same directories, so the
+    /// crash-consistency path exercises actual appends, fsyncs, and
+    /// atomic checkpoint renames. The directory should start empty.
+    pub file_store: Option<std::path::PathBuf>,
 }
 
 impl Default for DurableOpts {
@@ -97,6 +103,7 @@ impl Default for DurableOpts {
             crash_at: None,
             recover_check: true,
             seed: 0x0D_07_AB_1E,
+            file_store: None,
         }
     }
 }
@@ -167,7 +174,22 @@ fn run_one<B: ShardBackend>(
     config: &B::Config,
 ) -> Result<DurableReport, String> {
     let switch = CrashSwitch::unlimited();
-    let dyns = stores(&switch, opts.shards);
+    let file_dirs: Option<Vec<std::path::PathBuf>> = opts.file_store.as_ref().map(|root| {
+        (0..opts.shards)
+            .map(|i| root.join(format!("shard-{i}")))
+            .collect()
+    });
+    let dyns: Vec<Arc<dyn WalStore>> = match &file_dirs {
+        Some(dirs) => dirs
+            .iter()
+            .map(|dir| {
+                stm_wal::FileStore::with_switch(dir, Arc::clone(&switch))
+                    .map(|s| s as Arc<dyn WalStore>)
+                    .map_err(|e| format!("file store {}: {e}", dir.display()))
+            })
+            .collect::<Result<_, _>>()?,
+        None => stores(&switch, opts.shards),
+    };
     let engine: DurableEngine<B> = DurableEngine::new(opts.shards, opts.keys, config, dyns.clone())
         .map_err(|e| format!("durable engine: {e}"))?;
 
@@ -200,7 +222,7 @@ fn run_one<B: ShardBackend>(
                     if opts.crash_at == Some(n) {
                         switch.cut_now();
                     }
-                    engine.put(key, (t << 48) | i as u64);
+                    engine.put(key, (t << 48) | i as u64).unwrap();
                 }
             });
         }
@@ -218,10 +240,22 @@ fn run_one<B: ShardBackend>(
     // Power-cycle: the next incarnation boots healthy stores holding
     // whatever bytes survived (the old crash switch dies with the old
     // machine), so the recovered engine can log and checkpoint again.
-    let boot: Vec<Arc<dyn WalStore>> = dyns
-        .iter()
-        .map(|s| MemStore::rebooted(&**s) as Arc<dyn WalStore>)
-        .collect();
+    // File-backed stores reboot by reopening their directories — the
+    // surviving bytes are whatever actually reached the files.
+    let boot: Vec<Arc<dyn WalStore>> = match &file_dirs {
+        Some(dirs) => dirs
+            .iter()
+            .map(|dir| {
+                stm_wal::FileStore::open(dir)
+                    .map(|s| s as Arc<dyn WalStore>)
+                    .map_err(|e| format!("file store reopen {}: {e}", dir.display()))
+            })
+            .collect::<Result<_, _>>()?,
+        None => dyns
+            .iter()
+            .map(|s| MemStore::rebooted(&**s) as Arc<dyn WalStore>)
+            .collect(),
+    };
     let (recovered, reports) = DurableEngine::<B>::recover(opts.shards, opts.keys, config, boot)
         .map_err(|e| format!("recovery failed: {e}"))?;
     let recovered_records: usize = reports.iter().map(|r| r.records.len()).sum();
@@ -280,7 +314,7 @@ fn verify_liveness<B: ShardBackend>(
         .map(|i| Arc::clone(recovered.store(i)))
         .collect();
     for k in 0..(opts.keys as u64).min(8) {
-        recovered.put(k, 0x000A_11CE + k);
+        recovered.put(k, 0x000A_11CE + k).unwrap();
     }
     let expected = recovered.read_all();
     drop(recovered);
@@ -370,6 +404,27 @@ mod tests {
         // The cut raced live committers: the log holds roughly the
         // pre-cut commits, never the full run.
         assert!(report.recovered_records < report.issued as usize);
+    }
+
+    #[test]
+    fn file_store_clean_and_crashed_runs_check_out() {
+        let root = std::env::temp_dir().join(format!("stm-harness-fs-{}", std::process::id()));
+        for (tag, crash_at) in [("clean", None), ("crashed", Some(150))] {
+            let dir = root.join(tag);
+            let _ = std::fs::remove_dir_all(&dir);
+            let report = run_durable(&DurableOpts {
+                crash_at,
+                ops: 300,
+                file_store: Some(dir.clone()),
+                ..DurableOpts::default()
+            })
+            .unwrap();
+            assert_eq!(report.crashed, crash_at.is_some(), "{tag}");
+            assert!(report.failures.is_empty(), "{tag}: {:?}", report.failures);
+            assert!(report.recovered_records > 0, "{tag}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -20,8 +20,16 @@
 //! * [`durable`] (feature `durable`) — the `--durable` mode: a KV
 //!   workload on the durable sharded engine with an optional mid-run
 //!   crash, followed by WAL recovery and verification (plus the
-//!   replay-equivalence oracle when `record` is also on).
+//!   replay-equivalence oracle when `record` is also on); stores are
+//!   in-memory by default or real files via `--file-store`;
+//! * [`chaos`] (feature `durable`) — the `--chaos` mode: the same KV
+//!   workload under deterministic seeded fault injection (transient
+//!   bursts, torn appends, permanent failures, fsync errors), with a
+//!   supervisor rejoining degraded shards and a no-lost-acked-commit
+//!   verification pass.
 
+#[cfg(feature = "durable")]
+pub mod chaos;
 pub mod driver;
 #[cfg(feature = "durable")]
 pub mod durable;
@@ -32,6 +40,8 @@ pub mod record;
 pub mod table;
 pub mod vacation_mix;
 
+#[cfg(feature = "durable")]
+pub use chaos::{run_chaos, ChaosOpts, ChaosReport};
 pub use driver::{drive, drive_with_coordinator, MeasureOpts, Measurement};
 #[cfg(feature = "durable")]
 pub use durable::{run_durable, DurBackend, DurableOpts, DurableReport};

@@ -31,7 +31,7 @@ use core::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use parking_lot::Mutex;
 use std::cell::{RefCell, UnsafeCell};
 use std::sync::Arc;
-use stm_api::{atomic_view, Abort, AbortReason, TmHandle, TmTx, TxKind, TxResult};
+use stm_api::{atomic_view, Abort, AbortReason, RunError, TmHandle, TmTx, TxKind, TxResult};
 use tinystm::clock::GlobalClock;
 use tinystm::config::{CmPolicy, ConfigError, MAX_LOCKS_LOG2, MAX_SHIFTS};
 use tinystm::mem::Limbo;
@@ -375,7 +375,27 @@ impl Tl2 {
     }
 
     /// Run `body` as a transaction, retrying until commit.
-    pub fn run<R, F>(&self, kind: TxKind, mut body: F) -> R
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attempt hits a terminal failure ([`RunError`],
+    /// e.g. a WAL publish error under the `durable` feature). The
+    /// transaction is rolled back cleanly first; use [`Tl2::try_run`]
+    /// to handle the error instead.
+    pub fn run<R, F>(&self, kind: TxKind, body: F) -> R
+    where
+        F: for<'x> FnMut(&mut Tl2Tx<'x>) -> TxResult<R>,
+    {
+        match self.try_run(kind, body) {
+            Ok(value) => value,
+            Err(e) => panic!("Tl2::run: {e} (use try_run to handle this)"),
+        }
+    }
+
+    /// Run `body` as a transaction, retrying until commit — or until a
+    /// terminal failure (a WAL publish error) aborts the retry loop.
+    /// The failed attempt is rolled back cleanly before returning.
+    pub fn try_run<R, F>(&self, kind: TxKind, mut body: F) -> Result<R, RunError>
     where
         F: for<'x> FnMut(&mut Tl2Tx<'x>) -> TxResult<R>,
     {
@@ -463,7 +483,13 @@ impl Tl2 {
             match outcome {
                 Ok(value) => {
                     ctx.consecutive_aborts = 0;
-                    return value;
+                    return Ok(value);
+                }
+                // Terminal: the attempt rolled back cleanly, but the
+                // durable store refused the commit — retrying would
+                // re-publish into the same failed sink.
+                Err(AbortReason::WalFailed) => {
+                    return Err(RunError::WalFailed);
                 }
                 Err(reason) => {
                     ctx.consecutive_aborts = ctx.consecutive_aborts.saturating_add(1);
@@ -712,6 +738,13 @@ impl TmHandle for Tl2 {
         Tl2::run(self, kind, body)
     }
 
+    fn try_run<R, F>(&self, kind: TxKind, body: F) -> Result<R, RunError>
+    where
+        F: for<'a> FnMut(&mut Self::Tx<'a>) -> TxResult<R>,
+    {
+        Tl2::try_run(self, kind, body)
+    }
+
     fn stats_snapshot(&self) -> stm_api::stats::BasicStats {
         self.stats().totals.basic()
     }
@@ -914,15 +947,12 @@ impl<'a> Tl2Tx<'a> {
             return Err(reason);
         }
 
-        // Write back, then release with the new version.
-        for e in &self.ctx.wset {
-            // SAFETY: caller contract of store_word.
-            // Site W3: Release, for racing seqlock readers (F1).
-            unsafe { atomic_view(e.addr).store(e.value, Ordering::Release) };
-        }
         // WAL publish — inside the commit critical section, before the
         // lock releases, so conflicting records enter the sink in
-        // commit-timestamp order (see tinystm::tx for the argument).
+        // commit-timestamp order (see tinystm::tx for the argument) —
+        // and before the write-back, so a failed publish aborts with
+        // zero memory effect: the locks are released with their prior
+        // words and no reader ever saw the doomed values.
         // The write set is already unique per address (store_word
         // updates in place); sort for a canonical record.
         #[cfg(feature = "durable")]
@@ -933,7 +963,22 @@ impl<'a> Tl2Tx<'a> {
             wal_scratch.clear();
             wal_scratch.extend(wset.iter().map(|e| (e.addr as usize, e.value)));
             wal_scratch.sort_unstable_by_key(|&(addr, _)| addr);
-            wal.publish(self.inner.wal.epoch(), wv, wal_scratch);
+            if wal
+                .publish(self.inner.wal.epoch(), wv, wal_scratch)
+                .is_err()
+            {
+                self.release_acquired();
+                let reason = AbortReason::WalFailed;
+                self.rollback(reason);
+                return Err(reason);
+            }
+        }
+        // Point of no return: write back, then release with the new
+        // version.
+        for e in &self.ctx.wset {
+            // SAFETY: caller contract of store_word.
+            // Site W3: Release, for racing seqlock readers (F1).
+            unsafe { atomic_view(e.addr).store(e.value, Ordering::Release) };
         }
         for &(idx, _) in &self.ctx.acquired {
             // Site W4: lock release — Release covers the write-back.

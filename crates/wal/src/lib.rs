@@ -12,7 +12,12 @@
 //! * [`record::WalRecord`] — the framed on-log record format;
 //! * [`writer::LogWriter`] — serialized append side (seq assignment);
 //! * [`store::WalStore`] / [`store::MemStore`] / [`store::CrashSwitch`]
-//!   — storage with byte-granular crash simulation;
+//!   — storage with byte-granular crash simulation and the
+//!   [`store::StoreError`] transient/torn/permanent failure taxonomy;
+//! * [`file::FileStore`] — real files: appends, fsync, generation-named
+//!   logs for atomic checkpoints;
+//! * [`fault::FaultStore`] — deterministic seeded fault injection over
+//!   any store (chaos harness substrate);
 //! * [`snapshot::Snapshot`] — checkpoint base state (written inside a
 //!   quiesce fence; checkpoint = snapshot + log truncation);
 //! * [`log::decode_log`] / [`log::recover_store`] — decoding, the
@@ -30,16 +35,20 @@
 //! that to a [`writer::LogWriter`].
 
 pub mod crc;
+pub mod fault;
+pub mod file;
 pub mod log;
 pub mod record;
 pub mod snapshot;
 pub mod store;
 pub mod writer;
 
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultStore};
+pub use file::FileStore;
 pub use log::{
     decode_log, recover_store, replay_onto, snapshot_of, Recovery, TailStatus, WalError,
 };
 pub use record::WalRecord;
 pub use snapshot::Snapshot;
-pub use store::{CrashSwitch, MemStore, WalStore};
+pub use store::{CrashSwitch, MemStore, StoreError, WalStore};
 pub use writer::LogWriter;

@@ -490,9 +490,9 @@ mod tests {
         use crate::store::{MemStore, WalStore};
         let store = MemStore::healthy();
         let snap = snapshot_of(&[(1u64, 5u64), (2, 6)].into_iter().collect(), 2);
-        store.checkpoint(&snap.encode());
-        store.append(&rec(9, 2, 1, &[(2, 60)]).encode());
-        store.append(&rec(10, 3, 1, &[(3, 70)]).encode());
+        store.checkpoint(&snap.encode()).unwrap();
+        store.append(&rec(9, 2, 1, &[(2, 60)]).encode()).unwrap();
+        store.append(&rec(10, 3, 1, &[(3, 70)]).encode()).unwrap();
         let recovery = recover_store(&*store).unwrap();
         assert_eq!(recovery.snapshot_epoch, 2);
         assert_eq!(recovery.max_epoch, 3);
@@ -503,8 +503,8 @@ mod tests {
         );
         // A log record older than the snapshot epoch is a hard error.
         let bad = MemStore::healthy();
-        bad.checkpoint(&snap.encode());
-        bad.append(&rec(0, 1, 1, &[(1, 1)]).encode());
+        bad.checkpoint(&snap.encode()).unwrap();
+        bad.append(&rec(0, 1, 1, &[(1, 1)]).encode()).unwrap();
         assert!(matches!(
             recover_store(&*bad),
             Err(WalError::EpochBeforeSnapshot {

@@ -18,22 +18,94 @@ use core::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
+/// A storage operation failed. The variant is the *retry contract*, not
+/// just a label — it tells the caller what state the log is in and
+/// whether re-issuing the same bytes is sound:
+///
+/// * [`StoreError::Transient`] — nothing reached the log; the identical
+///   append may be retried in place (same sequence number, same bytes).
+/// * [`StoreError::Torn`] — a strict prefix of the append reached the
+///   log. Retrying in place would put a damaged frame *before* an
+///   intact record, which recovery correctly refuses as interior
+///   corruption — so a torn append is **never** retryable; the shard
+///   must stop appending until a checkpoint truncates the torn bytes.
+/// * [`StoreError::Permanent`] — the device is gone (or fsync failed,
+///   after which re-running fsync proves nothing); no further writes
+///   can be trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Nothing persisted; the same operation may be retried.
+    Transient(String),
+    /// `persisted` bytes of the append landed before the failure; the
+    /// log now ends in a damaged frame. Not retryable in place.
+    Torn {
+        /// Bytes of the attempted append that reached the log.
+        persisted: usize,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// The store is unusable; no retry can succeed.
+    Permanent(String),
+}
+
+impl StoreError {
+    /// May the caller re-issue the identical operation?
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Transient(_))
+    }
+
+    /// Human-readable cause.
+    pub fn detail(&self) -> &str {
+        match self {
+            StoreError::Transient(d) | StoreError::Permanent(d) => d,
+            StoreError::Torn { detail, .. } => detail,
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Transient(d) => write!(f, "transient store error: {d}"),
+            StoreError::Torn { persisted, detail } => {
+                write!(f, "torn append ({persisted} bytes persisted): {detail}")
+            }
+            StoreError::Permanent(d) => write!(f, "permanent store error: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
 /// Durable storage for one shard: an append-only log plus one snapshot
 /// slot (the checkpoint base the log is replayed on top of).
 ///
 /// Implementations must make `append` atomic with respect to concurrent
 /// `append`s (no interleaved bytes) — callers already serialize appends
 /// per sink, but the store must not assume it.
+///
+/// Failure contract: `Err` classifies what (if anything) persisted, per
+/// [`StoreError`]. A *simulated power cut* ([`CrashSwitch`]) is **not**
+/// an error — the writing machine is "dead" and never observes it, so
+/// a cut store keeps returning `Ok` while silently dropping bytes,
+/// exactly like real hardware losing power mid-write.
 pub trait WalStore: Send + Sync {
-    /// Append `bytes` to the log. A crashed store may apply a prefix.
-    fn append(&self, bytes: &[u8]);
+    /// Append `bytes` to the log.
+    fn append(&self, bytes: &[u8]) -> Result<(), StoreError>;
+    /// Force previously appended bytes down to durable storage (fsync
+    /// for file-backed stores; a no-op for memory stores). A failed
+    /// sync is never retryable: the bytes since the last successful
+    /// sync are in an unknown state (they may or may not survive).
+    fn sync(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
     /// The current log contents.
     fn log_bytes(&self) -> Vec<u8>;
     /// The current snapshot, if a checkpoint ever completed.
     fn snapshot(&self) -> Option<Vec<u8>>;
     /// Checkpoint: atomically install `snapshot` and clear the log.
     /// A crashed store ignores this (the old snapshot + log survive).
-    fn checkpoint(&self, snapshot: &[u8]);
+    fn checkpoint(&self, snapshot: &[u8]) -> Result<(), StoreError>;
 }
 
 /// Shared kill switch for a set of stores (one per engine).
@@ -73,8 +145,9 @@ impl CrashSwitch {
         self.cut.load(Ordering::SeqCst) || self.remaining.load(Ordering::SeqCst) <= 0
     }
 
-    /// How many of `want` bytes this append may still persist.
-    fn admit(&self, want: usize) -> usize {
+    /// How many of `want` bytes this append may still persist (store
+    /// implementations call this once per append, under their lock).
+    pub(crate) fn admit(&self, want: usize) -> usize {
         if self.cut.load(Ordering::SeqCst) {
             return 0;
         }
@@ -157,14 +230,17 @@ impl MemStore {
 }
 
 impl WalStore for MemStore {
-    fn append(&self, bytes: &[u8]) {
+    fn append(&self, bytes: &[u8]) -> Result<(), StoreError> {
         let mut inner = self.inner.lock();
         // Shadow sees everything; the survivable log only what the
         // crash budget admits. Taking the budget under the store mutex
-        // keeps the cut point consistent with append order.
+        // keeps the cut point consistent with append order. A cut is a
+        // power loss, not an I/O error: the writer never learns of it,
+        // so the append still reports success (see the trait docs).
         inner.shadow.extend_from_slice(bytes);
         let admitted = self.switch.admit(bytes.len());
         inner.log.extend_from_slice(&bytes[..admitted]);
+        Ok(())
     }
 
     fn log_bytes(&self) -> Vec<u8> {
@@ -175,14 +251,15 @@ impl WalStore for MemStore {
         self.inner.lock().snapshot.clone()
     }
 
-    fn checkpoint(&self, snapshot: &[u8]) {
+    fn checkpoint(&self, snapshot: &[u8]) -> Result<(), StoreError> {
         if self.switch.is_cut() {
-            return; // the machine is "off"; nothing reaches the disk
+            return Ok(()); // the machine is "off"; nothing reaches disk
         }
         let mut inner = self.inner.lock();
         inner.snapshot = Some(snapshot.to_vec());
         inner.log.clear();
         inner.shadow.clear();
+        Ok(())
     }
 }
 
@@ -201,8 +278,8 @@ mod tests {
     #[test]
     fn healthy_store_keeps_everything() {
         let store = MemStore::healthy();
-        store.append(b"abc");
-        store.append(b"defg");
+        store.append(b"abc").unwrap();
+        store.append(b"defg").unwrap();
         assert_eq!(store.log_bytes(), b"abcdefg");
         assert_eq!(store.shadow_bytes(), b"abcdefg");
     }
@@ -211,9 +288,9 @@ mod tests {
     fn byte_budget_cuts_mid_append() {
         let switch = CrashSwitch::after_bytes(5);
         let store = MemStore::new(Arc::clone(&switch));
-        store.append(b"abc"); // 3 of 5
-        store.append(b"defg"); // 2 admitted, torn
-        store.append(b"hij"); // 0 admitted
+        store.append(b"abc").unwrap(); // 3 of 5
+        store.append(b"defg").unwrap(); // 2 admitted, torn
+        store.append(b"hij").unwrap(); // 0 admitted
         assert_eq!(store.log_bytes(), b"abcde");
         assert_eq!(store.shadow_bytes(), b"abcdefghij");
         assert!(switch.is_cut());
@@ -223,10 +300,10 @@ mod tests {
     fn cut_now_freezes_log_and_checkpoint() {
         let switch = CrashSwitch::unlimited();
         let store = MemStore::new(Arc::clone(&switch));
-        store.append(b"abc");
+        store.append(b"abc").unwrap();
         switch.cut_now();
-        store.append(b"def");
-        store.checkpoint(b"snap");
+        store.append(b"def").unwrap();
+        store.checkpoint(b"snap").unwrap();
         assert_eq!(store.log_bytes(), b"abc");
         assert_eq!(store.snapshot(), None);
     }
@@ -235,20 +312,20 @@ mod tests {
     fn reboot_carries_persisted_bytes_onto_a_live_machine() {
         let switch = CrashSwitch::after_bytes(5);
         let store = MemStore::new(switch);
-        store.append(b"abcdefg"); // torn at 5
+        store.append(b"abcdefg").unwrap(); // torn at 5
         let booted = MemStore::rebooted(&*store);
         assert_eq!(booted.log_bytes(), b"abcde");
-        booted.append(b"hij"); // the new machine is healthy
+        booted.append(b"hij").unwrap(); // the new machine is healthy
         assert_eq!(booted.log_bytes(), b"abcdehij");
-        booted.checkpoint(b"snap");
+        booted.checkpoint(b"snap").unwrap();
         assert_eq!(booted.snapshot().unwrap(), b"snap");
     }
 
     #[test]
     fn checkpoint_replaces_snapshot_and_clears_log() {
         let store = MemStore::healthy();
-        store.append(b"abc");
-        store.checkpoint(b"snap");
+        store.append(b"abc").unwrap();
+        store.checkpoint(b"snap").unwrap();
         assert_eq!(store.log_bytes(), b"");
         assert_eq!(store.snapshot().unwrap(), b"snap");
     }
@@ -258,7 +335,7 @@ mod tests {
         let switch = CrashSwitch::after_bytes(17);
         let store = MemStore::new(switch);
         for i in 0u8..10 {
-            store.append(&[i; 4]);
+            store.append(&[i; 4]).unwrap();
         }
         let log = store.log_bytes();
         let shadow = store.shadow_bytes();

@@ -5,7 +5,7 @@
 //! [`crate::log::decode_log`]'s contiguity check later verifies.
 
 use crate::record::WalRecord;
-use crate::store::WalStore;
+use crate::store::{StoreError, WalStore};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -44,12 +44,23 @@ impl LogWriter {
     /// Append one commit. Encode + store-append happen under one lock
     /// so concurrent commits on disjoint stripes cannot interleave
     /// their sequence numbers out of byte order.
-    pub fn append_commit(&self, epoch: u64, commit_ts: u64, writes: &[(u64, u64)]) {
+    ///
+    /// The sequence number is consumed only on success: a failed append
+    /// persisted nothing decodable (transient) or a damaged prefix the
+    /// recovery tail-scan discards (torn), so the *same* seq must go to
+    /// the next attempt — advancing it would tear a [`WalError::SeqGap`]
+    /// into an otherwise healthy log.
+    ///
+    /// [`WalError::SeqGap`]: crate::log::WalError::SeqGap
+    pub fn append_commit(
+        &self,
+        epoch: u64,
+        commit_ts: u64,
+        writes: &[(u64, u64)],
+    ) -> Result<(), StoreError> {
         let mut inner = self.inner.lock();
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
         let record = WalRecord {
-            seq,
+            seq: inner.next_seq,
             epoch,
             commit_ts,
             shard: self.shard,
@@ -57,12 +68,22 @@ impl LogWriter {
         };
         inner.buf.clear();
         record.encode_into(&mut inner.buf);
-        self.store.append(&inner.buf);
+        self.store.append(&inner.buf)?;
+        inner.next_seq += 1;
+        Ok(())
     }
 
     /// Sequence number the next append will use.
     pub fn next_seq(&self) -> u64 {
         self.inner.lock().next_seq
+    }
+
+    /// Reset the sequence counter (rejoin: after a checkpoint truncated
+    /// the log, the next record starts a fresh contiguous run). Must
+    /// only be called while no commit can be publishing — the callers
+    /// hold the shard inside a quiesce fence.
+    pub fn set_next_seq(&self, seq: u64) {
+        self.inner.lock().next_seq = seq;
     }
 }
 
@@ -76,9 +97,9 @@ mod tests {
     fn writer_produces_contiguous_decodable_log() {
         let store = MemStore::healthy();
         let writer = LogWriter::new(4, Arc::clone(&store) as Arc<dyn WalStore>, 0);
-        writer.append_commit(0, 1, &[(1, 10)]);
-        writer.append_commit(0, 2, &[(2, 20), (3, 30)]);
-        writer.append_commit(1, 1, &[]);
+        writer.append_commit(0, 1, &[(1, 10)]).unwrap();
+        writer.append_commit(0, 2, &[(2, 20), (3, 30)]).unwrap();
+        writer.append_commit(1, 1, &[]).unwrap();
         let (records, tail) = decode_log(&store.log_bytes()).unwrap();
         assert!(tail.is_clean());
         assert_eq!(records.len(), 3);
@@ -88,5 +109,52 @@ mod tests {
         );
         assert!(records.iter().all(|r| r.shard == 4));
         assert_eq!(writer.next_seq(), 3);
+    }
+
+    #[test]
+    fn failed_append_keeps_seq_for_the_retry() {
+        use crate::store::StoreError;
+        use core::sync::atomic::{AtomicBool, Ordering};
+
+        /// Fails the next append (persisting nothing), then recovers.
+        struct Flaky {
+            fail_next: AtomicBool,
+            inner: Arc<MemStore>,
+        }
+        impl WalStore for Flaky {
+            fn append(&self, bytes: &[u8]) -> Result<(), StoreError> {
+                if self.fail_next.swap(false, Ordering::SeqCst) {
+                    return Err(StoreError::Transient("injected".into()));
+                }
+                self.inner.append(bytes)
+            }
+            fn log_bytes(&self) -> Vec<u8> {
+                self.inner.log_bytes()
+            }
+            fn snapshot(&self) -> Option<Vec<u8>> {
+                self.inner.snapshot()
+            }
+            fn checkpoint(&self, snapshot: &[u8]) -> Result<(), StoreError> {
+                self.inner.checkpoint(snapshot)
+            }
+        }
+
+        let flaky = Arc::new(Flaky {
+            fail_next: AtomicBool::new(false),
+            inner: MemStore::healthy(),
+        });
+        let writer = LogWriter::new(0, Arc::clone(&flaky) as Arc<dyn WalStore>, 0);
+        writer.append_commit(0, 1, &[(1, 10)]).unwrap();
+        flaky.fail_next.store(true, Ordering::SeqCst);
+        assert!(writer.append_commit(0, 2, &[(2, 20)]).is_err());
+        assert_eq!(writer.next_seq(), 1, "failed append must not burn a seq");
+        writer.append_commit(0, 2, &[(2, 20)]).unwrap(); // the retry
+        let (records, tail) = decode_log(&flaky.log_bytes()).unwrap();
+        assert!(tail.is_clean());
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1],
+            "retried append continues the contiguous seq run"
+        );
     }
 }

@@ -37,7 +37,7 @@ fn scripted_log(commits: usize, seed: u64) -> (Arc<MemStore>, Vec<u8>, Vec<BTree
             .collect();
         writes.sort_unstable_by_key(|&(k, _)| k);
         writes.dedup_by_key(|&mut (k, _)| k);
-        writer.append_commit(0, ts, &writes);
+        writer.append_commit(0, ts, &writes).unwrap();
         for &(k, v) in &writes {
             state.insert(k, v);
         }
@@ -53,7 +53,7 @@ fn torn_tail_at_every_byte_recovers_a_commit_prefix() {
     for cut in 0..=bytes.len() {
         let switch = CrashSwitch::after_bytes(cut as u64);
         let store = MemStore::new(switch);
-        store.append(&bytes); // one big append, torn at `cut`
+        store.append(&bytes).unwrap(); // one big append, torn at `cut`
         let recovery = recover_store(&*store).unwrap_or_else(|e| {
             panic!("cut at byte {cut}: recovery must succeed on a pure tear, got {e}")
         });
@@ -85,7 +85,7 @@ fn torn_tail_from_shared_byte_budget_over_many_appends() {
         // Re-drive the appends record by record.
         let (records, _) = decode_log(&bytes).unwrap();
         for r in &records {
-            store.append(&r.encode());
+            store.append(&r.encode()).unwrap();
         }
         let recovery = recover_store(&*store).expect("pure tear must recover");
         assert_eq!(recovery.state, prefixes[recovery.records.len()]);
@@ -98,7 +98,7 @@ fn single_bit_flips_never_silently_diverge() {
     let full_state = prefixes.last().unwrap();
     for byte in 0..bytes.len() {
         let store = MemStore::healthy();
-        store.append(&bytes);
+        store.append(&bytes).unwrap();
         store.flip_log_bit(byte, (byte % 8) as u8);
         match recover_store(&*store) {
             // Loud failure: acceptable for damage anywhere.
@@ -139,7 +139,7 @@ fn interior_damage_with_intact_followers_is_always_loud() {
     // "recovered" empty state.
     let first_len = records[0].encode().len();
     let store = MemStore::healthy();
-    store.append(&bytes);
+    store.append(&bytes).unwrap();
     for b in 8..first_len {
         store.flip_log_bit(b, 0);
     }
@@ -155,13 +155,13 @@ fn snapshot_bit_flips_are_always_hard_errors() {
     let snap = snapshot_of(&state, 3).encode();
     for byte in 0..snap.len() {
         let store = MemStore::healthy();
-        store.checkpoint(&snap);
+        store.checkpoint(&snap).unwrap();
         // Damage the stored snapshot via a rebuilt store (MemStore has
         // no snapshot flip helper; install the damaged bytes directly).
         let mut bad = snap.clone();
         bad[byte] ^= 0x08;
         let damaged = MemStore::healthy();
-        damaged.checkpoint(&bad);
+        damaged.checkpoint(&bad).unwrap();
         assert!(
             matches!(
                 recover_store(&*damaged),
@@ -179,18 +179,18 @@ fn checkpoint_then_crash_recovers_snapshot_plus_log_tail() {
     let writer = LogWriter::new(0, Arc::clone(&store) as Arc<dyn WalStore>, 0);
     let mut state = BTreeMap::new();
     for ts in 1..=10u64 {
-        writer.append_commit(0, ts, &[(ts % 4, ts * 100)]);
+        writer.append_commit(0, ts, &[(ts % 4, ts * 100)]).unwrap();
         state.insert(ts % 4, ts * 100);
     }
     // Checkpoint at epoch 1 (as the engine does inside a quiesce fence),
     // then keep committing in the new epoch.
-    store.checkpoint(&snapshot_of(&state, 1).encode());
+    store.checkpoint(&snapshot_of(&state, 1).encode()).unwrap();
     for ts in 1..=5u64 {
-        writer.append_commit(1, ts, &[(10 + ts, ts)]);
+        writer.append_commit(1, ts, &[(10 + ts, ts)]).unwrap();
         state.insert(10 + ts, ts);
     }
     switch.cut_now();
-    writer.append_commit(1, 6, &[(99, 99)]); // lost
+    writer.append_commit(1, 6, &[(99, 99)]).unwrap(); // "succeeds", lost
     let recovery = recover_store(&*store).unwrap();
     assert_eq!(recovery.snapshot_epoch, 1);
     assert_eq!(recovery.records.len(), 5);
@@ -216,7 +216,7 @@ fn double_replay_reconstructs_identical_state() {
 fn truncate_log_helper_matches_byte_budget_semantics() {
     let (_, bytes, prefixes) = scripted_log(8, 0x7AB);
     let store = MemStore::healthy();
-    store.append(&bytes);
+    store.append(&bytes).unwrap();
     let keep = bytes.len() / 2;
     store.truncate_log(keep);
     assert_eq!(store.log_len(), keep);
