@@ -2,8 +2,14 @@
 //! per-access costs the paper's design discussion reasons about
 //! (encounter-time acquisition, read validation, commit, Bloom filter,
 //! lock-word codec).
+//!
+//! Besides the criterion console output, a self-timed pass emits every
+//! primitive's per-op cost to `target/perf/micro.jsonl` through the
+//! shared perf pipeline. Diagnostic only: micro has no baseline
+//! snapshot, so `perf-diff` never gates it — the JSONL exists so CI
+//! artifacts capture the primitive costs next to the figure benches.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use stm_api::mem::WordBlock;
 use stm_api::{TmTx, TxKind};
 use stm_tl2::{Bloom, Tl2, Tl2Config};
@@ -127,4 +133,136 @@ fn bench_lockword(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_tx_primitives, bench_bloom, bench_lockword);
-criterion_main!(benches);
+
+/// Self-timed cost of `f`, in ns per call: warm up briefly, then run
+/// timed batches until enough wall time has accumulated for a stable
+/// mean (a coarse measurement — criterion above is the precise one).
+fn time_ns_per_op(mut f: impl FnMut()) -> f64 {
+    use std::time::{Duration, Instant};
+    for _ in 0..1_000 {
+        f();
+    }
+    let budget = Duration::from_millis(20);
+    let mut iters = 0u64;
+    let mut elapsed = Duration::ZERO;
+    let mut batch = 1_000u64;
+    while elapsed < budget {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        elapsed += start.elapsed();
+        iters += batch;
+        batch = batch.saturating_mul(2).min(1 << 20);
+    }
+    elapsed.as_nanos() as f64 / iters as f64
+}
+
+/// One emitted point: the primitive's per-op cost, expressed in the
+/// shared record schema (`ops_per_sec` is the gating-compatible shape;
+/// the raw `ns_per_op` rides in the extras).
+fn micro_record(panel: &str, backend: &str, ns_per_op: f64) -> stm_perf::BenchRecord {
+    stm_perf::BenchRecord {
+        experiment: "micro".to_string(),
+        panel: panel.to_string(),
+        structure: "primitive".to_string(),
+        backend: backend.to_string(),
+        threads: 1,
+        initial_size: 0,
+        key_range: 0,
+        update_pct: 0,
+        ops_per_sec: 1e9 / ns_per_op.max(1e-9),
+        aborts_per_sec: 0.0,
+        abort_ratio: 0.0,
+        commits: 0,
+        aborts: 0,
+        elapsed_ms: 0.0,
+        aborts_by_reason: std::collections::BTreeMap::new(),
+        worker_panics: 0,
+        extras: [("ns_per_op".to_string(), ns_per_op)].into_iter().collect(),
+    }
+}
+
+/// The self-timed emission pass mirroring the criterion groups above.
+fn emit_perf() {
+    let mut out = stm_bench::perf_emitter(
+        "micro",
+        "per-op cost of the transactional primitives (tx paths, Bloom, lock-word codec)",
+    );
+    let block = WordBlock::new(64);
+    let addr = block.as_ptr();
+    for (name, handle) in [
+        ("tinystm-wb", stm(AccessStrategy::WriteBack, 0)),
+        ("tinystm-wt", stm(AccessStrategy::WriteThrough, 0)),
+        ("tinystm-wb-h16", stm(AccessStrategy::WriteBack, 4)),
+    ] {
+        let ns = time_ns_per_op(|| {
+            handle.run(TxKind::ReadWrite, |_tx| Ok(()));
+        });
+        out.record(micro_record("tx/empty-update", name, ns));
+        let ns = time_ns_per_op(|| {
+            handle.run(TxKind::ReadOnly, |tx| {
+                let mut acc = 0usize;
+                for k in 0..8 {
+                    acc ^= unsafe { tx.load_word(addr.wrapping_add(k)) }?;
+                }
+                Ok(acc)
+            });
+        });
+        out.record(micro_record("tx/ro-8-reads", name, ns));
+        let ns = time_ns_per_op(|| {
+            handle.run(TxKind::ReadWrite, |tx| {
+                for k in 0..8 {
+                    unsafe { tx.store_word(addr.wrapping_add(k), k) }?;
+                }
+                Ok(())
+            });
+        });
+        out.record(micro_record("tx/rw-8-writes", name, ns));
+    }
+    let tl2 = Tl2::new(Tl2Config::default()).unwrap();
+    let ns = time_ns_per_op(|| {
+        tl2.run(TxKind::ReadWrite, |_tx| Ok(()));
+    });
+    out.record(micro_record("tx/empty-update", "tl2", ns));
+    let ns = time_ns_per_op(|| {
+        tl2.run(TxKind::ReadWrite, |tx| {
+            for k in 0..8 {
+                unsafe { tx.store_word(addr.wrapping_add(k), k) }?;
+            }
+            Ok(())
+        });
+    });
+    out.record(micro_record("tx/rw-8-writes", "tl2", ns));
+    out.gap();
+
+    let mut bloom = Bloom::new();
+    for i in 0..64usize {
+        bloom.insert(0x1000 + i * 8);
+    }
+    let ns = time_ns_per_op(|| {
+        std::hint::black_box(bloom.maybe_contains(std::hint::black_box(0x1000)));
+    });
+    out.record(micro_record("bloom/query-hit", "tl2", ns));
+    let ns = time_ns_per_op(|| {
+        std::hint::black_box(bloom.maybe_contains(std::hint::black_box(0xdead_0000)));
+    });
+    out.record(micro_record("bloom/query-miss", "tl2", ns));
+    let ns = time_ns_per_op(|| {
+        std::hint::black_box(lockword::wb_version(lockword::wb_make(
+            std::hint::black_box(123_456),
+        )));
+    });
+    out.record(micro_record("lockword/wb-roundtrip", "tinystm-wb", ns));
+    let ns = time_ns_per_op(|| {
+        let w = lockword::wt_make(std::hint::black_box(123_456), 3);
+        std::hint::black_box((lockword::wt_version(w), lockword::wt_incarnation(w)));
+    });
+    out.record(micro_record("lockword/wt-roundtrip", "tinystm-wt", ns));
+    out.finish();
+}
+
+fn main() {
+    benches();
+    emit_perf();
+}

@@ -134,6 +134,9 @@ pub struct SessionLog {
     /// Set while the owning thread is inside a recorded attempt. Half
     /// of the Dekker pair with [`TraceSink`]'s `closed` flag.
     active: AtomicBool,
+    /// Events pushed so far, readable by any thread (Relaxed). Only a
+    /// bound check — the events themselves stay behind the handshake.
+    count: AtomicU64,
 }
 
 // SAFETY: the `UnsafeCell` is only written by the owning thread (push,
@@ -147,7 +150,12 @@ unsafe impl Sync for SessionLog {}
 impl SessionLog {
     /// Mark the owning thread as inside a recorded attempt. Returns
     /// `false` (and leaves the log inactive) when `sink` has been
-    /// closed for draining — the caller must not record this attempt.
+    /// closed for draining, or when this session has reached the sink's
+    /// event cap — in either case the caller must not record this
+    /// attempt. Cap refusals skip *whole* attempts, so a bounded sink's
+    /// history is always well-formed (never a truncated bracket); the
+    /// refusals are tallied on the sink
+    /// ([`TraceSink::skipped_attempts`]), never silent.
     ///
     /// The SeqCst store/load pair is the recording half of the Dekker
     /// handshake with [`TraceSink::drain_history`] (module docs).
@@ -156,6 +164,11 @@ impl SessionLog {
         self.active.store(true, Ordering::SeqCst);
         if sink.is_closed() {
             self.active.store(false, Ordering::Release);
+            return false;
+        }
+        if self.count.load(Ordering::Relaxed) >= sink.event_cap {
+            self.active.store(false, Ordering::Release);
+            sink.skipped_attempts.fetch_add(1, Ordering::Relaxed);
             return false;
         }
         true
@@ -183,6 +196,7 @@ impl SessionLog {
     #[inline]
     pub unsafe fn push(&self, event: Event) {
         (*self.events.get()).push(event);
+        self.count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Take the recorded events, leaving the log empty.
@@ -244,7 +258,7 @@ const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
 /// [`SessionLog`] per recording thread), and drained into a [`History`]
 /// once the workload's threads have joined. A sink is one-shot: close
 /// it by draining, then create a fresh sink for the next window.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TraceSink {
     sessions: Mutex<Vec<Arc<SessionLog>>>,
     /// Set once draining starts; recording threads observe it at their
@@ -252,12 +266,55 @@ pub struct TraceSink {
     closed: AtomicBool,
     /// Clock roll-overs that hit this sink while recording (poison).
     rollovers: AtomicU64,
+    /// Per-session event bound (`u64::MAX` = unbounded). Checked at
+    /// attempt activation, so a session may overshoot by at most one
+    /// attempt's events; total sink memory is bounded by
+    /// `cap × sessions` (± that slack).
+    event_cap: u64,
+    /// Attempts refused because their session hit the event cap.
+    skipped_attempts: AtomicU64,
+}
+
+impl Default for TraceSink {
+    fn default() -> TraceSink {
+        TraceSink {
+            sessions: Mutex::default(),
+            closed: AtomicBool::new(false),
+            rollovers: AtomicU64::new(0),
+            event_cap: u64::MAX,
+            skipped_attempts: AtomicU64::new(0),
+        }
+    }
 }
 
 impl TraceSink {
-    /// A fresh, empty sink.
+    /// A fresh, empty, unbounded sink.
     pub fn new() -> Arc<TraceSink> {
         Arc::new(TraceSink::default())
+    }
+
+    /// A fresh sink whose sessions each stop recording after roughly
+    /// `event_cap` events (whole attempts are skipped once a session
+    /// reaches the cap; see [`SessionLog::try_activate`]). This is what
+    /// makes sampled recording windows safe on production-length runs:
+    /// a window's memory is bounded no matter how hot the workload.
+    pub fn with_event_cap(event_cap: u64) -> Arc<TraceSink> {
+        Arc::new(TraceSink {
+            event_cap: event_cap.max(1),
+            ..TraceSink::default()
+        })
+    }
+
+    /// The per-session event bound (`u64::MAX` = unbounded).
+    pub fn event_cap(&self) -> u64 {
+        self.event_cap
+    }
+
+    /// Attempts refused at activation because their session had reached
+    /// the event cap. Non-zero means the drained history is a *prefix
+    /// sample* of the window, not the whole window.
+    pub fn skipped_attempts(&self) -> u64 {
+        self.skipped_attempts.load(Ordering::Relaxed)
     }
 
     /// Register a new session (called once per recording thread by the
@@ -465,6 +522,75 @@ mod tests {
         }));
         assert!(caught.is_err());
         assert!(!log.is_active(), "guard must deactivate on unwind");
+    }
+
+    #[test]
+    fn capped_sink_skips_whole_attempts_and_counts_them() {
+        let sink = TraceSink::with_event_cap(3);
+        assert_eq!(sink.event_cap(), 3);
+        let log = sink.register_session();
+        // First attempt activates (count 0 < 3) and records 4 events —
+        // overshoot within one attempt is allowed.
+        assert!(log.try_activate(&sink));
+        // SAFETY: single-threaded test.
+        unsafe {
+            log.push(begin(0));
+            log.push(Event::Read {
+                stripe: 1,
+                version: 0,
+            });
+            log.push(Event::Write { stripe: 1 });
+            log.push(Event::Commit { version: Some(1) });
+        }
+        log.deactivate();
+        // Next attempt is refused at the cap, as a whole.
+        assert!(!log.try_activate(&sink), "cap must refuse activation");
+        assert!(!log.is_active());
+        assert_eq!(sink.skipped_attempts(), 1);
+        // The drained history is still well-formed: one complete attempt.
+        let h = sink.drain_history().unwrap();
+        assert_eq!(h.sessions.len(), 1);
+        assert_eq!(h.sessions[0].len(), 1);
+    }
+
+    #[test]
+    fn fresh_windows_never_share_events() {
+        // The sampler contract: a drained (closed) window's sink can
+        // never receive an attempt recorded after the boundary, so no
+        // event is attributed to two windows.
+        let window_a = TraceSink::with_event_cap(1024);
+        let log_a = window_a.register_session();
+        assert!(log_a.try_activate(&window_a));
+        // SAFETY: single-threaded test.
+        unsafe {
+            log_a.push(begin(0));
+            log_a.push(Event::Commit { version: None });
+        }
+        log_a.deactivate();
+        let ha = window_a.drain_history().unwrap();
+        assert_eq!(ha.sessions.len(), 1);
+
+        // Between windows: the old sink refuses, so the attempt that
+        // runs before the next window attaches goes unrecorded.
+        assert!(!log_a.try_activate(&window_a));
+
+        // The next window gets a fresh sink and fresh sessions.
+        let window_b = TraceSink::with_event_cap(1024);
+        let log_b = window_b.register_session();
+        assert!(log_b.try_activate(&window_b));
+        // SAFETY: single-threaded test.
+        unsafe {
+            log_b.push(begin(5));
+            log_b.push(Event::Commit { version: None });
+        }
+        log_b.deactivate();
+        let hb = window_b.drain_history().unwrap();
+        assert_eq!(hb.sessions.len(), 1);
+        // Window A's history was taken before B recorded: draining A
+        // again yields nothing (its events moved, not copied).
+        // SAFETY: nothing records into window_a anymore.
+        let again = unsafe { window_a.drain_history_unchecked() }.unwrap();
+        assert_eq!(again.sessions.len(), 0);
     }
 
     #[test]

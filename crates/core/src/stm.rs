@@ -95,6 +95,9 @@ pub(crate) struct StmInner {
     config_mirror: Mutex<StmConfig>,
     rollovers: AtomicU64,
     reconfigurations: AtomicU64,
+    /// Hot-path telemetry instruments (commit latency / retries),
+    /// runtime-gated — disabled they cost one Relaxed load per `run`.
+    telemetry: stm_telemetry::TxMetrics,
     /// Attached event-recording sink, if any.
     #[cfg(feature = "record")]
     pub(crate) trace: crate::trace::TraceControl,
@@ -195,6 +198,7 @@ impl Stm {
                 config_mirror: Mutex::new(config),
                 rollovers: AtomicU64::new(0),
                 reconfigurations: AtomicU64::new(0),
+                telemetry: stm_telemetry::TxMetrics::new(),
                 #[cfg(feature = "record")]
                 trace: crate::trace::TraceControl::new(),
                 #[cfg(feature = "durable")]
@@ -264,6 +268,22 @@ impl Stm {
     {
         let ts = self.thread_state();
         let inner: &StmInner = &self.inner;
+        // Telemetry is sampled once per `run` call: latency covers the
+        // whole call (retries included), and the flight recorder traces
+        // the attempt lifecycle. Both checks are one Relaxed load; off
+        // (the default, and the perf gate's configuration) they cost an
+        // untaken branch.
+        let tele = &inner.telemetry;
+        let tele_start = tele.enabled().then(std::time::Instant::now);
+        let flight_on = stm_telemetry::flight::enabled();
+        if flight_on {
+            stm_telemetry::flight::record(
+                tele.tag(),
+                stm_telemetry::flight::FlightKind::Begin,
+                0,
+                0,
+            );
+        }
         loop {
             if inner.clock.overflowed() {
                 self.handle_overflow();
@@ -351,17 +371,45 @@ impl Stm {
             let ctx = unsafe { &mut *ts.ctx.get() };
             match outcome {
                 Ok(value) => {
+                    let retries = ctx.consecutive_aborts;
+                    if let Some(start) = tele_start {
+                        tele.record_commit(start.elapsed().as_nanos() as u64, u64::from(retries));
+                    }
+                    if flight_on {
+                        stm_telemetry::flight::record(
+                            tele.tag(),
+                            stm_telemetry::flight::FlightKind::Commit,
+                            0,
+                            retries.min(u32::from(u16::MAX)) as u16,
+                        );
+                    }
                     ctx.consecutive_aborts = 0;
                     self.maybe_reclaim(&ts);
                     return Ok(value);
                 }
                 Err(AbortReason::WalFailed) => {
+                    if flight_on {
+                        stm_telemetry::flight::record(
+                            tele.tag(),
+                            stm_telemetry::flight::FlightKind::Abort,
+                            AbortReason::WalFailed.index() as u8,
+                            0,
+                        );
+                    }
                     // Terminal: the sink already rolled through its own
                     // retry policy; the attempt is rolled back. Exit
                     // the loop instead of retrying a doomed commit.
                     return Err(RunError::WalFailed);
                 }
                 Err(reason) => {
+                    if flight_on {
+                        stm_telemetry::flight::record(
+                            tele.tag(),
+                            stm_telemetry::flight::FlightKind::Retry,
+                            reason.index() as u8,
+                            0,
+                        );
+                    }
                     ctx.consecutive_aborts = ctx.consecutive_aborts.saturating_add(1);
                     if matches!(reason, AbortReason::ClockOverflow) {
                         self.handle_overflow();
@@ -506,6 +554,14 @@ impl Stm {
     /// Current global clock value (diagnostics/tests).
     pub fn clock_now(&self) -> u64 {
         self.inner.clock.now()
+    }
+
+    /// This instance's hot-path telemetry instruments. Disabled by
+    /// default; enable via [`stm_telemetry::TxMetrics::set_enabled`] to
+    /// start recording commit-latency and retries histograms (the
+    /// sharded engine also tags each shard's instance here).
+    pub fn telemetry(&self) -> &stm_telemetry::TxMetrics {
+        &self.inner.telemetry
     }
 
     /// Attach an event-recording sink: every thread's subsequent
@@ -653,6 +709,28 @@ impl TmHandle for Stm {
             crate::config::AccessStrategy::WriteBack => "tinystm-wb",
             crate::config::AccessStrategy::WriteThrough => "tinystm-wt",
         }
+    }
+}
+
+impl stm_telemetry::MetricsSource for Stm {
+    fn collect(&self, frame: &mut stm_telemetry::MetricsFrame) {
+        let stats = self.stats();
+        let backend = stm_api::TmHandle::backend_name(self);
+        let tag = self.inner.telemetry.tag();
+        let shard;
+        let mut labels: Vec<(&str, &str)> = vec![("backend", backend)];
+        if tag != stm_telemetry::UNTAGGED {
+            shard = tag.to_string();
+            labels.push(("shard", shard.as_str()));
+        }
+        stm_telemetry::collect_tx_counters(
+            frame,
+            &labels,
+            &stats.totals.basic(),
+            stats.rollovers,
+            stats.reconfigurations,
+        );
+        self.inner.telemetry.collect_into(frame, &labels);
     }
 }
 

@@ -18,6 +18,18 @@ use stm_api::TmLifecycle;
 /// A TM backend a [`crate::ShardedEngine`] shard can host: the full
 /// [`TmLifecycle`] surface plus per-instance trace attachment.
 pub trait ShardBackend: TmLifecycle {
+    /// This instance's hot-path telemetry instruments: the engine tags
+    /// each shard's instance with its shard index at construction, and
+    /// the metrics scrape path reads per-shard histograms through the
+    /// same handle. Ungated — telemetry is compiled in by default and
+    /// disabled at runtime (one Relaxed bool).
+    fn shard_tx_metrics(&self) -> &stm_telemetry::TxMetrics;
+
+    /// Project this instance's counters/histograms into a metrics frame
+    /// (delegates to the backend's `MetricsSource` impl; on the trait so
+    /// the engine can scrape per-shard without naming the backend type).
+    fn shard_collect_metrics(&self, frame: &mut stm_telemetry::MetricsFrame);
+
     /// Attach an event-recording sink to this instance.
     #[cfg(feature = "record")]
     fn shard_attach_trace(&self, sink: &std::sync::Arc<stm_check::TraceSink>);
@@ -32,6 +44,14 @@ pub trait ShardBackend: TmLifecycle {
 }
 
 impl ShardBackend for tinystm::Stm {
+    fn shard_tx_metrics(&self) -> &stm_telemetry::TxMetrics {
+        self.telemetry()
+    }
+
+    fn shard_collect_metrics(&self, frame: &mut stm_telemetry::MetricsFrame) {
+        stm_telemetry::MetricsSource::collect(self, frame)
+    }
+
     #[cfg(feature = "record")]
     fn shard_attach_trace(&self, sink: &std::sync::Arc<stm_check::TraceSink>) {
         self.attach_trace(sink)
@@ -49,6 +69,14 @@ impl ShardBackend for tinystm::Stm {
 }
 
 impl ShardBackend for stm_tl2::Tl2 {
+    fn shard_tx_metrics(&self) -> &stm_telemetry::TxMetrics {
+        self.telemetry()
+    }
+
+    fn shard_collect_metrics(&self, frame: &mut stm_telemetry::MetricsFrame) {
+        stm_telemetry::MetricsSource::collect(self, frame)
+    }
+
     #[cfg(feature = "record")]
     fn shard_attach_trace(&self, sink: &std::sync::Arc<stm_check::TraceSink>) {
         self.attach_trace(sink)

@@ -471,6 +471,11 @@ impl<B: ShardBackend> DurableEngine<B> {
         self.shards[i].health.get()
     }
 
+    /// Number of actual health-state changes shard `i` has seen.
+    pub fn health_transitions(&self, i: usize) -> u64 {
+        self.shards[i].health.transitions()
+    }
+
     /// Fault counters (retries, faults, rejections, rejoins) summed
     /// over all shards.
     pub fn fault_stats(&self) -> FaultSnapshot {
@@ -603,6 +608,10 @@ impl<B: ShardBackend> DurableEngine<B> {
             }
             Err(error) => {
                 shard.health.set(ShardHealth::Quarantined);
+                // Terminal for writes on this shard: dump the flight
+                // recorder so the events leading here survive in the
+                // operator's log (no-op when the recorder is off).
+                stm_telemetry::flight::dump_to_stderr(&format!("shard {i} quarantined"));
                 Err(DurableError::Checkpoint { shard: i, error })
             }
         }
@@ -654,5 +663,59 @@ impl<B: ShardBackend> DurableEngine<B> {
             out.insert(k as u64, self.shards[shard].table.read(k) as u64);
         }
         out
+    }
+}
+
+impl<B: ShardBackend> stm_telemetry::MetricsSource for DurableEngine<B> {
+    fn collect(&self, frame: &mut stm_telemetry::MetricsFrame) {
+        stm_telemetry::MetricsSource::collect(&self.engine, frame);
+        let f = self.stats.snapshot();
+        frame.counter(
+            "stm_wal_retries_total",
+            "Transient WAL store errors retried in place.",
+            &[],
+            f.wal_retries,
+        );
+        frame.counter(
+            "stm_wal_faults_total",
+            "WAL faults that degraded a shard (terminal store errors, failed fsyncs).",
+            &[],
+            f.wal_faults,
+        );
+        frame.counter(
+            "stm_degraded_rejects_total",
+            "Writes rejected because the routed shard was not healthy.",
+            &[],
+            f.degraded_rejects,
+        );
+        frame.counter(
+            "stm_rejoins_total",
+            "Degraded shards successfully re-checkpointed and reopened.",
+            &[],
+            f.rejoins,
+        );
+        for (i, shard) in self.shards.iter().enumerate() {
+            let label = i.to_string();
+            let labels = [("shard", label.as_str())];
+            // 0 = healthy, 1 = degraded, 2 = quarantined — matches the
+            // state machine's severity order, so `max() > 0` alerts.
+            let health = match shard.health.get() {
+                ShardHealth::Healthy => 0.0,
+                ShardHealth::Degraded => 1.0,
+                ShardHealth::Quarantined => 2.0,
+            };
+            frame.gauge(
+                "stm_shard_health",
+                "Shard health (0 = healthy, 1 = degraded, 2 = quarantined).",
+                &labels,
+                health,
+            );
+            frame.counter(
+                "stm_shard_health_transitions_total",
+                "Actual health-state changes per shard.",
+                &labels,
+                shard.health.transitions(),
+            );
+        }
     }
 }

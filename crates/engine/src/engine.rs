@@ -124,9 +124,13 @@ impl<B: ShardBackend> ShardedEngine<B> {
     pub fn new(shards: usize, config: &B::Config) -> Result<ShardedEngine<B>, LifecycleError> {
         let router = Router::new(shards); // panics on 0, like Router
         let mut slots = Vec::with_capacity(shards);
-        for _ in 0..shards {
+        for i in 0..shards {
+            let tm = B::build(config)?;
+            // Stamp the shard index into the instance's telemetry so
+            // per-shard histograms and flight-recorder events carry it.
+            tm.shard_tx_metrics().set_tag(i as u32);
             slots.push(ShardSlot {
-                tm: B::build(config)?,
+                tm,
                 gate: Mutex::new(()),
                 epoch: AtomicU64::new(0),
             });
@@ -292,6 +296,29 @@ impl<B: ShardBackend> ShardedEngine<B> {
     #[cfg(feature = "record")]
     pub fn record_epoch(&self, i: usize) -> u64 {
         self.inner.shards[i].tm.shard_record_epoch()
+    }
+
+    /// Enable or disable the per-shard commit-latency/retry histograms
+    /// on every shard (one Relaxed store per shard).
+    pub fn set_telemetry_enabled(&self, on: bool) {
+        for s in &self.inner.shards {
+            s.tm.shard_tx_metrics().set_enabled(on);
+        }
+    }
+}
+
+impl<B: ShardBackend> stm_telemetry::MetricsSource for ShardedEngine<B> {
+    fn collect(&self, frame: &mut stm_telemetry::MetricsFrame) {
+        for (i, s) in self.inner.shards.iter().enumerate() {
+            s.tm.shard_collect_metrics(frame);
+            let shard = i.to_string();
+            frame.gauge(
+                "stm_reconfigure_epoch",
+                "Per-shard reconfigure epoch (0 until the shard's first reconfigure).",
+                &[("shard", shard.as_str())],
+                s.epoch.load(Ordering::Relaxed) as f64,
+            );
+        }
     }
 }
 

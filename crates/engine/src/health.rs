@@ -40,7 +40,7 @@
 //! store already holds a damaged frame, and appending the same record
 //! again would turn a recoverable torn tail into interior corruption.
 
-use core::sync::atomic::{AtomicU8, Ordering};
+use core::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::Duration;
 
 /// Health of one durable shard (see the module docs for the machine).
@@ -74,11 +74,19 @@ const QUARANTINED: u8 = 2;
 /// `Release`. Transitions race only in one benign direction: two
 /// commits can both degrade an already-degraded shard.
 #[derive(Debug)]
-pub struct HealthSlot(AtomicU8);
+pub struct HealthSlot {
+    state: AtomicU8,
+    /// Count of *actual* state changes (a `set` to the current state
+    /// does not count) — exposed as `stm_shard_health_transitions_total`.
+    transitions: AtomicU64,
+}
 
 impl Default for HealthSlot {
     fn default() -> HealthSlot {
-        HealthSlot(AtomicU8::new(HEALTHY))
+        HealthSlot {
+            state: AtomicU8::new(HEALTHY),
+            transitions: AtomicU64::new(0),
+        }
     }
 }
 
@@ -90,7 +98,7 @@ impl HealthSlot {
 
     /// Current health.
     pub fn get(&self) -> ShardHealth {
-        match self.0.load(Ordering::Acquire) {
+        match self.state.load(Ordering::Acquire) {
             HEALTHY => ShardHealth::Healthy,
             DEGRADED => ShardHealth::Degraded,
             _ => ShardHealth::Quarantined,
@@ -98,19 +106,27 @@ impl HealthSlot {
     }
 
     /// Set the health (engine-side transitions: degrade, rejoin,
-    /// quarantine).
+    /// quarantine). A swap to the same state is not counted as a
+    /// transition; two racing degrades count once.
     pub fn set(&self, health: ShardHealth) {
         let raw = match health {
             ShardHealth::Healthy => HEALTHY,
             ShardHealth::Degraded => DEGRADED,
             ShardHealth::Quarantined => QUARANTINED,
         };
-        self.0.store(raw, Ordering::Release);
+        if self.state.swap(raw, Ordering::AcqRel) != raw {
+            self.transitions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// True iff the shard accepts writes.
     pub fn is_healthy(&self) -> bool {
-        self.0.load(Ordering::Acquire) == HEALTHY
+        self.state.load(Ordering::Acquire) == HEALTHY
+    }
+
+    /// Number of actual state changes this slot has seen.
+    pub fn transitions(&self) -> u64 {
+        self.transitions.load(Ordering::Relaxed)
     }
 }
 
@@ -179,6 +195,18 @@ mod tests {
         assert_eq!(slot.get(), ShardHealth::Quarantined);
         slot.set(ShardHealth::Healthy);
         assert!(slot.is_healthy());
+        assert_eq!(slot.transitions(), 3);
+    }
+
+    #[test]
+    fn same_state_set_is_not_a_transition() {
+        let slot = HealthSlot::new();
+        assert_eq!(slot.transitions(), 0);
+        slot.set(ShardHealth::Healthy); // no-op: already healthy
+        assert_eq!(slot.transitions(), 0);
+        slot.set(ShardHealth::Degraded);
+        slot.set(ShardHealth::Degraded); // racing double-degrade counts once
+        assert_eq!(slot.transitions(), 1);
     }
 
     #[test]

@@ -128,6 +128,62 @@ mod tests {
     }
 
     #[test]
+    fn shards_are_telemetry_tagged_and_scrape_per_shard() {
+        use stm_telemetry::{MetricsFrame, MetricsSource};
+        let engine: ShardedEngine<Stm> = ShardedEngine::new(3, &StmConfig::default()).unwrap();
+        for i in 0..3 {
+            assert_eq!(engine.shard(i).telemetry().tag(), i as u32);
+        }
+        engine.set_telemetry_enabled(true);
+        let cell = WordBlock::new(1);
+        let addr = cell.as_ptr();
+        for key in 0..16u64 {
+            engine.run_on(key, TxKind::ReadWrite, |tx| unsafe {
+                tx.store_word(addr, key as usize)
+            });
+        }
+        let mut frame = MetricsFrame::new();
+        engine.collect(&mut frame);
+        let commits = frame
+            .families()
+            .iter()
+            .find(|f| f.name == "stm_commits_total")
+            .expect("commit family present");
+        // One sample per shard, each labelled with its shard index, and
+        // the per-shard counts sum to the total.
+        assert_eq!(commits.samples.len(), 3);
+        let total: u64 = commits
+            .samples
+            .iter()
+            .map(|s| match s.value {
+                stm_telemetry::MetricValue::Counter(v) => v,
+                _ => panic!("commits must be a counter"),
+            })
+            .sum();
+        assert_eq!(total, 16);
+        for i in 0..3 {
+            let want = i.to_string();
+            assert!(
+                commits
+                    .samples
+                    .iter()
+                    .any(|s| s.labels.iter().any(|(k, v)| k == "shard" && *v == want)),
+                "no sample labelled shard={i}"
+            );
+        }
+        // The runtime-gated histograms recorded too.
+        assert!(frame
+            .families()
+            .iter()
+            .any(|f| f.name == "stm_commit_latency_ns"));
+        // And the per-shard reconfigure-epoch gauge is present.
+        assert!(frame
+            .families()
+            .iter()
+            .any(|f| f.name == "stm_reconfigure_epoch"));
+    }
+
+    #[test]
     fn with_shard_matches_route() {
         let engine: ShardedEngine<Stm> = ShardedEngine::new(3, &StmConfig::default()).unwrap();
         for key in 0..32u64 {

@@ -19,6 +19,21 @@
 //!   --check          run the opacity/serializability checker
 //!   --dump PATH      write the history as readable text to PATH
 //!
+//! telemetry (record mode):
+//!   --metrics OUT    scrape the backend's metrics at exit and write
+//!                    the Prometheus text exposition to OUT (`-` for
+//!                    stdout); the text is linted in-process first
+//!   --metrics-jsonl PATH
+//!                    also write the scrape as line-delimited JSON
+//!   --sample-every K continuous sampled checking: drive --windows
+//!                    consecutive windows, record every K-th into a
+//!                    bounded sink and check it immediately; exits 1
+//!                    unless every sampled window checks clean
+//!   --windows N      windows to drive in sampled mode (default 8)
+//!   --event-cap N    per-window event budget; overflowing windows
+//!                    skip whole attempts, tallied loudly
+//!                    (default 65536)
+//!
 //! durable mode (needs the `durable` cargo feature):
 //!   --durable        run the KV workload on the durable sharded engine
 //!                    instead (WAL + recovery); --backend/--threads/
@@ -51,13 +66,28 @@
 //! violation on any backend fails the job with a printed witness.
 
 use std::process::ExitCode;
-use stm_harness::record::{run_recorded, RecBackend, RecWorkload, RecordOpts};
+use stm_harness::record::{
+    run_recorded, run_recorded_with_metrics, run_sampled_windows, run_sampled_windows_with_metrics,
+    RecBackend, RecWorkload, RecordOpts,
+};
+use stm_harness::MetricsReporter;
 use tinystm::CmPolicy;
+
+/// Where `--metrics` writes the Prometheus exposition.
+enum MetricsOut {
+    Stdout,
+    File(std::path::PathBuf),
+}
 
 struct Args {
     opts: RecordOpts,
     check: bool,
     dump: Option<std::path::PathBuf>,
+    metrics: Option<MetricsOut>,
+    metrics_jsonl: Option<std::path::PathBuf>,
+    sample_every: Option<usize>,
+    windows: usize,
+    event_cap: u64,
     durable: bool,
     shards: usize,
     crash_at: Option<u64>,
@@ -73,6 +103,8 @@ fn usage() -> String {
      [--backend wb|wt|tl2] [--threads N] [--ms MS] [--size N] [--update-pct P] \
      [--cm immediate|suicide|delay|backoff] [--reconfigure N] [--seed S] \
      [--no-record] [--check] [--dump PATH] \
+     [--metrics -|PATH] [--metrics-jsonl PATH] \
+     [--sample-every K [--windows N] [--event-cap N]] \
      [--durable [--shards N] [--crash-at N] [--recover-check] [--file-store DIR]] \
      [--chaos [--chaos-seed S] [--chaos-faults N]]"
         .to_string()
@@ -91,6 +123,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut opts = RecordOpts::default();
     let mut check = false;
     let mut dump = None;
+    let mut metrics = None;
+    let mut metrics_jsonl = None;
+    let mut sample_every = None;
+    let mut windows = 8usize;
+    let mut event_cap = 1u64 << 16;
     let mut durable = false;
     let mut shards = 2usize;
     let mut crash_at = None;
@@ -153,6 +190,39 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--no-record" => opts.record = false,
             "--check" => check = true,
             "--dump" => dump = Some(std::path::PathBuf::from(value("--dump")?)),
+            "--metrics" => {
+                let v = value("--metrics")?;
+                metrics = Some(if v == "-" {
+                    MetricsOut::Stdout
+                } else {
+                    MetricsOut::File(std::path::PathBuf::from(v))
+                });
+            }
+            "--metrics-jsonl" => {
+                metrics_jsonl = Some(std::path::PathBuf::from(value("--metrics-jsonl")?));
+            }
+            "--sample-every" => {
+                let k: usize = value("--sample-every")?
+                    .parse()
+                    .map_err(|e| format!("--sample-every: {e}"))?;
+                if k == 0 {
+                    return Err("--sample-every must be >= 1".to_string());
+                }
+                sample_every = Some(k);
+            }
+            "--windows" => {
+                windows = value("--windows")?
+                    .parse()
+                    .map_err(|e| format!("--windows: {e}"))?;
+                if windows == 0 {
+                    return Err("--windows must be >= 1".to_string());
+                }
+            }
+            "--event-cap" => {
+                event_cap = value("--event-cap")?
+                    .parse()
+                    .map_err(|e| format!("--event-cap: {e}"))?;
+            }
             "--durable" => durable = true,
             "--shards" => {
                 shards = value("--shards")?
@@ -188,6 +258,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if check && !opts.record {
         return Err("--check requires recording (drop --no-record)".to_string());
     }
+    if sample_every.is_some() && !opts.record {
+        return Err("--sample-every requires recording (drop --no-record)".to_string());
+    }
+    if sample_every.is_none() && (windows != 8 || event_cap != 1 << 16) {
+        return Err("--windows/--event-cap need --sample-every".to_string());
+    }
+    if (durable || chaos)
+        && (metrics.is_some() || metrics_jsonl.is_some() || sample_every.is_some())
+    {
+        return Err(
+            "--metrics/--metrics-jsonl/--sample-every apply to record mode only".to_string(),
+        );
+    }
     if !durable && (crash_at.is_some() || recover_check || file_store.is_some()) {
         return Err("--crash-at/--recover-check/--file-store need --durable".to_string());
     }
@@ -201,6 +284,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         opts,
         check,
         dump,
+        metrics,
+        metrics_jsonl,
+        sample_every,
+        windows,
+        event_cap,
         durable,
         shards,
         crash_at,
@@ -251,6 +339,7 @@ fn durable_mode(args: &Args) -> ExitCode {
         }
         Ok(report) => {
             println!("{}", report.summary());
+            print_fault_lines(&report.fault_stats, &report.healths);
             for f in &report.failures {
                 eprintln!("FAILURE: {f}");
             }
@@ -263,9 +352,32 @@ fn durable_mode(args: &Args) -> ExitCode {
     }
 }
 
+/// The `--durable`/`--chaos` exit lines: the engine's fault counters
+/// and every shard's final health state, one look before the process
+/// dies (the same numbers a scrape would export as
+/// `stm_wal_retries_total` … `stm_shard_health`).
+#[cfg(feature = "durable")]
+fn print_fault_lines(stats: &stm_api::stats::FaultSnapshot, healths: &[String]) {
+    println!(
+        "faults: wal_retries={} wal_faults={} degraded_rejects={} rejoins={}",
+        stats.wal_retries, stats.wal_faults, stats.degraded_rejects, stats.rejoins,
+    );
+    let states: Vec<String> = healths
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("shard{i}={h}"))
+        .collect();
+    println!("health: {}", states.join(" "));
+}
+
 #[cfg(not(feature = "durable"))]
 fn durable_mode(args: &Args) -> ExitCode {
-    let _ = (args.shards, args.crash_at, args.recover_check);
+    let _ = (
+        args.shards,
+        args.crash_at,
+        args.recover_check,
+        &args.file_store,
+    );
     eprintln!(
         "stm-record: this binary was built without the `durable` feature; \
          rebuild with `--features record,durable`"
@@ -295,6 +407,10 @@ fn chaos_mode(args: &Args) -> ExitCode {
     if let Some(seed) = args.chaos_seed {
         opts.seed = seed;
     }
+    // Chaos runs fly with the recorder on: a quarantine dumps the
+    // per-thread flight rings to stderr (see `DurableEngine::rejoin`),
+    // which is exactly the run where that context matters.
+    stm_telemetry::flight::set_enabled(true);
     println!(
         "# stm-record --chaos: backend={} shards={} keys={} threads={} ops={} \
          faults/shard={} seed={:#x}",
@@ -313,6 +429,7 @@ fn chaos_mode(args: &Args) -> ExitCode {
         }
         Ok(report) => {
             println!("{}", report.summary());
+            print_fault_lines(&report.fault_stats, &report.healths);
             for s in &report.schedules {
                 println!("  {s}");
             }
@@ -336,7 +453,100 @@ fn chaos_mode(args: &Args) -> ExitCode {
     ExitCode::from(2)
 }
 
+/// Write the reporter's scrape wherever `--metrics`/`--metrics-jsonl`
+/// point. A lint failure is a bug in a `MetricsSource`, reported like a
+/// checker violation (exit 1), not a usage error.
+fn emit_metrics(reporter: &MetricsReporter, args: &Args) -> Result<(), ExitCode> {
+    if let Some(out) = &args.metrics {
+        let text = match reporter.prometheus() {
+            Ok(text) => text,
+            Err(findings) => {
+                for f in &findings {
+                    eprintln!("stm-record: exposition lint: {f}");
+                }
+                return Err(ExitCode::from(1));
+            }
+        };
+        match out {
+            MetricsOut::Stdout => print!("{text}"),
+            MetricsOut::File(path) => {
+                if let Err(e) = std::fs::write(path, &text) {
+                    eprintln!("stm-record: metrics {}: {e}", path.display());
+                    return Err(ExitCode::from(2));
+                }
+                println!("metrics written to {}", path.display());
+            }
+        }
+    }
+    if let Some(path) = &args.metrics_jsonl {
+        if let Err(e) = std::fs::write(path, reporter.jsonl()) {
+            eprintln!("stm-record: metrics-jsonl {}: {e}", path.display());
+            return Err(ExitCode::from(2));
+        }
+        println!("metrics JSONL written to {}", path.display());
+    }
+    Ok(())
+}
+
+/// The `--sample-every` mode: continuous sampled checking over
+/// `--windows` consecutive windows.
+fn sampled_mode(args: &Args, sample_every: usize, reporter: Option<&MetricsReporter>) -> ExitCode {
+    let opts = &args.opts;
+    println!(
+        "# stm-record --sample-every {sample_every}: workload={} backend={} threads={} \
+         ms={} windows={} event_cap={} reconfigures={}",
+        opts.workload.label(),
+        opts.backend.label(),
+        opts.threads,
+        opts.duration_ms,
+        args.windows,
+        args.event_cap,
+        opts.reconfigures,
+    );
+    let out = match reporter {
+        Some(rep) => {
+            run_sampled_windows_with_metrics(opts, args.windows, sample_every, args.event_cap, rep)
+        }
+        None => run_sampled_windows(opts, args.windows, sample_every, args.event_cap),
+    };
+    for r in &out.reports {
+        println!(
+            "window {:>3}: {:?} ({} committed, epochs {:?}, {} attempt(s) skipped)",
+            r.window, r.outcome, r.committed, r.epochs, r.skipped_attempts,
+        );
+        if let Some(detail) = &r.detail {
+            eprintln!("window {}: {detail}", r.window);
+        }
+    }
+    let c = &out.counts;
+    println!(
+        "sampler: {}/{} windows sampled, {} clean, {} violation(s), {} unsound, \
+         {} overflowed; {} commits total; epochs seen {:?}",
+        c.sampled,
+        c.seen,
+        c.clean,
+        c.violations,
+        c.unsound,
+        c.overflowed,
+        out.commits,
+        out.epochs_seen,
+    );
+    if let Some(rep) = reporter {
+        if let Err(code) = emit_metrics(rep, args) {
+            return code;
+        }
+    }
+    if out.all_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
+    // Any worker panic dumps the flight rings before unwinding — cheap
+    // insurance, and a no-op while the recorder stays disabled.
+    stm_telemetry::flight::install_panic_hook();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
         Ok(args) => args,
@@ -353,6 +563,12 @@ fn main() -> ExitCode {
         return durable_mode(&args);
     }
 
+    let reporter =
+        (args.metrics.is_some() || args.metrics_jsonl.is_some()).then(MetricsReporter::new);
+    if let Some(k) = args.sample_every {
+        return sampled_mode(&args, k, reporter.as_ref());
+    }
+
     let opts = args.opts;
     println!(
         "# stm-record: workload={} backend={} threads={} ms={} size={} update%={} cm={} \
@@ -367,12 +583,20 @@ fn main() -> ExitCode {
         opts.reconfigures,
         opts.record,
     );
-    let out = run_recorded(&opts);
+    let out = match &reporter {
+        Some(rep) => run_recorded_with_metrics(&opts, rep),
+        None => run_recorded(&opts),
+    };
     let m = &out.measurement;
     println!(
         "throughput: {:.1} txs/s, {} commits, {} aborts (ratio {:.4}), {} panics",
         m.throughput, m.commits, m.aborts, m.abort_ratio, m.worker_panics
     );
+    if let Some(rep) = &reporter {
+        if let Err(code) = emit_metrics(rep, &args) {
+            return code;
+        }
+    }
 
     let Some(history) = out.history else {
         println!("recording off: nothing to check");

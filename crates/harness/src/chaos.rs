@@ -86,6 +86,9 @@ pub struct ChaosReport {
     pub quarantined: usize,
     /// Fault counters from the engine.
     pub fault_stats: stm_api::stats::FaultSnapshot,
+    /// Per-shard health after the final rejoin sweep
+    /// (`healthy` / `degraded` / `quarantined`).
+    pub healths: Vec<String>,
     /// Verification failures (empty = the contract held).
     pub failures: Vec<String>,
 }
@@ -251,6 +254,9 @@ fn run_one<B: ShardBackend>(opts: &ChaosOpts, config: &B::Config) -> Result<Chao
         .filter(|&i| engine.health(i) == ShardHealth::Quarantined)
         .count();
     let fault_stats = engine.fault_stats();
+    let healths: Vec<String> = (0..opts.shards)
+        .map(|i| engine.health(i).to_string())
+        .collect();
     let pre_state = engine.read_all();
     // Records appended to the log but never durability-confirmed (and
     // never acked): exempt from the replay oracle below. After the
@@ -310,6 +316,7 @@ fn run_one<B: ShardBackend>(opts: &ChaosOpts, config: &B::Config) -> Result<Chao
         wal_failed: wal_failed.load(Ordering::Relaxed),
         quarantined,
         fault_stats,
+        healths,
         failures,
     };
     if !report.failures.is_empty() {

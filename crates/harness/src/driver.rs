@@ -160,10 +160,16 @@ where
                 }
             });
         }
-        std::thread::sleep(opts.warmup);
+        // Sleep in ~1 ms slices so a worker panic ends the window at
+        // the panic, not at the scheduled deadline. Sleeping the full
+        // duration would dilute a partial window's throughput: the
+        // post-window stats delta still holds the panicked workers'
+        // pre-panic commits, but the divisor would include dead time in
+        // which every worker had already stopped.
+        sliced_sleep(opts.warmup, &stop);
         let before = stats_fn();
         let started = Instant::now();
-        std::thread::sleep(opts.duration);
+        sliced_sleep(opts.duration, &stop);
         let after = stats_fn();
         let elapsed = started.elapsed();
         stop.store(true, Ordering::SeqCst);
@@ -179,6 +185,22 @@ where
     // scope exit; fold those in so the record reflects every failure.
     m.worker_panics = panics.load(Ordering::Relaxed);
     m
+}
+
+/// Sleep for `total`, waking every ~1 ms to bail out early once `stop`
+/// is set (a panicked worker sets it; see [`drive`]).
+fn sliced_sleep(total: Duration, stop: &AtomicBool) {
+    let deadline = Instant::now() + total;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(1)));
+    }
 }
 
 /// Drive workers indefinitely while a coordinator closure runs (used by
@@ -327,5 +349,57 @@ mod tests {
         // The pre-panic commits are still visible in the totals the
         // stats closure sees (partial, but diagnosable).
         assert!(commits.load(Ordering::Relaxed) >= 4);
+    }
+
+    #[test]
+    fn panic_cut_window_keeps_counters_and_true_elapsed() {
+        // Both workers panic almost immediately into a long scheduled
+        // window. The regression this guards (vs. the PR 2 partial-
+        // window test above): the driver used to sleep out the *full*
+        // duration after the panic, so the partial window's commits were
+        // divided by dead time — silently underreporting throughput.
+        // The sliced sleep must end the window at the panic instead.
+        let commits = AtomicU64::new(0);
+        let stats = || BasicStats {
+            commits: commits.load(Ordering::Relaxed),
+            ..BasicStats::ZERO
+        };
+        let opts = MeasureOpts::default()
+            .with_threads(2)
+            .with_warmup(Duration::from_millis(5))
+            .with_duration(Duration::from_millis(2_000));
+        let started = Instant::now();
+        let m = drive(opts, &stats, |_t| {
+            let commits = &commits;
+            let mut steps = 0u32;
+            move |_rng: &mut SmallRng| {
+                commits.fetch_add(1, Ordering::Relaxed);
+                // Pace the ops so the panic lands *inside* the measured
+                // window (past the 5 ms warmup snapshot), ~60 ms in.
+                std::thread::sleep(Duration::from_millis(2));
+                steps += 1;
+                if steps > 30 {
+                    panic!("intentional test panic: worker failure injection");
+                }
+            }
+        });
+        let wall = started.elapsed();
+        assert!(m.is_partial());
+        // The pre-panic commits survived into the measurement...
+        assert!(m.commits > 0, "panicked workers' partial counters lost");
+        // ...and neither the reported window nor the call itself waited
+        // out the 2 s schedule (generous bound for slow CI).
+        assert!(
+            m.elapsed < Duration::from_millis(1_000),
+            "window not cut at the panic: {:?}",
+            m.elapsed
+        );
+        assert!(
+            wall < Duration::from_millis(1_500),
+            "driver slept out the dead window: {wall:?}"
+        );
+        // Throughput is computed over the cut window, so it reflects the
+        // pre-panic rate rather than commits-over-dead-time.
+        assert!(m.throughput >= m.commits as f64 / 1.0);
     }
 }

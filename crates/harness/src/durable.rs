@@ -120,6 +120,12 @@ pub struct DurableReport {
     pub torn_shards: usize,
     /// Whether the run was cut.
     pub crashed: bool,
+    /// Fault counters of the workload incarnation at shutdown
+    /// (retries, faults, rejections, rejoins).
+    pub fault_stats: stm_api::stats::FaultSnapshot,
+    /// Per-shard health of the workload incarnation at shutdown
+    /// (`healthy` / `degraded` / `quarantined`).
+    pub healths: Vec<String>,
     /// Verification failures (empty = everything checked out). Only
     /// populated when `recover_check` was set.
     pub failures: Vec<String>,
@@ -235,6 +241,10 @@ fn run_one<B: ShardBackend>(
         engine.engine().shard(i).shard_detach_trace();
     }
     let pre_state = engine.read_all();
+    let fault_stats = engine.fault_stats();
+    let healths: Vec<String> = (0..opts.shards)
+        .map(|i| engine.health(i).to_string())
+        .collect();
     drop(engine);
 
     // Power-cycle: the next incarnation boots healthy stores holding
@@ -274,6 +284,8 @@ fn run_one<B: ShardBackend>(
         recovered_records,
         torn_shards,
         crashed,
+        fault_stats,
+        healths,
         failures,
     })
 }

@@ -11,6 +11,9 @@
 //! * [`open_loop`] — arrival-rate scheduled requests with per-request
 //!   latency measured from the scheduled arrival (queueing included);
 //! * [`intset`] — the red-black tree / linked list / overwrite harness;
+//! * [`metrics`] — the [`MetricsReporter`]: scrape registered
+//!   `stm-telemetry` sources, lint the exposition in-process, render
+//!   Prometheus text / JSONL at exit;
 //! * [`vacation_mix`] — the STAMP-style vacation mix (Figure 7);
 //! * [`table`] — the series printer shared by the figure benches;
 //! * [`record`] (feature `record`) — the `--record` mode: run any
@@ -34,6 +37,7 @@ pub mod driver;
 #[cfg(feature = "durable")]
 pub mod durable;
 pub mod intset;
+pub mod metrics;
 pub mod open_loop;
 #[cfg(feature = "record")]
 pub mod record;
@@ -46,7 +50,11 @@ pub use driver::{drive, drive_with_coordinator, MeasureOpts, Measurement};
 #[cfg(feature = "durable")]
 pub use durable::{run_durable, DurBackend, DurableOpts, DurableReport};
 pub use intset::{populate, run_intset, run_overwrite, IntSetOp, IntSetWorkload};
+pub use metrics::MetricsReporter;
 pub use open_loop::{run_open_loop, LatencyRecorder, OpenLoopOpts, OpenLoopResult};
 #[cfg(feature = "record")]
-pub use record::{run_recorded, RecBackend, RecWorkload, RecordOpts, RecordOutcome};
+pub use record::{
+    run_recorded, run_recorded_with_metrics, run_sampled_windows, run_sampled_windows_with_metrics,
+    RecBackend, RecWorkload, RecordOpts, RecordOutcome, SampledOutcome, WindowReport,
+};
 pub use vacation_mix::{run_vacation, vacation_op, VacationWorkload};

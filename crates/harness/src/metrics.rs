@@ -1,0 +1,103 @@
+//! Metrics exposition for harness runs: one reporter that scrapes
+//! every registered [`stm_telemetry::MetricsSource`] and renders the
+//! result in the formats the tooling consumes.
+//!
+//! The reporter is a thin façade over [`stm_telemetry::Registry`]: the
+//! driver registers its backend (or engine) once, runs the workload,
+//! and asks for Prometheus text and/or JSONL at exit. Rendering runs
+//! the exposition lint in-process first, so a malformed frame fails the
+//! run that produced it instead of the scrape pipeline downstream.
+
+use std::sync::Arc;
+use stm_telemetry::{lint_exposition, render_jsonl, render_prometheus, MetricsSource, Registry};
+
+/// Scrapes registered sources and renders Prometheus text / JSONL.
+#[derive(Default)]
+pub struct MetricsReporter {
+    registry: Registry,
+}
+
+impl MetricsReporter {
+    /// An empty reporter.
+    pub fn new() -> MetricsReporter {
+        MetricsReporter::default()
+    }
+
+    /// Register a source; scraped on every render, in registration
+    /// order.
+    pub fn register(&self, source: Arc<dyn MetricsSource + Send + Sync>) {
+        self.registry.register(source);
+    }
+
+    /// Scrape all sources into Prometheus text exposition.
+    ///
+    /// # Errors
+    /// The lint findings, if the rendered text violates the exposition
+    /// format (a bug in a `MetricsSource`, never user error).
+    pub fn prometheus(&self) -> Result<String, Vec<String>> {
+        let frame = self.registry.collect();
+        let text = render_prometheus(&frame);
+        let findings = lint_exposition(&text);
+        if findings.is_empty() {
+            Ok(text)
+        } else {
+            Err(findings)
+        }
+    }
+
+    /// Scrape all sources into line-delimited JSON (one object per
+    /// sample; summaries carry their quantiles inline).
+    pub fn jsonl(&self) -> String {
+        render_jsonl(&self.registry.collect())
+    }
+}
+
+impl std::fmt::Debug for MetricsReporter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsReporter").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_telemetry::MetricsFrame;
+
+    struct FakeSource;
+
+    impl MetricsSource for FakeSource {
+        fn collect(&self, frame: &mut MetricsFrame) {
+            frame.counter("stm_commits_total", "Committed transactions.", &[], 7);
+            frame.gauge("stm_shard_health", "Shard health.", &[("shard", "0")], 0.0);
+        }
+    }
+
+    #[test]
+    fn reporter_renders_lint_clean_prometheus_and_jsonl() {
+        let reporter = MetricsReporter::new();
+        reporter.register(Arc::new(FakeSource));
+        let text = reporter.prometheus().expect("lint-clean");
+        assert!(text.contains("# TYPE stm_commits_total counter"));
+        assert!(text.contains("stm_commits_total 7"));
+        assert!(text.contains("stm_shard_health{shard=\"0\"} 0"));
+        let jsonl = reporter.jsonl();
+        assert!(jsonl.lines().count() >= 2);
+        assert!(jsonl.contains("\"metric\":\"stm_commits_total\""));
+    }
+
+    struct BrokenSource;
+
+    impl MetricsSource for BrokenSource {
+        fn collect(&self, frame: &mut MetricsFrame) {
+            frame.counter("bad name with spaces", "Invalid.", &[], 1);
+        }
+    }
+
+    #[test]
+    fn reporter_surfaces_lint_findings_instead_of_bad_text() {
+        let reporter = MetricsReporter::new();
+        reporter.register(Arc::new(BrokenSource));
+        let findings = reporter.prometheus().expect_err("must fail lint");
+        assert!(!findings.is_empty());
+    }
+}

@@ -25,6 +25,7 @@
 use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::panic::AssertUnwindSafe;
 use std::time::{Duration, Instant};
 
 /// Sink for one latency sample per completed request.
@@ -122,6 +123,10 @@ pub struct OpenLoopResult {
     pub on_schedule: bool,
     /// Completed requests per second of elapsed time.
     pub throughput: f64,
+    /// Workers whose operation panicked. Each such worker stops pulling
+    /// tickets but its recorder (with every pre-panic sample) is still
+    /// returned; non-zero also clears `on_schedule`.
+    pub worker_panics: u64,
 }
 
 /// Run an open-loop measurement.
@@ -147,6 +152,7 @@ where
     let saturated = AtomicBool::new(false);
     let completed = AtomicU64::new(0);
     let measured = AtomicU64::new(0);
+    let panics = AtomicU64::new(0);
     let start = Instant::now();
 
     let mut recorders: Vec<Option<R>> = Vec::new();
@@ -157,6 +163,7 @@ where
             let saturated = &saturated;
             let completed = &completed;
             let measured = &measured;
+            let panics = &panics;
             let make_worker = &make_worker;
             handles.push(scope.spawn(move || {
                 let (mut rec, mut op) = make_worker(w);
@@ -192,7 +199,14 @@ where
                     if saturated.load(Ordering::Relaxed) {
                         break;
                     }
-                    op(&mut rng);
+                    // A panic must not escape the scoped thread: the
+                    // join would re-panic and `recorders` would silently
+                    // drop this worker's pre-panic samples. Catch it,
+                    // count it, and return the recorder intact.
+                    if std::panic::catch_unwind(AssertUnwindSafe(|| op(&mut rng))).is_err() {
+                        panics.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
                     let done_ns = start.elapsed().as_nanos() as u64;
                     completed.fetch_add(1, Ordering::Relaxed);
                     if due_ns >= warmup_ns {
@@ -210,13 +224,17 @@ where
     let elapsed = start.elapsed();
 
     let completed = completed.load(Ordering::Relaxed);
+    let worker_panics = panics.load(Ordering::Relaxed);
     let result = OpenLoopResult {
         offered,
         completed,
         measured: measured.load(Ordering::Relaxed),
         elapsed,
-        on_schedule: !saturated.load(Ordering::Relaxed) && completed == offered,
+        on_schedule: !saturated.load(Ordering::Relaxed)
+            && completed == offered
+            && worker_panics == 0,
         throughput: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        worker_panics,
     };
     (result, recorders.into_iter().flatten().collect())
 }
@@ -296,6 +314,43 @@ mod tests {
             started.elapsed() < Duration::from_secs(2),
             "saturated run must stop early"
         );
+    }
+
+    #[test]
+    fn panicked_worker_keeps_its_recorder_and_is_counted() {
+        // Worker 1 panics a few requests in; worker 0 keeps draining.
+        // Regression: `h.join().ok()` + flatten used to drop the
+        // panicked worker's recorder — every sample it had measured
+        // vanished without a trace. Now the recorder survives and the
+        // panic is reported.
+        let opts = OpenLoopOpts {
+            rate: 2_000.0,
+            warmup: Duration::ZERO,
+            duration: Duration::from_millis(80),
+            workers: 2,
+            max_lag: Duration::from_secs(5),
+            seed: 3,
+        };
+        let (res, recs) = run_open_loop(opts, |w| {
+            let mut steps = 0u32;
+            (Vec::new(), move |_rng: &mut SmallRng| {
+                if w == 1 {
+                    steps += 1;
+                    if steps > 5 {
+                        panic!("intentional test panic: worker failure injection");
+                    }
+                }
+                std::hint::black_box(0u64);
+            })
+        });
+        assert_eq!(res.worker_panics, 1);
+        assert!(!res.on_schedule, "a panicked run is not on schedule");
+        assert_eq!(recs.len(), 2, "panicked worker's recorder dropped");
+        // The panicked worker measured its pre-panic completions.
+        assert!(recs.iter().any(|r| (1..=5).contains(&r.len())));
+        // Bookkeeping still balances: samples == measured.
+        let total: usize = recs.iter().map(Vec::len).sum();
+        assert_eq!(total as u64, res.measured);
     }
 
     #[test]

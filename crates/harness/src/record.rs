@@ -11,6 +11,7 @@
 
 use crate::driver::{MeasureOpts, Measurement};
 use crate::intset::{run_intset, run_overwrite, IntSetWorkload};
+use crate::metrics::MetricsReporter;
 use crate::vacation_mix::{run_vacation, VacationWorkload};
 use core::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -260,6 +261,17 @@ fn run_span(opts: &RecordOpts) -> Duration {
 
 /// Run the workload, recording if requested, and drain the history.
 pub fn run_recorded(opts: &RecordOpts) -> RecordOutcome {
+    run_recorded_inner(opts, None)
+}
+
+/// [`run_recorded`], with the backend registered on `reporter` and its
+/// hot-path telemetry instruments enabled for the run — scrape the
+/// reporter after this returns for the run's metrics.
+pub fn run_recorded_with_metrics(opts: &RecordOpts, reporter: &MetricsReporter) -> RecordOutcome {
+    run_recorded_inner(opts, Some(reporter))
+}
+
+fn run_recorded_inner(opts: &RecordOpts, reporter: Option<&MetricsReporter>) -> RecordOutcome {
     let sink = opts.record.then(TraceSink::new);
     let measurement = match opts.backend {
         RecBackend::TinyWb | RecBackend::TinyWt => {
@@ -272,6 +284,10 @@ pub fn run_recorded(opts: &RecordOpts) -> RecordOutcome {
                 .with_strategy(strategy)
                 .with_cm(opts.cm);
             let stm = Stm::new(base).expect("record config valid");
+            if let Some(rep) = reporter {
+                stm.telemetry().set_enabled(true);
+                rep.register(Arc::new(stm.clone()));
+            }
             if let Some(sink) = &sink {
                 stm.attach_trace(sink);
             }
@@ -296,6 +312,10 @@ pub fn run_recorded(opts: &RecordOpts) -> RecordOutcome {
         RecBackend::Tl2 => {
             let base = Tl2Config::default().with_cm(opts.cm);
             let tl2 = Tl2::new(base).expect("record config valid");
+            if let Some(rep) = reporter {
+                tl2.telemetry().set_enabled(true);
+                rep.register(Arc::new(tl2.clone()));
+            }
             if let Some(sink) = &sink {
                 tl2.attach_trace(sink);
             }
@@ -325,6 +345,241 @@ pub fn run_recorded(opts: &RecordOpts) -> RecordOutcome {
         history,
         backend_label: opts.backend.label(),
         check_opts: opts.backend.check_opts(),
+    }
+}
+
+/// Report for one **sampled** window of a [`run_sampled_windows`] run
+/// (windows the sampler skipped leave no report).
+#[derive(Debug)]
+pub struct WindowReport {
+    /// Global window index (the sampler records every k-th, from 0).
+    pub window: usize,
+    /// The checker's verdict on the window's drained history.
+    pub outcome: stm_telemetry::WindowOutcome,
+    /// Committed transactions inside the window's history.
+    pub committed: usize,
+    /// Reconfigure epochs the window's history spans (ascending).
+    pub epochs: Vec<u64>,
+    /// Whole attempts skipped because the window's event cap filled.
+    pub skipped_attempts: u64,
+    /// Checker findings / recording error when the outcome isn't clean.
+    pub detail: Option<String>,
+}
+
+/// Outcome of a [`run_sampled_windows`] run.
+#[derive(Debug)]
+pub struct SampledOutcome {
+    /// Total windows driven (sampled and skipped).
+    pub windows: usize,
+    /// One report per sampled window, in order.
+    pub reports: Vec<WindowReport>,
+    /// The sampler's own counters (seen/sampled/clean/…).
+    pub counts: stm_telemetry::SamplerCounts,
+    /// Commits summed over every window's measurement.
+    pub commits: u64,
+    /// Union of reconfigure epochs across sampled histories, ascending.
+    pub epochs_seen: Vec<u64>,
+    /// Backend label for reports.
+    pub backend_label: &'static str,
+}
+
+impl SampledOutcome {
+    /// True iff every sampled window checked clean.
+    pub fn all_clean(&self) -> bool {
+        self.reports
+            .iter()
+            .all(|r| r.outcome == stm_telemetry::WindowOutcome::Clean)
+    }
+}
+
+/// The continuous-checking loop shared by the backends: drive `windows`
+/// consecutive workload windows on `tm`, attaching a fresh bounded sink
+/// for every window the `sampler` elects, and check each sampled
+/// window's history as soon as it drains.
+///
+/// Sampled windows are always checked with the sampler's
+/// [`stm_telemetry::Sampler::check_opts`] (version inflation allowed):
+/// a sink attached mid-run observes versions whose writers committed
+/// before the window opened, on every backend.
+fn sampled_loop<H: TmHandle>(
+    tm: H,
+    attach: &dyn Fn(&Arc<TraceSink>),
+    detach: &dyn Fn(),
+    opts: &RecordOpts,
+    windows: usize,
+    sampler: &stm_telemetry::Sampler,
+) -> (Vec<WindowReport>, u64, Vec<u64>) {
+    use stm_telemetry::WindowOutcome;
+    let check_opts = sampler.check_opts();
+    let mut reports = Vec::new();
+    let mut commits = 0u64;
+    let mut epochs_seen = std::collections::BTreeSet::new();
+    for window in 0..windows {
+        let sink = sampler.begin_window(0);
+        if let Some(sink) = &sink {
+            attach(sink);
+        }
+        let m = run_workload(tm.clone(), opts);
+        commits += m.commits;
+        let Some(sink) = sink else { continue };
+        detach();
+        let skipped_attempts = sink.skipped_attempts();
+        let (outcome, committed, epochs, detail) = match sink.drain_history() {
+            Err(e) => (WindowOutcome::Unsound, 0, Vec::new(), Some(e.to_string())),
+            Ok(history) => {
+                let epochs = history.epochs();
+                epochs_seen.extend(epochs.iter().copied());
+                let (committed, _, _, _, _) = history.totals();
+                let report = stm_check::check_history(&history, &check_opts);
+                if report.is_clean() {
+                    (WindowOutcome::Clean, committed, epochs, None)
+                } else {
+                    (
+                        WindowOutcome::Violation,
+                        committed,
+                        epochs,
+                        Some(report.to_string()),
+                    )
+                }
+            }
+        };
+        sampler.note_result(0, outcome, skipped_attempts);
+        reports.push(WindowReport {
+            window,
+            outcome,
+            committed,
+            epochs,
+            skipped_attempts,
+            detail,
+        });
+    }
+    (reports, commits, epochs_seen.into_iter().collect())
+}
+
+/// Continuous sampled checking: drive `windows` consecutive windows of
+/// the workload on one backend instance, recording every
+/// `sample_every`-th window into a fresh sink bounded at `event_cap`
+/// events and checking it immediately — the telemetry plane's "checker
+/// as a continuous monitor" mode. `opts.reconfigures` reconfigurations
+/// are spread across the *whole* run, so sampled histories cross
+/// reconfigure-epoch boundaries like production windows would.
+pub fn run_sampled_windows(
+    opts: &RecordOpts,
+    windows: usize,
+    sample_every: usize,
+    event_cap: u64,
+) -> SampledOutcome {
+    run_sampled_windows_inner(opts, windows, sample_every, event_cap, None)
+}
+
+/// [`run_sampled_windows`], with the backend *and* the sampler
+/// registered on `reporter` (so the exposition carries the
+/// `stm_sampler_windows_*` families next to the transaction counters).
+pub fn run_sampled_windows_with_metrics(
+    opts: &RecordOpts,
+    windows: usize,
+    sample_every: usize,
+    event_cap: u64,
+    reporter: &MetricsReporter,
+) -> SampledOutcome {
+    run_sampled_windows_inner(opts, windows, sample_every, event_cap, Some(reporter))
+}
+
+fn run_sampled_windows_inner(
+    opts: &RecordOpts,
+    windows: usize,
+    sample_every: usize,
+    event_cap: u64,
+    reporter: Option<&MetricsReporter>,
+) -> SampledOutcome {
+    let windows = windows.max(1);
+    let sampler = Arc::new(stm_telemetry::Sampler::new(
+        1,
+        stm_telemetry::SamplerConfig {
+            every: sample_every as u64,
+            event_cap,
+        },
+    ));
+    if let Some(rep) = reporter {
+        rep.register(sampler.clone());
+    }
+    let total = run_span(opts) * windows as u32;
+    let (reports, commits, epochs_seen) = match opts.backend {
+        RecBackend::TinyWb | RecBackend::TinyWt => {
+            let strategy = if opts.backend == RecBackend::TinyWb {
+                AccessStrategy::WriteBack
+            } else {
+                AccessStrategy::WriteThrough
+            };
+            let base = StmConfig::default()
+                .with_strategy(strategy)
+                .with_cm(opts.cm);
+            let stm = Stm::new(base).expect("record config valid");
+            if let Some(rep) = reporter {
+                stm.telemetry().set_enabled(true);
+                rep.register(Arc::new(stm.clone()));
+            }
+            run_with_reconfigures(
+                opts.reconfigures,
+                total,
+                |i| {
+                    let cfg = if i % 2 == 0 {
+                        base.with_locks_log2(12).with_shifts(1)
+                    } else {
+                        base
+                    };
+                    stm.reconfigure(cfg).expect("alternate config valid");
+                },
+                || {
+                    sampled_loop(
+                        stm.clone(),
+                        &|sink| stm.attach_trace(sink),
+                        &|| stm.detach_trace(),
+                        opts,
+                        windows,
+                        &sampler,
+                    )
+                },
+            )
+        }
+        RecBackend::Tl2 => {
+            let base = Tl2Config::default().with_cm(opts.cm);
+            let tl2 = Tl2::new(base).expect("record config valid");
+            if let Some(rep) = reporter {
+                tl2.telemetry().set_enabled(true);
+                rep.register(Arc::new(tl2.clone()));
+            }
+            run_with_reconfigures(
+                opts.reconfigures,
+                total,
+                |i| {
+                    let cfg = if i % 2 == 0 {
+                        base.with_locks_log2(12).with_shifts(1)
+                    } else {
+                        base
+                    };
+                    tl2.reconfigure(cfg).expect("alternate config valid");
+                },
+                || {
+                    sampled_loop(
+                        tl2.clone(),
+                        &|sink| tl2.attach_trace(sink),
+                        &|| tl2.detach_trace(),
+                        opts,
+                        windows,
+                        &sampler,
+                    )
+                },
+            )
+        }
+    };
+    SampledOutcome {
+        windows,
+        reports,
+        counts: sampler.counts(0),
+        commits,
+        epochs_seen,
+        backend_label: opts.backend.label(),
     }
 }
 
@@ -395,6 +650,57 @@ mod tests {
             let report = check_history(&history, &out.check_opts);
             assert!(report.is_clean(), "{}: {report}", backend.label());
         }
+    }
+
+    #[test]
+    fn sampled_windows_check_clean_and_follow_cadence() {
+        // 6 windows at cadence 2 ⇒ windows 0, 2, 4 sampled; every
+        // sampled window must drain and check clean, even with
+        // reconfigurations landing mid-run.
+        for backend in RecBackend::ALL {
+            let mut opts = quick(backend, RecWorkload::IntsetList);
+            opts.duration_ms = 10;
+            opts.reconfigures = 2;
+            let out = run_sampled_windows(&opts, 6, 2, 1 << 16);
+            assert_eq!(out.windows, 6);
+            assert_eq!(out.counts.seen, 6, "{}", backend.label());
+            assert_eq!(out.counts.sampled, 3, "{}", backend.label());
+            assert_eq!(out.reports.len(), 3);
+            assert_eq!(
+                out.reports.iter().map(|r| r.window).collect::<Vec<_>>(),
+                vec![0, 2, 4]
+            );
+            assert!(
+                out.all_clean(),
+                "{}: {:?}",
+                backend.label(),
+                out.reports
+                    .iter()
+                    .filter_map(|r| r.detail.as_deref())
+                    .collect::<Vec<_>>()
+            );
+            assert_eq!(out.counts.clean, 3);
+            assert!(out.commits > 0);
+        }
+    }
+
+    #[test]
+    fn sampled_window_event_cap_skips_attempts_loudly() {
+        // A tiny cap: the recorded windows overflow, attempts are
+        // skipped whole (history still checks clean), and the overflow
+        // is tallied — never silent.
+        let mut opts = quick(RecBackend::TinyWb, RecWorkload::IntsetList);
+        opts.duration_ms = 15;
+        let out = run_sampled_windows(&opts, 2, 1, 64);
+        assert_eq!(out.counts.sampled, 2);
+        assert!(
+            out.reports.iter().any(|r| r.skipped_attempts > 0),
+            "cap of 64 events must overflow: {:?}",
+            out.reports
+        );
+        assert!(out.counts.overflowed > 0);
+        // Skipping whole attempts keeps the retained history checkable.
+        assert!(out.all_clean(), "{:?}", out.reports);
     }
 
     #[test]

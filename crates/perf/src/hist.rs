@@ -18,13 +18,13 @@
 //! into [`BUCKETS`] = 496 slots, so the whole histogram is ~4 KiB.
 
 use std::collections::BTreeMap;
-
-/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` slots.
-const SUB_BITS: u32 = 3;
-const SUBS: u64 = 1 << SUB_BITS;
+// The bucket map is shared with the telemetry plane's concurrent
+// `AtomicHist` (one source of truth for boundaries ⇒ comparable
+// percentiles across the perf pipeline and the metrics exposition).
+use stm_telemetry::buckets::{bucket_width, index_for, lower_bound};
 
 /// Total bucket count covering the full u64 range.
-pub const BUCKETS: usize = ((64 - SUB_BITS as usize) * (1 << SUB_BITS)) + (1 << SUB_BITS);
+pub const BUCKETS: usize = stm_telemetry::buckets::BUCKETS;
 
 /// Fixed-size log-scaled histogram of nanosecond latencies.
 #[derive(Clone)]
@@ -39,44 +39,6 @@ pub struct LatencyHist {
 impl Default for LatencyHist {
     fn default() -> Self {
         Self::new()
-    }
-}
-
-/// Bucket index for a value: exact below `SUBS`, log-scaled above.
-#[inline]
-fn index_for(v: u64) -> usize {
-    if v < SUBS {
-        v as usize
-    } else {
-        let m = 63 - v.leading_zeros(); // m >= SUB_BITS
-        let sub = (v >> (m - SUB_BITS)) & (SUBS - 1);
-        (((m - SUB_BITS) as u64 * SUBS) + SUBS + sub) as usize
-    }
-}
-
-/// Inclusive lower bound of a bucket.
-#[inline]
-fn lower_bound(idx: usize) -> u64 {
-    let idx = idx as u64;
-    if idx < SUBS {
-        idx
-    } else {
-        let block = idx >> SUB_BITS; // >= 1
-        let m = block as u32 - 1 + SUB_BITS;
-        let sub = idx & (SUBS - 1);
-        (SUBS + sub) << (m - SUB_BITS)
-    }
-}
-
-/// Width of a bucket (number of distinct values mapping into it).
-#[inline]
-fn bucket_width(idx: usize) -> u64 {
-    if (idx as u64) < SUBS {
-        1
-    } else {
-        let block = (idx as u64) >> SUB_BITS;
-        let m = block as u32 - 1 + SUB_BITS;
-        1u64 << (m - SUB_BITS)
     }
 }
 

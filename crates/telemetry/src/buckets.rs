@@ -1,0 +1,113 @@
+//! The shared log-linear bucket map used by every histogram in the
+//! workspace (`stm-perf`'s single-threaded `LatencyHist` and this
+//! crate's concurrent [`crate::AtomicHist`]).
+//!
+//! Values are bucketed HdrHistogram-style: exact below 2^SUB_BITS, then
+//! `SUBS` sub-buckets per power of two, giving a bounded relative error
+//! of `1/SUBS` (12.5%) across the whole `u64` range with a fixed,
+//! smallish table. Keeping the map in one place guarantees the offline
+//! perf schema and the live telemetry exposition agree on every bucket
+//! boundary, so quantiles from the two paths are comparable.
+
+/// Sub-bucket resolution: 2^3 = 8 sub-buckets per power of two.
+const SUB_BITS: u32 = 3;
+const SUBS: u64 = 1 << SUB_BITS;
+
+/// Total bucket count for the full `u64` range.
+pub const BUCKETS: usize = ((64 - SUB_BITS as usize) * (1 << SUB_BITS)) + (1 << SUB_BITS);
+
+/// Bucket index for a value (total over `u64`, monotone).
+#[inline]
+pub fn index_for(v: u64) -> usize {
+    if v < SUBS {
+        v as usize
+    } else {
+        let m = 63 - v.leading_zeros();
+        let sub = (v >> (m - SUB_BITS)) & (SUBS - 1);
+        (((m - SUB_BITS) as u64 * SUBS) + SUBS + sub) as usize
+    }
+}
+
+/// Smallest value mapping to bucket `idx`.
+#[inline]
+pub fn lower_bound(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUBS {
+        idx
+    } else {
+        let block = idx >> SUB_BITS;
+        let m = block as u32 - 1 + SUB_BITS;
+        let sub = idx & (SUBS - 1);
+        (SUBS + sub) << (m - SUB_BITS)
+    }
+}
+
+/// Number of distinct values mapping to bucket `idx`.
+#[inline]
+pub fn bucket_width(idx: usize) -> u64 {
+    if (idx as u64) < SUBS {
+        1
+    } else {
+        let block = (idx as u64) >> SUB_BITS;
+        let m = block as u32 - 1 + SUB_BITS;
+        1u64 << (m - SUB_BITS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_map_is_total_and_monotone() {
+        let mut probes: Vec<u64> = (0..64u32)
+            .flat_map(|shift| [0u64, 1, 3].map(|off| (1u64 << shift).saturating_add(off)))
+            .chain([0, u64::MAX - 1, u64::MAX])
+            .collect();
+        probes.sort_unstable();
+        probes.dedup();
+        let mut prev = 0usize;
+        for v in probes {
+            let idx = index_for(v);
+            assert!(idx < BUCKETS, "index {idx} out of range for {v}");
+            assert!(idx >= prev, "non-monotone at {v}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn lower_bound_inverts_index() {
+        for idx in 0..BUCKETS {
+            let lb = lower_bound(idx);
+            assert_eq!(
+                index_for(lb),
+                idx,
+                "lower_bound({idx}) = {lb} maps back wrong"
+            );
+            // The last value of the bucket still maps to it.
+            let last = lb + (bucket_width(idx) - 1);
+            assert_eq!(index_for(last), idx, "top of bucket {idx} escapes");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUBS {
+            assert_eq!(lower_bound(index_for(v)), v);
+            assert_eq!(bucket_width(index_for(v)), 1);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Bucket width / lower bound ≤ 1/SUBS for all non-exact buckets.
+        for idx in SUBS as usize..BUCKETS {
+            let lb = lower_bound(idx);
+            let w = bucket_width(idx);
+            assert!(
+                (w as f64) / (lb as f64) <= 1.0 / SUBS as f64 + 1e-12,
+                "bucket {idx}: width {w} too wide for lower bound {lb}"
+            );
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Exposition: render a [`MetricsFrame`] as Prometheus-style text or as
+//! JSONL (the same line-delimited-JSON family as `stm-perf`'s bench
+//! records, so one tool chain slurps both), plus a lint pass CI runs
+//! over the text format.
+//!
+//! Everything here is dependency-free by construction (the build
+//! environment is offline): JSON strings are escaped by hand and the
+//! linter is a line-oriented scan, not a full openmetrics parser.
+//!
+//! ## Schema
+//!
+//! Text: one `# HELP` + `# TYPE` pair per family, then one line per
+//! sample. Summaries expose `name{...,quantile="q"}` lines for q ∈
+//! {0.5, 0.95, 0.99, 0.999} plus `name_sum` and `name_count`.
+//!
+//! JSONL: one object per sample —
+//! `{"metric":NAME,"type":KIND,"labels":{..},...}` with `"value"` for
+//! counters/gauges and `"count"/"sum"/"min"/"max"/"p50".."p999"` for
+//! summaries.
+
+use crate::metrics::{MetricValue, MetricsFrame};
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(&v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render the Prometheus text exposition.
+pub fn render_prometheus(frame: &MetricsFrame) -> String {
+    let mut out = String::new();
+    for family in frame.families() {
+        out.push_str(&format!("# HELP {} {}\n", family.name, family.help));
+        out.push_str(&format!(
+            "# TYPE {} {}\n",
+            family.name,
+            family.kind.keyword()
+        ));
+        for sample in &family.samples {
+            match &sample.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        family.name,
+                        label_block(&sample.labels, None)
+                    ));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        family.name,
+                        label_block(&sample.labels, None)
+                    ));
+                }
+                MetricValue::Summary(s) => {
+                    for (q, pct) in [
+                        ("0.5", 50.0),
+                        ("0.95", 95.0),
+                        ("0.99", 99.0),
+                        ("0.999", 99.9),
+                    ] {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            family.name,
+                            label_block(&sample.labels, Some(("quantile", q.to_string()))),
+                            s.value_at_percentile(pct)
+                        ));
+                    }
+                    let plain = label_block(&sample.labels, None);
+                    out.push_str(&format!("{}_sum{} {}\n", family.name, plain, s.sum));
+                    out.push_str(&format!("{}_count{} {}\n", family.name, plain, s.count));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Render the frame as JSONL, one object per sample.
+pub fn render_jsonl(frame: &MetricsFrame) -> String {
+    let mut out = String::new();
+    for family in frame.families() {
+        for sample in &family.samples {
+            let head = format!(
+                "{{\"metric\":\"{}\",\"type\":\"{}\",\"labels\":{}",
+                json_escape(&family.name),
+                family.kind.keyword(),
+                json_labels(&sample.labels)
+            );
+            match &sample.value {
+                MetricValue::Counter(v) => out.push_str(&format!("{head},\"value\":{v}}}\n")),
+                MetricValue::Gauge(v) => out.push_str(&format!("{head},\"value\":{v}}}\n")),
+                MetricValue::Summary(s) => {
+                    let min = if s.count == 0 { 0 } else { s.min };
+                    out.push_str(&format!(
+                        "{head},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                         \"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{}}}\n",
+                        s.count,
+                        s.sum,
+                        min,
+                        s.max,
+                        s.value_at_percentile(50.0),
+                        s.value_at_percentile(95.0),
+                        s.value_at_percentile(99.0),
+                        s.value_at_percentile(99.9),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Lint a text exposition: every sample's family must have exactly one
+/// preceding `# TYPE` line, family names must be well-formed, and no
+/// family may be declared twice. Returns the problems found (empty =
+/// clean). CI fails the telemetry job on any finding.
+pub fn lint_exposition(text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut typed: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (name, kind) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+            if !valid_metric_name(name) {
+                problems.push(format!("line {lineno}: bad family name {name:?}"));
+                continue;
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "summary" | "histogram" | "untyped"
+            ) {
+                problems.push(format!("line {lineno}: unknown kind {kind:?} for {name}"));
+            }
+            if typed.iter().any(|t| t == name) {
+                problems.push(format!("line {lineno}: duplicate TYPE for family {name}"));
+            } else {
+                typed.push(name.to_string());
+            }
+        } else if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        } else {
+            let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+            let name = &line[..name_end];
+            if !valid_metric_name(name) {
+                problems.push(format!("line {lineno}: bad metric name {name:?}"));
+                continue;
+            }
+            // A summary/histogram sample may carry a _sum/_count/_bucket
+            // suffix on its family's name.
+            let base = name
+                .strip_suffix("_sum")
+                .or_else(|| name.strip_suffix("_count"))
+                .or_else(|| name.strip_suffix("_bucket"))
+                .unwrap_or(name);
+            if !typed.iter().any(|t| t == name || t == base) {
+                problems.push(format!("line {lineno}: sample {name} has no TYPE line"));
+            }
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::AtomicHist;
+
+    fn sample_frame() -> MetricsFrame {
+        let mut frame = MetricsFrame::new();
+        frame.counter(
+            "stm_commits_total",
+            "Committed transactions.",
+            &[("backend", "tl2"), ("shard", "0")],
+            42,
+        );
+        frame.counter(
+            "stm_commits_total",
+            "Committed transactions.",
+            &[("backend", "tl2"), ("shard", "1")],
+            7,
+        );
+        frame.gauge("stm_shard_health", "Health state.", &[("shard", "0")], 0.0);
+        let h = AtomicHist::new();
+        h.record(100);
+        h.record(200);
+        frame.summary(
+            "stm_commit_latency_ns",
+            "Commit latency.",
+            &[("backend", "tl2")],
+            h.snapshot(),
+        );
+        frame
+    }
+
+    #[test]
+    fn prometheus_text_round_trips_the_linter() {
+        let text = render_prometheus(&sample_frame());
+        assert!(text.contains("# TYPE stm_commits_total counter"));
+        assert!(text.contains("stm_commits_total{backend=\"tl2\",shard=\"0\"} 42"));
+        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("stm_commit_latency_ns_count{backend=\"tl2\"} 2"));
+        let problems = lint_exposition(&text);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn linter_flags_missing_type_and_duplicates() {
+        let bad = "\
+# TYPE a_total counter
+a_total 1
+orphan_total 2
+# TYPE a_total counter
+";
+        let problems = lint_exposition(bad);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(problems[0].contains("orphan_total"));
+        assert!(problems[1].contains("duplicate"));
+    }
+
+    #[test]
+    fn linter_flags_bad_names() {
+        let problems = lint_exposition("9bad_name 1\n");
+        assert_eq!(problems.len(), 1);
+        let problems = lint_exposition("# TYPE bad-name counter\n");
+        assert_eq!(problems.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_emits_one_valid_object_per_sample() {
+        let out = render_jsonl(&sample_frame());
+        let lines: Vec<&str> = out.lines().collect();
+        // 2 counter samples + 1 gauge + 1 summary.
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(lines[0].contains("\"metric\":\"stm_commits_total\""));
+        assert!(lines[3].contains("\"p99\":"));
+        assert!(lines[3].contains("\"count\":2"));
+    }
+
+    #[test]
+    fn label_values_are_escaped_in_both_formats() {
+        let mut frame = MetricsFrame::new();
+        frame.counter("x_total", "h", &[("k", "a\"b\\c\nd")], 1);
+        let text = render_prometheus(&frame);
+        assert!(text.contains(r#"k="a\"b\\c\nd""#), "{text}");
+        let json = render_jsonl(&frame);
+        assert!(json.contains(r#""k":"a\"b\\c\nd""#), "{json}");
+        assert!(lint_exposition(&text).is_empty());
+    }
+}

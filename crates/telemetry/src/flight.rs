@@ -1,0 +1,337 @@
+//! The transaction flight recorder: a fixed-size per-thread ring of
+//! lifecycle events (begin / retry / commit / abort), written with two
+//! Relaxed stores per event and dumped on demand — automatically on
+//! panic (via [`install_panic_hook`]), chaos failure, or shard
+//! quarantine — so the last few hundred transactions per thread are
+//! always reconstructible without a debugger.
+//!
+//! ## Consistency model (deliberately weak)
+//!
+//! Writers never synchronize with readers: a slot's `(t_ns, meta)` pair
+//! is two independent Relaxed stores, so a dump taken mid-write can see
+//! a torn pair (fresh timestamp, stale meta, or vice versa) and a
+//! wrapped ring can interleave old and new events. That is the price of
+//! a zero-coordination hot path and is acceptable because the recorder
+//! is purely diagnostic — the dump is a best-effort reconstruction,
+//! never an oracle input. (`stm-check` histories, which *are* oracle
+//! inputs, use the properly synchronized `TraceSink` path instead.)
+//!
+//! Rings are registered globally and kept alive after thread exit so a
+//! post-mortem dump still covers recently-dead workers; memory is
+//! bounded at `RING_SLOTS × 16 B` per thread that ever recorded.
+
+use core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::OnceCell;
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+/// Events retained per thread (power of two; ~4 KiB per thread).
+pub const RING_SLOTS: usize = 256;
+
+/// Lifecycle stages a transaction reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A `run` call entered its attempt loop.
+    Begin,
+    /// An attempt aborted and will be retried (reason attached).
+    Retry,
+    /// The transaction committed (info = retries it took).
+    Commit,
+    /// The transaction failed terminally (e.g. WAL publish failure).
+    Abort,
+}
+
+impl FlightKind {
+    /// Short label for dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlightKind::Begin => "begin",
+            FlightKind::Retry => "retry",
+            FlightKind::Commit => "commit",
+            FlightKind::Abort => "abort",
+        }
+    }
+
+    fn from_u8(v: u8) -> FlightKind {
+        match v {
+            0 => FlightKind::Begin,
+            1 => FlightKind::Retry,
+            2 => FlightKind::Commit,
+            _ => FlightKind::Abort,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            FlightKind::Begin => 0,
+            FlightKind::Retry => 1,
+            FlightKind::Commit => 2,
+            FlightKind::Abort => 3,
+        }
+    }
+}
+
+/// One decoded flight-recorder event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Nanoseconds since the recorder's first use in this process.
+    pub t_ns: u64,
+    /// Recorder-assigned thread ordinal.
+    pub thread: u64,
+    /// Instance tag (shard index under the engine, `u32::MAX` outside).
+    pub tag: u32,
+    /// Lifecycle stage.
+    pub kind: FlightKind,
+    /// Abort reason index (`stm_api::AbortReason::index`) for
+    /// retry/abort events; 0 otherwise.
+    pub reason: u8,
+    /// Stage-specific payload (retries for commits).
+    pub info: u16,
+}
+
+struct Slot {
+    t_ns: AtomicU64,
+    meta: AtomicU64,
+}
+
+struct Ring {
+    thread: u64,
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    fn new(thread: u64) -> Ring {
+        Ring {
+            thread,
+            head: AtomicU64::new(0),
+            slots: (0..RING_SLOTS)
+                .map(|_| Slot {
+                    t_ns: AtomicU64::new(0),
+                    meta: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn record(&self, tag: u32, kind: FlightKind, reason: u8, info: u16) {
+        let idx = (self.head.fetch_add(1, Ordering::Relaxed) as usize) % RING_SLOTS;
+        let meta = (u64::from(tag) << 32)
+            | (u64::from(kind.as_u8()) << 24)
+            | (u64::from(reason) << 16)
+            | u64::from(info);
+        let slot = &self.slots[idx];
+        slot.t_ns.store(now_ns(), Ordering::Relaxed);
+        slot.meta.store(meta, Ordering::Relaxed);
+    }
+
+    fn events(&self) -> Vec<FlightEvent> {
+        let written = self.head.load(Ordering::Relaxed);
+        let n = (written as usize).min(RING_SLOTS);
+        (0..n)
+            .map(|i| {
+                let slot = &self.slots[i];
+                let meta = slot.meta.load(Ordering::Relaxed);
+                FlightEvent {
+                    t_ns: slot.t_ns.load(Ordering::Relaxed),
+                    thread: self.thread,
+                    tag: (meta >> 32) as u32,
+                    kind: FlightKind::from_u8((meta >> 24) as u8),
+                    reason: (meta >> 16) as u8,
+                    info: meta as u16,
+                }
+            })
+            .collect()
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+static RINGS: Mutex<Vec<std::sync::Arc<Ring>>> = Mutex::new(Vec::new());
+static START: OnceLock<Instant> = OnceLock::new();
+static HOOK: Once = Once::new();
+
+thread_local! {
+    static RING: OnceCell<std::sync::Arc<Ring>> = const { OnceCell::new() };
+}
+
+fn now_ns() -> u64 {
+    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Turn recording on or off process-wide (Relaxed).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`record`] currently does anything. Callers on hot paths
+/// should check this once per transaction and skip their packing work
+/// when off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Record one lifecycle event into the calling thread's ring. No-op
+/// when disabled.
+#[inline]
+pub fn record(tag: u32, kind: FlightKind, reason: u8, info: u16) {
+    if !enabled() {
+        return;
+    }
+    RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let ring = std::sync::Arc::new(Ring::new(NEXT_THREAD.fetch_add(1, Ordering::Relaxed)));
+            RINGS
+                .lock()
+                .expect("flight registry poisoned")
+                .push(std::sync::Arc::clone(&ring));
+            ring
+        });
+        ring.record(tag, kind, reason, info);
+    });
+}
+
+/// Snapshot every thread's retained events, oldest-first by timestamp.
+/// Best-effort under concurrent writers (see the module docs).
+pub fn snapshot() -> Vec<FlightEvent> {
+    let rings = RINGS.lock().expect("flight registry poisoned");
+    let mut events: Vec<FlightEvent> = rings.iter().flat_map(|r| r.events()).collect();
+    events.sort_by_key(|e| e.t_ns);
+    events
+}
+
+/// Dump the last `limit` events to stderr with a one-line header naming
+/// the trigger. Used by the panic hook, chaos harness, and quarantine
+/// path; safe to call with recording disabled (dumps whatever remains).
+pub fn dump_to_stderr(why: &str) {
+    let events = snapshot();
+    let limit = 128usize;
+    let skip = events.len().saturating_sub(limit);
+    eprintln!(
+        "[flight] dump ({why}): {} event(s) retained, showing last {}",
+        events.len(),
+        events.len() - skip
+    );
+    for e in &events[skip..] {
+        let reason = stm_api::AbortReason::ALL
+            .get(e.reason as usize)
+            .map(|r| r.label())
+            .unwrap_or("?");
+        let tag = if e.tag == u32::MAX {
+            "-".to_string()
+        } else {
+            e.tag.to_string()
+        };
+        match e.kind {
+            FlightKind::Retry | FlightKind::Abort => eprintln!(
+                "[flight] t={:>12}ns thread={} shard={} {} reason={}",
+                e.t_ns,
+                e.thread,
+                tag,
+                e.kind.label(),
+                reason
+            ),
+            FlightKind::Commit => eprintln!(
+                "[flight] t={:>12}ns thread={} shard={} commit retries={}",
+                e.t_ns, e.thread, tag, e.info
+            ),
+            FlightKind::Begin => eprintln!(
+                "[flight] t={:>12}ns thread={} shard={} begin",
+                e.t_ns, e.thread, tag
+            ),
+        }
+    }
+}
+
+/// Install (once) a panic hook that dumps the flight recorder before
+/// delegating to the previous hook. Idempotent.
+pub fn install_panic_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            dump_to_stderr("panic");
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is process-global; tests share it. Each test uses a
+    // unique tag and filters its own events, and the enable flag is
+    // serialized through one lock so parallel tests don't observe each
+    // other's toggles.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let _g = serial();
+        set_enabled(false);
+        record(91_001, FlightKind::Begin, 0, 0);
+        assert!(snapshot().iter().all(|e| e.tag != 91_001));
+    }
+
+    #[test]
+    fn events_round_trip_through_the_packing() {
+        let _g = serial();
+        set_enabled(true);
+        record(91_002, FlightKind::Retry, 3, 7);
+        record(91_002, FlightKind::Commit, 0, 2);
+        set_enabled(false);
+        let mine: Vec<FlightEvent> = snapshot().into_iter().filter(|e| e.tag == 91_002).collect();
+        assert_eq!(mine.len(), 2);
+        assert_eq!(mine[0].kind, FlightKind::Retry);
+        assert_eq!(mine[0].reason, 3);
+        assert_eq!(mine[0].info, 7);
+        assert_eq!(mine[1].kind, FlightKind::Commit);
+        assert_eq!(mine[1].info, 2);
+        assert!(mine[0].t_ns <= mine[1].t_ns);
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_the_most_recent_slots() {
+        let _g = serial();
+        set_enabled(true);
+        for i in 0..(RING_SLOTS as u16 + 50) {
+            record(91_003, FlightKind::Begin, 0, i);
+        }
+        set_enabled(false);
+        let mine: Vec<FlightEvent> = snapshot().into_iter().filter(|e| e.tag == 91_003).collect();
+        // This thread's ring holds at most RING_SLOTS of our events
+        // (other tests on this thread may share the ring).
+        assert!(mine.len() <= RING_SLOTS);
+        // The latest event survived the wrap.
+        assert!(mine.iter().any(|e| e.info == RING_SLOTS as u16 + 49));
+        // The earliest were overwritten.
+        assert!(mine.iter().all(|e| e.info >= 1));
+    }
+
+    #[test]
+    fn concurrent_recording_from_many_threads_is_safe() {
+        let _g = serial();
+        set_enabled(true);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..1_000u16 {
+                        record(91_004, FlightKind::Commit, 0, i);
+                    }
+                });
+            }
+        });
+        set_enabled(false);
+        let mine = snapshot().into_iter().filter(|e| e.tag == 91_004).count();
+        // Each spawned thread has its own ring: 4 × min(1000, RING_SLOTS).
+        assert!(mine >= RING_SLOTS, "only {mine} events retained");
+        // And a dump never panics.
+        dump_to_stderr("test");
+    }
+}

@@ -1,0 +1,252 @@
+//! Concurrent bounded histogram for hot-path recording.
+//!
+//! [`AtomicHist`] is the multi-writer sibling of `stm-perf`'s
+//! single-threaded `LatencyHist`: same log-linear bucket map (see
+//! [`crate::buckets`]), but every cell is an `AtomicU64` updated with
+//! Relaxed increments, so any number of transaction threads can record
+//! into one instance without locks or cross-thread ordering. A
+//! [`snapshot`](AtomicHist::snapshot) is *not* atomic across cells —
+//! counters may be mid-update — which is fine for monitoring: each cell
+//! is individually consistent and the total error is bounded by the
+//! in-flight increments at snapshot time.
+
+use crate::buckets::{bucket_width, index_for, lower_bound, BUCKETS};
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free fixed-footprint histogram (Relaxed atomics throughout).
+#[derive(Debug)]
+pub struct AtomicHist {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHist {
+    fn default() -> AtomicHist {
+        AtomicHist::new()
+    }
+}
+
+impl AtomicHist {
+    /// An empty histogram (~4 KiB of buckets).
+    pub fn new() -> AtomicHist {
+        AtomicHist {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value. Wait-free; Relaxed ordering only.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[index_for(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Plain-data copy for reporting (per-cell consistent, see module
+    /// docs for the cross-cell caveat).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable point-in-time copy of an [`AtomicHist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: Vec<u64>,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of recorded values (wraps only after ~584 years of ns).
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> HistSnapshot {
+        HistSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Mean of recorded values; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at percentile `pct` (0–100]. Bucket midpoints clamped to
+    /// the observed `[min, max]`; the top rank returns the exact max.
+    pub fn value_at_percentile(&self, pct: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((pct / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        if rank >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            if seen >= rank {
+                let mid = lower_bound(idx) + bucket_width(idx) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Bucket-wise sum (for merging per-shard histograms).
+    pub fn merged(&self, other: &HistSnapshot) -> HistSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .zip(other.buckets.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        HistSnapshot {
+            buckets,
+            count: self.count + other.count,
+            sum: self.sum.wrapping_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_hist_is_all_zero() {
+        let h = AtomicHist::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.value_at_percentile(50.0), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_value_dominates_every_percentile() {
+        let h = AtomicHist::new();
+        h.record(777);
+        let s = h.snapshot();
+        for pct in [1.0, 50.0, 99.0, 100.0] {
+            let v = s.value_at_percentile(pct);
+            assert_eq!(v, 777, "p{pct} = {v}");
+        }
+        assert_eq!(s.min, 777);
+        assert_eq!(s.max, 777);
+    }
+
+    #[test]
+    fn extreme_values_saturate_the_bucket_bounds_without_panic() {
+        // Satellite: saturation at bucket bounds. 0, 1, u64::MAX and the
+        // top bucket's lower bound must all land inside the table.
+        let h = AtomicHist::new();
+        for v in [0, 1, u64::MAX, lower_bound(BUCKETS - 1), u64::MAX - 1] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        // Top rank reports the exact max even though the bucket is huge.
+        assert_eq!(s.value_at_percentile(100.0), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_are_clamped_to_observed_range() {
+        let h = AtomicHist::new();
+        for v in 1000..1100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for pct in [10.0, 50.0, 90.0, 99.0] {
+            let v = s.value_at_percentile(pct);
+            assert!((1000..=1099).contains(&v), "p{pct} = {v} escapes range");
+        }
+    }
+
+    #[test]
+    fn merged_adds_counts_and_widens_range() {
+        let a = AtomicHist::new();
+        a.record(10);
+        let b = AtomicHist::new();
+        b.record(1_000_000);
+        let m = a.snapshot().merged(&b.snapshot());
+        assert_eq!(m.count, 2);
+        assert_eq!(m.min, 10);
+        assert_eq!(m.max, 1_000_000);
+        assert_eq!(m.sum, 1_000_010);
+    }
+
+    #[test]
+    fn concurrent_increments_lose_nothing() {
+        // Satellite: concurrent increment correctness. Run hard enough
+        // that release mode exercises real interleavings: N threads ×
+        // M records each, all into one histogram; the totals must be
+        // exact (fetch_add never drops increments, Relaxed or not).
+        let h = Arc::new(AtomicHist::new());
+        let threads = 8;
+        let per_thread = if cfg!(debug_assertions) {
+            20_000
+        } else {
+            200_000
+        };
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        // Spread across many buckets, deterministic sum.
+                        h.record(((t * per_thread + i) % 4096) as u64);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, (threads * per_thread) as u64);
+        assert_eq!(s.value_at_percentile(100.0), s.max);
+        assert!(s.max < 4096);
+    }
+}

@@ -1,0 +1,42 @@
+//! # stm-telemetry — the observability plane
+//!
+//! PRs 1–8 made the STM stack *react* to its own behavior (autotune,
+//! shard health, chaos rejoin); this crate makes it *observable*: a
+//! production-length run reports what it is doing without a debugger
+//! attached, cheaply enough to stay compiled in by default.
+//!
+//! Four pieces:
+//!
+//! * **Metrics** ([`MetricsFrame`] / [`MetricsSource`] / [`Registry`] /
+//!   [`TxMetrics`]) — a pull-model registry: sources project their
+//!   existing Relaxed counters at scrape time; the only new hot-path
+//!   instruments (commit-latency and retries histograms) hide behind
+//!   one Relaxed `bool`. Histograms share the perf schema's log-linear
+//!   bucket map ([`buckets`]) via the concurrent [`AtomicHist`].
+//! * **Flight recorder** ([`flight`]) — per-thread ring buffers of
+//!   begin/retry/commit/abort events, torn-read-tolerant by design,
+//!   dumped on panic, chaos failure, or quarantine.
+//! * **Exposition** ([`expo`]) — Prometheus-style text and JSONL
+//!   renderers plus the lint pass CI runs over the text format.
+//! * **Sampler** ([`Sampler`], feature `sampling`) — schedules every
+//!   k-th window per shard into a fresh bounded `stm_check::TraceSink`
+//!   so the opacity checker runs continuously on long runs.
+
+pub mod buckets;
+mod counters;
+pub mod expo;
+pub mod flight;
+mod hist;
+mod metrics;
+#[cfg(feature = "sampling")]
+mod sampler;
+
+pub use counters::PaddedCounter;
+pub use expo::{lint_exposition, render_jsonl, render_prometheus};
+pub use hist::{AtomicHist, HistSnapshot};
+pub use metrics::{
+    collect_tx_counters, Family, MetricKind, MetricValue, MetricsFrame, MetricsSource, Registry,
+    Sample, TxMetrics, UNTAGGED,
+};
+#[cfg(feature = "sampling")]
+pub use sampler::{Sampler, SamplerConfig, SamplerCounts, WindowOutcome};

@@ -1,0 +1,418 @@
+//! The pull-model metrics plane: sources project their existing Relaxed
+//! counters into a [`MetricsFrame`] on demand, plus the one set of
+//! *push* instruments ([`TxMetrics`]) the backends record into on the
+//! transaction hot path.
+//!
+//! ## Why pull
+//!
+//! The backends already keep per-thread Relaxed counters (commits,
+//! aborts by reason, clock conflicts) and the durable engine keeps
+//! fault counters — duplicating those into a second registry would put
+//! a second increment on every hot path for nothing. Instead a
+//! [`MetricsSource`] *reads* them at scrape time. The only genuinely
+//! new hot-path instruments are the latency/retry histograms in
+//! [`TxMetrics`], and those are gated on one Relaxed `bool` load so a
+//! run that never enables them pays a predicted-not-taken branch.
+//!
+//! ## Memory layout
+//!
+//! One [`TxMetrics`] per backend instance (per shard under the engine):
+//! the `enabled`/`tag` word shares a line, and each `AtomicHist` is a
+//! contiguous ~4 KiB bucket array written by all threads of that shard
+//! with Relaxed `fetch_add`. Cross-shard instances never share lines
+//! (each sits in its own backend's allocation). Registry-owned shared
+//! tallies use [`crate::PaddedCounter`] (128-byte aligned).
+
+use crate::hist::{AtomicHist, HistSnapshot};
+use core::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Prometheus-style metric kinds (histograms expose as summaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone cumulative count.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Quantile summary backed by a [`HistSnapshot`].
+    Summary,
+}
+
+impl MetricKind {
+    /// The `# TYPE` keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Summary => "summary",
+        }
+    }
+}
+
+/// One sample's value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram snapshot, exposed as quantiles + sum + count.
+    Summary(HistSnapshot),
+}
+
+/// One labelled sample within a family.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Label pairs, already in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// A named metric family (one `# TYPE` line, many samples).
+#[derive(Debug, Clone)]
+pub struct Family {
+    /// Family name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: String,
+    /// One-line help text.
+    pub help: String,
+    /// The kind, shared by every sample.
+    pub kind: MetricKind,
+    /// Samples, in registration order.
+    pub samples: Vec<Sample>,
+}
+
+/// A collected frame: families in first-touch order, samples appended
+/// as sources report them. Families are merged by name so two shards
+/// reporting `stm_commits_total` produce one family with two samples —
+/// which is exactly what the exposition linter demands.
+#[derive(Debug, Default)]
+pub struct MetricsFrame {
+    families: Vec<Family>,
+}
+
+impl MetricsFrame {
+    /// An empty frame.
+    pub fn new() -> MetricsFrame {
+        MetricsFrame::default()
+    }
+
+    /// The collected families.
+    pub fn families(&self) -> &[Family] {
+        &self.families
+    }
+
+    fn family_mut(&mut self, name: &str, help: &str, kind: MetricKind) -> &mut Family {
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            debug_assert_eq!(
+                self.families[i].kind, kind,
+                "metric family {name} reported with two kinds"
+            );
+            return &mut self.families[i];
+        }
+        self.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            samples: Vec::new(),
+        });
+        self.families.last_mut().expect("just pushed")
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        value: MetricValue,
+    ) {
+        let labels = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        self.family_mut(name, help, kind)
+            .samples
+            .push(Sample { labels, value });
+    }
+
+    /// Report a counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], v: u64) {
+        self.push(
+            name,
+            help,
+            MetricKind::Counter,
+            labels,
+            MetricValue::Counter(v),
+        );
+    }
+
+    /// Report a gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], v: f64) {
+        self.push(name, help, MetricKind::Gauge, labels, MetricValue::Gauge(v));
+    }
+
+    /// Report a histogram snapshot as a summary sample.
+    pub fn summary(&mut self, name: &str, help: &str, labels: &[(&str, &str)], snap: HistSnapshot) {
+        self.push(
+            name,
+            help,
+            MetricKind::Summary,
+            labels,
+            MetricValue::Summary(snap),
+        );
+    }
+}
+
+/// Project a backend's commit/abort/clock counters into `frame` under
+/// `labels`, using the shared family vocabulary every backend emits
+/// (`stm_commits_total`, `stm_aborts_total{reason=…}`,
+/// `stm_clock_conflicts_total`, `stm_rollovers_total`,
+/// `stm_reconfigurations_total`). Keeping this in one place guarantees
+/// tinystm, TL2, and the sharded engine agree on names and label
+/// shapes, which the exposition linter then holds them to.
+pub fn collect_tx_counters(
+    frame: &mut MetricsFrame,
+    labels: &[(&str, &str)],
+    stats: &stm_api::stats::BasicStats,
+    rollovers: u64,
+    reconfigurations: u64,
+) {
+    frame.counter(
+        "stm_commits_total",
+        "Committed transactions.",
+        labels,
+        stats.commits,
+    );
+    for reason in stm_api::AbortReason::ALL {
+        let n = stats.aborts_by_reason[reason.index()];
+        if n == 0 {
+            continue;
+        }
+        let mut with_reason: Vec<(&str, &str)> = labels.to_vec();
+        with_reason.push(("reason", reason.label()));
+        frame.counter(
+            "stm_aborts_total",
+            "Aborted transaction attempts by reason.",
+            &with_reason,
+            n,
+        );
+    }
+    frame.counter(
+        "stm_clock_conflicts_total",
+        "Foreign commit timestamps consumed between snapshot and commit.",
+        labels,
+        stats.clock_conflicts,
+    );
+    frame.counter(
+        "stm_rollovers_total",
+        "Clock roll-over fences performed.",
+        labels,
+        rollovers,
+    );
+    frame.counter(
+        "stm_reconfigurations_total",
+        "Dynamic reconfigurations performed.",
+        labels,
+        reconfigurations,
+    );
+}
+
+/// Anything that can project metrics into a frame at scrape time.
+pub trait MetricsSource {
+    /// Append this source's families/samples to `frame`.
+    fn collect(&self, frame: &mut MetricsFrame);
+}
+
+/// A scrape root: the set of sources one exposition covers.
+#[derive(Default)]
+pub struct Registry {
+    sources: Mutex<Vec<Arc<dyn MetricsSource + Send + Sync>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Add a source (scraped in registration order).
+    pub fn register(&self, source: Arc<dyn MetricsSource + Send + Sync>) {
+        self.sources.lock().push(source);
+    }
+
+    /// Scrape every source into one frame.
+    pub fn collect(&self) -> MetricsFrame {
+        let mut frame = MetricsFrame::new();
+        for source in self.sources.lock().iter() {
+            source.collect(&mut frame);
+        }
+        frame
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("sources", &self.sources.lock().len())
+            .finish()
+    }
+}
+
+/// Tag value meaning "not running under the sharded engine".
+pub const UNTAGGED: u32 = u32::MAX;
+
+/// Per-backend-instance hot-path instruments: commit latency and
+/// retries-per-commit histograms, runtime-gated.
+///
+/// Embedded in each backend's shared inner state. Disabled (the
+/// default) costs one Relaxed load + untaken branch per transaction;
+/// the perf gate runs with exactly that configuration, which is how
+/// "telemetry compiled in by default" stays free.
+#[derive(Debug)]
+pub struct TxMetrics {
+    enabled: AtomicBool,
+    tag: AtomicU32,
+    commit_latency_ns: AtomicHist,
+    commit_retries: AtomicHist,
+}
+
+impl Default for TxMetrics {
+    fn default() -> TxMetrics {
+        TxMetrics::new()
+    }
+}
+
+impl TxMetrics {
+    /// Fresh, disabled, untagged instruments.
+    pub fn new() -> TxMetrics {
+        TxMetrics {
+            enabled: AtomicBool::new(false),
+            tag: AtomicU32::new(UNTAGGED),
+            commit_latency_ns: AtomicHist::new(),
+            commit_retries: AtomicHist::new(),
+        }
+    }
+
+    /// Turn hot-path recording on or off (Relaxed; takes effect at each
+    /// transaction's next begin).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether transactions should time themselves right now.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Set the instance tag (shard index under the engine).
+    pub fn set_tag(&self, tag: u32) {
+        self.tag.store(tag, Ordering::Relaxed);
+    }
+
+    /// The instance tag ([`UNTAGGED`] outside the engine).
+    #[inline]
+    pub fn tag(&self) -> u32 {
+        self.tag.load(Ordering::Relaxed)
+    }
+
+    /// Record one committed transaction: wall latency of the whole
+    /// `run` call (including retries) and how many aborted attempts it
+    /// took.
+    #[inline]
+    pub fn record_commit(&self, latency_ns: u64, retries: u64) {
+        self.commit_latency_ns.record(latency_ns);
+        self.commit_retries.record(retries);
+    }
+
+    /// Append this instance's summaries to a frame under `labels`.
+    /// Empty histograms are skipped (a disabled instance adds nothing).
+    pub fn collect_into(&self, frame: &mut MetricsFrame, labels: &[(&str, &str)]) {
+        if self.commit_latency_ns.count() == 0 {
+            return;
+        }
+        frame.summary(
+            "stm_commit_latency_ns",
+            "Wall latency of committed transactions, begin-to-commit including retries.",
+            labels,
+            self.commit_latency_ns.snapshot(),
+        );
+        frame.summary(
+            "stm_commit_retries",
+            "Aborted attempts per committed transaction.",
+            labels,
+            self.commit_retries.snapshot(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_merges_families_by_name() {
+        let mut f = MetricsFrame::new();
+        f.counter("stm_commits_total", "h", &[("shard", "0")], 1);
+        f.counter("stm_commits_total", "h", &[("shard", "1")], 2);
+        f.gauge("stm_up", "h", &[], 1.0);
+        assert_eq!(f.families().len(), 2);
+        assert_eq!(f.families()[0].samples.len(), 2);
+    }
+
+    #[test]
+    fn registry_scrapes_in_registration_order() {
+        struct One;
+        impl MetricsSource for One {
+            fn collect(&self, frame: &mut MetricsFrame) {
+                frame.counter("a_total", "h", &[], 1);
+            }
+        }
+        struct Two;
+        impl MetricsSource for Two {
+            fn collect(&self, frame: &mut MetricsFrame) {
+                frame.counter("b_total", "h", &[], 2);
+            }
+        }
+        let reg = Registry::new();
+        reg.register(Arc::new(One));
+        reg.register(Arc::new(Two));
+        let frame = reg.collect();
+        let names: Vec<&str> = frame.families().iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a_total", "b_total"]);
+    }
+
+    #[test]
+    fn tx_metrics_disabled_by_default_and_empty_collects_nothing() {
+        let m = TxMetrics::new();
+        assert!(!m.enabled());
+        assert_eq!(m.tag(), UNTAGGED);
+        let mut frame = MetricsFrame::new();
+        m.collect_into(&mut frame, &[]);
+        assert!(frame.families().is_empty());
+    }
+
+    #[test]
+    fn tx_metrics_records_and_exposes_summaries() {
+        let m = TxMetrics::new();
+        m.set_enabled(true);
+        m.set_tag(3);
+        m.record_commit(1_000, 0);
+        m.record_commit(5_000, 2);
+        let mut frame = MetricsFrame::new();
+        m.collect_into(&mut frame, &[("shard", "3")]);
+        assert_eq!(frame.families().len(), 2);
+        let lat = &frame.families()[0];
+        assert_eq!(lat.name, "stm_commit_latency_ns");
+        match &lat.samples[0].value {
+            MetricValue::Summary(s) => {
+                assert_eq!(s.count, 2);
+                assert_eq!(s.min, 1_000);
+                assert_eq!(s.max, 5_000);
+            }
+            other => panic!("expected summary, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Sampled recording windows (feature `sampling`): run `stm-check`
+//! continuously on production-length runs by recording every k-th
+//! window per shard into a fresh *bounded* `TraceSink` instead of one
+//! unbounded recording of the whole run.
+//!
+//! ## The contract with `stm-check`
+//!
+//! * **Fresh sink per window.** A window's sink is created at the
+//!   window boundary and drained after detach, so no event can be
+//!   attributed to two windows: sessions are per-(thread × attach
+//!   generation), and a drained sink is closed — late activations
+//!   against it fail and the attempt simply goes unrecorded.
+//! * **Bounded.** Sinks are created with a per-session event cap
+//!   (`event_cap`); once a thread's session fills, further attempts
+//!   are skipped *whole* at activation time, keeping the history
+//!   well-formed (never a truncated attempt). Overflow is counted, not
+//!   silent.
+//! * **Mid-run attach ⇒ version inflation allowed.** A sampled window
+//!   starts after unrecorded commits, so observed versions may lack a
+//!   recorded writer. Windows must therefore be checked with
+//!   `CheckOpts { allow_version_inflation: true, .. }` (see
+//!   [`Sampler::check_opts`]), which resolves each read to the
+//!   greatest recorded writer version ≤ the observed one. The
+//!   trade-off is weaker lost-update detection across the window
+//!   boundary — inside the window, conflict serializability is checked
+//!   in full.
+//!
+//! The sampler itself only schedules: callers own attach/detach/drain
+//! (they know their backend), then report the outcome back so the
+//! window tallies land in the metrics frame.
+
+use crate::counters::PaddedCounter;
+use crate::metrics::{MetricsFrame, MetricsSource};
+use std::sync::Arc;
+use stm_check::{CheckOpts, TraceSink};
+
+/// Sampling cadence and bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerConfig {
+    /// Record every k-th window (1 = every window).
+    pub every: u64,
+    /// Per-session (per-thread) event cap of each window's sink.
+    pub event_cap: u64,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> SamplerConfig {
+        SamplerConfig {
+            every: 8,
+            event_cap: 1 << 16,
+        }
+    }
+}
+
+/// How a sampled window ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowOutcome {
+    /// Drained and checked clean.
+    Clean,
+    /// The checker found a violation (loud failure upstream).
+    Violation,
+    /// The recording was unsound (e.g. clock roll-over mid-window).
+    Unsound,
+}
+
+#[derive(Debug, Default)]
+struct ShardWindows {
+    seen: PaddedCounter,
+    sampled: PaddedCounter,
+    overflowed: PaddedCounter,
+    clean: PaddedCounter,
+    violations: PaddedCounter,
+    unsound: PaddedCounter,
+}
+
+/// Plain-value tally of one shard's windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplerCounts {
+    /// Window boundaries crossed.
+    pub seen: u64,
+    /// Windows that got a sink.
+    pub sampled: u64,
+    /// Sampled windows whose sink skipped attempts at its cap.
+    pub overflowed: u64,
+    /// Sampled windows drained and checked clean.
+    pub clean: u64,
+    /// Sampled windows with checker violations.
+    pub violations: u64,
+    /// Sampled windows with unsound recordings.
+    pub unsound: u64,
+}
+
+/// The per-shard window scheduler.
+#[derive(Debug)]
+pub struct Sampler {
+    cfg: SamplerConfig,
+    shards: Vec<ShardWindows>,
+}
+
+impl Sampler {
+    /// A sampler for `shards` shards (use 1 for an unsharded backend).
+    pub fn new(shards: usize, cfg: SamplerConfig) -> Sampler {
+        let cfg = SamplerConfig {
+            every: cfg.every.max(1),
+            event_cap: cfg.event_cap.max(1),
+        };
+        Sampler {
+            cfg,
+            shards: (0..shards.max(1))
+                .map(|_| ShardWindows::default())
+                .collect(),
+        }
+    }
+
+    /// Number of shards scheduled.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configured cadence.
+    pub fn config(&self) -> SamplerConfig {
+        self.cfg
+    }
+
+    /// Checker options sampled windows must be verified with (see the
+    /// module docs: mid-run attach requires version inflation for every
+    /// backend, not just write-through).
+    pub fn check_opts(&self) -> CheckOpts {
+        CheckOpts {
+            allow_version_inflation: true,
+            ..CheckOpts::default()
+        }
+    }
+
+    /// Cross a window boundary on `shard`. Windows are numbered from 0;
+    /// windows 0, k, 2k… get a fresh bounded sink (so the very first
+    /// window is always recorded and exactly every k-th thereafter).
+    pub fn begin_window(&self, shard: usize) -> Option<Arc<TraceSink>> {
+        let w = self.shards[shard].seen.inc();
+        if w.is_multiple_of(self.cfg.every) {
+            self.shards[shard].sampled.inc();
+            Some(TraceSink::with_event_cap(self.cfg.event_cap))
+        } else {
+            None
+        }
+    }
+
+    /// Report a drained window's outcome. `skipped_attempts` is the
+    /// sink's overflow tally (attempts refused at the event cap).
+    pub fn note_result(&self, shard: usize, outcome: WindowOutcome, skipped_attempts: u64) {
+        let s = &self.shards[shard];
+        if skipped_attempts > 0 {
+            s.overflowed.inc();
+        }
+        match outcome {
+            WindowOutcome::Clean => s.clean.inc(),
+            WindowOutcome::Violation => s.violations.inc(),
+            WindowOutcome::Unsound => s.unsound.inc(),
+        };
+    }
+
+    /// Current tallies for `shard`.
+    pub fn counts(&self, shard: usize) -> SamplerCounts {
+        let s = &self.shards[shard];
+        SamplerCounts {
+            seen: s.seen.get(),
+            sampled: s.sampled.get(),
+            overflowed: s.overflowed.get(),
+            clean: s.clean.get(),
+            violations: s.violations.get(),
+            unsound: s.unsound.get(),
+        }
+    }
+}
+
+impl MetricsSource for Sampler {
+    fn collect(&self, frame: &mut MetricsFrame) {
+        for shard in 0..self.shards.len() {
+            let c = self.counts(shard);
+            let tag = shard.to_string();
+            let labels: [(&str, &str); 1] = [("shard", tag.as_str())];
+            frame.counter(
+                "stm_sampler_windows_seen_total",
+                "Window boundaries crossed.",
+                &labels,
+                c.seen,
+            );
+            frame.counter(
+                "stm_sampler_windows_sampled_total",
+                "Windows recorded into a bounded sink.",
+                &labels,
+                c.sampled,
+            );
+            frame.counter(
+                "stm_sampler_windows_overflowed_total",
+                "Sampled windows that hit their event cap.",
+                &labels,
+                c.overflowed,
+            );
+            frame.counter(
+                "stm_sampler_windows_clean_total",
+                "Sampled windows checked clean.",
+                &labels,
+                c.clean,
+            );
+            frame.counter(
+                "stm_sampler_windows_violation_total",
+                "Sampled windows with checker violations.",
+                &labels,
+                c.violations,
+            );
+            frame.counter(
+                "stm_sampler_windows_unsound_total",
+                "Sampled windows whose recording was unsound.",
+                &labels,
+                c.unsound,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kth_window_is_sampled_starting_with_the_first() {
+        // Satellite: the cadence property. Over n windows with cadence
+        // k, exactly ceil(n/k) are sampled: windows 0, k, 2k, …
+        for k in [1u64, 2, 3, 8] {
+            let s = Sampler::new(
+                1,
+                SamplerConfig {
+                    every: k,
+                    event_cap: 64,
+                },
+            );
+            let n = 20u64;
+            let mut got = Vec::new();
+            for w in 0..n {
+                if let Some(sink) = s.begin_window(0) {
+                    got.push(w);
+                    drop(sink);
+                }
+            }
+            let expect: Vec<u64> = (0..n).filter(|w| w % k == 0).collect();
+            assert_eq!(got, expect, "cadence {k}");
+            assert_eq!(s.counts(0).seen, n);
+            assert_eq!(s.counts(0).sampled, n.div_ceil(k));
+        }
+    }
+
+    #[test]
+    fn shards_schedule_independently() {
+        let s = Sampler::new(
+            2,
+            SamplerConfig {
+                every: 2,
+                event_cap: 64,
+            },
+        );
+        assert!(s.begin_window(0).is_some());
+        // Shard 1's first window is still window 0 for shard 1.
+        assert!(s.begin_window(1).is_some());
+        assert!(s.begin_window(0).is_none());
+        assert_eq!(s.counts(0).seen, 2);
+        assert_eq!(s.counts(1).seen, 1);
+    }
+
+    #[test]
+    fn outcomes_and_overflow_are_tallied() {
+        let s = Sampler::new(1, SamplerConfig::default());
+        s.note_result(0, WindowOutcome::Clean, 0);
+        s.note_result(0, WindowOutcome::Clean, 5);
+        s.note_result(0, WindowOutcome::Violation, 0);
+        s.note_result(0, WindowOutcome::Unsound, 0);
+        let c = s.counts(0);
+        assert_eq!(c.clean, 2);
+        assert_eq!(c.violations, 1);
+        assert_eq!(c.unsound, 1);
+        assert_eq!(c.overflowed, 1);
+    }
+
+    #[test]
+    fn sampler_exposes_lintable_counters() {
+        let s = Sampler::new(2, SamplerConfig::default());
+        s.begin_window(0);
+        s.note_result(0, WindowOutcome::Clean, 0);
+        let mut frame = MetricsFrame::new();
+        s.collect(&mut frame);
+        // 6 families × 2 shard samples each, merged by name.
+        assert_eq!(frame.families().len(), 6);
+        assert!(frame.families().iter().all(|f| f.samples.len() == 2));
+        let text = crate::expo::render_prometheus(&frame);
+        assert!(crate::expo::lint_exposition(&text).is_empty());
+    }
+
+    #[test]
+    fn check_opts_allow_inflation_for_mid_run_attach() {
+        let s = Sampler::new(1, SamplerConfig::default());
+        assert!(s.check_opts().allow_version_inflation);
+    }
+}

@@ -244,6 +244,9 @@ struct Tl2Inner {
     config_mirror: Mutex<Tl2Config>,
     rollovers: AtomicU64,
     reconfigurations: AtomicU64,
+    /// Hot-path telemetry instruments (commit latency / retries),
+    /// runtime-gated — disabled they cost one Relaxed load per `run`.
+    telemetry: stm_telemetry::TxMetrics,
     /// Attached event-recording sink, if any.
     #[cfg(feature = "record")]
     trace: tinystm::trace::TraceControl,
@@ -330,6 +333,7 @@ impl Tl2 {
                 config_mirror: Mutex::new(config),
                 rollovers: AtomicU64::new(0),
                 reconfigurations: AtomicU64::new(0),
+                telemetry: stm_telemetry::TxMetrics::new(),
                 #[cfg(feature = "record")]
                 trace: tinystm::trace::TraceControl::new(),
                 #[cfg(feature = "durable")]
@@ -401,6 +405,19 @@ impl Tl2 {
     {
         let ts = self.thread_state();
         let inner: &Tl2Inner = &self.inner;
+        // Telemetry sampled once per `run` call (latency spans retries);
+        // one Relaxed load each when disabled — see `tinystm::Stm`.
+        let tele = &inner.telemetry;
+        let tele_start = tele.enabled().then(std::time::Instant::now);
+        let flight_on = stm_telemetry::flight::enabled();
+        if flight_on {
+            stm_telemetry::flight::record(
+                tele.tag(),
+                stm_telemetry::flight::FlightKind::Begin,
+                0,
+                0,
+            );
+        }
         loop {
             if inner.clock.overflowed() {
                 self.handle_overflow();
@@ -482,6 +499,18 @@ impl Tl2 {
             let ctx = unsafe { &mut *ts.ctx.get() };
             match outcome {
                 Ok(value) => {
+                    let retries = ctx.consecutive_aborts;
+                    if let Some(start) = tele_start {
+                        tele.record_commit(start.elapsed().as_nanos() as u64, u64::from(retries));
+                    }
+                    if flight_on {
+                        stm_telemetry::flight::record(
+                            tele.tag(),
+                            stm_telemetry::flight::FlightKind::Commit,
+                            0,
+                            retries.min(u32::from(u16::MAX)) as u16,
+                        );
+                    }
                     ctx.consecutive_aborts = 0;
                     return Ok(value);
                 }
@@ -489,9 +518,25 @@ impl Tl2 {
                 // durable store refused the commit — retrying would
                 // re-publish into the same failed sink.
                 Err(AbortReason::WalFailed) => {
+                    if flight_on {
+                        stm_telemetry::flight::record(
+                            tele.tag(),
+                            stm_telemetry::flight::FlightKind::Abort,
+                            AbortReason::WalFailed.index() as u8,
+                            0,
+                        );
+                    }
                     return Err(RunError::WalFailed);
                 }
                 Err(reason) => {
+                    if flight_on {
+                        stm_telemetry::flight::record(
+                            tele.tag(),
+                            stm_telemetry::flight::FlightKind::Retry,
+                            reason.index() as u8,
+                            0,
+                        );
+                    }
                     ctx.consecutive_aborts = ctx.consecutive_aborts.saturating_add(1);
                     if matches!(reason, AbortReason::ClockOverflow) {
                         self.handle_overflow();
@@ -611,6 +656,13 @@ impl Tl2 {
     /// Current clock value (diagnostics).
     pub fn clock_now(&self) -> u64 {
         self.inner.clock.now()
+    }
+
+    /// This instance's hot-path telemetry instruments (see
+    /// [`tinystm::Stm::telemetry`] — same contract: disabled by
+    /// default, the sharded engine tags each shard's instance here).
+    pub fn telemetry(&self) -> &stm_telemetry::TxMetrics {
+        &self.inner.telemetry
     }
 
     /// Attach an event-recording sink (see [`tinystm::Stm::attach_trace`]
@@ -751,6 +803,28 @@ impl TmHandle for Tl2 {
 
     fn backend_name(&self) -> &'static str {
         "tl2"
+    }
+}
+
+impl stm_telemetry::MetricsSource for Tl2 {
+    fn collect(&self, frame: &mut stm_telemetry::MetricsFrame) {
+        let stats = self.stats();
+        let backend = stm_api::TmHandle::backend_name(self);
+        let tag = self.inner.telemetry.tag();
+        let shard;
+        let mut labels: Vec<(&str, &str)> = vec![("backend", backend)];
+        if tag != stm_telemetry::UNTAGGED {
+            shard = tag.to_string();
+            labels.push(("shard", shard.as_str()));
+        }
+        stm_telemetry::collect_tx_counters(
+            frame,
+            &labels,
+            &stats.totals.basic(),
+            stats.rollovers,
+            stats.reconfigurations,
+        );
+        self.inner.telemetry.collect_into(frame, &labels);
     }
 }
 

@@ -8,6 +8,7 @@
 pub use stm_api as api;
 pub use stm_harness as harness;
 pub use stm_structures as structures;
+pub use stm_telemetry as telemetry;
 pub use stm_tl2 as tl2;
 pub use stm_tuning as tuning;
 pub use tinystm;
