@@ -65,6 +65,17 @@ impl std::error::Error for PublishError {}
 /// input. Panicking is reserved for integrity violations (e.g. a write
 /// outside the durable address range — a would-be phantom write), where
 /// failing loudly beats logging garbage.
+///
+/// Publish may *block* on non-transactional work — in particular, a
+/// group-commit sink stages the record immediately (fixing its log
+/// position while the locks pin the commit order) and then waits for
+/// an amortized batch flush before returning. The contract is
+/// stage/ack: the record's place in the log is decided inside the
+/// critical section, but `Ok` is returned only once the record is
+/// *acked* (persisted at the sink's durability level). The committing
+/// transaction applies no memory effect before that ack, so staged-but
+/// -unflushed records can vanish with a crash without memory ever
+/// having run ahead of the log.
 pub trait WalSink: Send + Sync {
     /// Record one committed update transaction.
     ///
@@ -77,10 +88,12 @@ pub trait WalSink: Send + Sync {
     ///   set the transaction is about to apply (write-back) or has
     ///   applied (write-through).
     ///
-    /// `Err` means the record is durably *absent* (nothing, or only a
-    /// torn prefix the recovery tail-scan discards, reached storage);
-    /// the caller must roll the transaction back. `Ok` means the record
-    /// is persisted at the sink's durability level.
+    /// `Err` means the record was never *acknowledged*: usually nothing
+    /// (or only a torn prefix the recovery tail-scan discards) reached
+    /// storage, though a failed durability sync can leave the record
+    /// present in the log yet in doubt — the sink tracks those. Either
+    /// way the caller must roll the transaction back. `Ok` means the
+    /// record is persisted at the sink's durability level.
     fn publish(
         &self,
         epoch: u64,

@@ -18,6 +18,15 @@
 //!   Degraded/Quarantined shards reject writes with a typed error and
 //!   keep serving reads (see `crate::health`).
 //!
+//! In **group-commit mode** ([`DurableEngine::new_grouped`]) the sink
+//! is a [`GroupWalSink`] instead: it *stages* the record into the
+//! shard's [`GroupCommitter`] batch inside the critical section (the
+//! stage reserves the record's sequence number and log position, so
+//! the commit-order guarantees below are unchanged) and then blocks
+//! for an amortized batch flush — one append + one sync acknowledges
+//! every staged commit of the batch. Concurrent committers touching
+//! disjoint stripes of one shard thereby share a single fsync.
+//!
 //! Because the publish happens before the stripe locks are released,
 //! conflicting commits appear in the shard's log in commit-timestamp
 //! order, so **every log prefix is conflict-closed** — replaying any
@@ -83,10 +92,33 @@ use stm_api::mem::WordBlock;
 use stm_api::stats::{FaultSnapshot, FaultStats};
 use stm_api::wal::{PublishError, WalSink};
 use stm_api::{LifecycleError, TmTx, TxKind};
-use stm_wal::{recover_store, snapshot_of, LogWriter, Recovery, StoreError, WalError, WalStore};
+use stm_wal::{
+    recover_store, snapshot_of, BatchError, GroupCommitConfig, GroupCommitter, LogWriter, Recovery,
+    StoreError, WalError, WalStore,
+};
 
 /// Word size of the tables (the engine is 64-bit word based).
 const WORD: usize = core::mem::size_of::<usize>();
+
+/// Map a backend write set (`(addr, value)` words) back to the shard's
+/// dense keys, enforcing the no-phantom guard (M1.5): a durable
+/// transaction must only write words of its shard's table — anything
+/// else cannot be replayed, and dying here beats logging garbage.
+fn writes_to_keys(base: usize, words: usize, writes: &[(usize, usize)]) -> Vec<(u64, u64)> {
+    let mut keys: Vec<(u64, u64)> = Vec::with_capacity(writes.len());
+    for &(addr, value) in writes {
+        let in_table =
+            addr >= base && addr < base + words * WORD && (addr - base).is_multiple_of(WORD);
+        assert!(
+            in_table,
+            "durable commit wrote {addr:#x}, outside the shard table [{:#x}, {:#x})",
+            base,
+            base + words * WORD
+        );
+        keys.push((((addr - base) / WORD) as u64, value as u64));
+    }
+    keys
+}
 
 /// Errors building, recovering, or maintaining a [`DurableEngine`].
 #[derive(Debug)]
@@ -243,23 +275,7 @@ impl WalSink for ShardWalSink {
                 self.health.get()
             )));
         }
-        let mut keys: Vec<(u64, u64)> = Vec::with_capacity(writes.len());
-        for &(addr, value) in writes {
-            // The no-phantom guard (M1.5): a durable transaction must
-            // only write words of its shard's table — anything else
-            // cannot be replayed and dying here beats logging garbage.
-            let in_table = addr >= self.base
-                && addr < self.base + self.words * WORD
-                && (addr - self.base).is_multiple_of(WORD);
-            assert!(
-                in_table,
-                "durable commit wrote {addr:#x}, outside the shard table \
-                 [{:#x}, {:#x})",
-                self.base,
-                self.base + self.words * WORD
-            );
-            keys.push((((addr - self.base) / WORD) as u64, value as u64));
-        }
+        let keys = writes_to_keys(self.base, self.words, writes);
         let epoch = self.epoch_base + epoch;
         // Append, retrying transients in place (safe: nothing was
         // persisted and the writer consumes the seq only on success).
@@ -309,6 +325,99 @@ impl WalSink for ShardWalSink {
     }
 }
 
+/// The group-commit WAL sink: stages the record into the shard's
+/// [`GroupCommitter`] batch inside the commit critical section (fixing
+/// its log position while the stripe locks pin the commit order) and
+/// blocks until the batch is flushed and acknowledged.
+///
+/// Fault mapping follows "one transient fault degrades the *batch*,
+/// not the shard": the committer already retried transients in place,
+/// so a surfacing transient append failure fails this batch's commits
+/// (they roll back cleanly and can be resubmitted) while the shard
+/// stays Healthy. Terminal errors — torn appends, permanent store
+/// faults, failed fsyncs — degrade the shard exactly like the
+/// per-commit sink, with the batch's *primary* member doing the
+/// once-per-batch bookkeeping so counters count batches, not members.
+struct GroupWalSink {
+    /// Shard index (error messages).
+    shard: usize,
+    /// Base address of the shard's table.
+    base: usize,
+    /// Table length in words.
+    words: usize,
+    /// Added to the backend's durability epoch (monotonicity across
+    /// recover incarnations).
+    epoch_base: u64,
+    committer: Arc<GroupCommitter>,
+    health: Arc<HealthSlot>,
+    stats: Arc<FaultStats>,
+    in_doubt: Arc<Mutex<Vec<InDoubtCommit>>>,
+}
+
+impl WalSink for GroupWalSink {
+    fn publish(
+        &self,
+        epoch: u64,
+        commit_ts: u64,
+        writes: &[(usize, usize)],
+    ) -> Result<(), PublishError> {
+        if !self.health.is_healthy() {
+            self.stats.degraded_rejects.fetch_add(1, Ordering::Relaxed);
+            return Err(PublishError::new(format!(
+                "shard {} is {}",
+                self.shard,
+                self.health.get()
+            )));
+        }
+        let keys = writes_to_keys(self.base, self.words, writes);
+        let epoch = self.epoch_base + epoch;
+        match self.committer.commit(epoch, commit_ts, &keys) {
+            Ok(()) => Ok(()),
+            Err(g) => {
+                // A sync failure leaves every record of the batch in
+                // the log but unconfirmed: each member tracks its own
+                // in-doubt entry (the primary flag only dedupes the
+                // per-batch counters below).
+                if g.in_doubt {
+                    self.in_doubt.lock().push(InDoubtCommit {
+                        epoch,
+                        commit_ts,
+                        writes: keys,
+                    });
+                }
+                match &g.error {
+                    // This member was cancelled behind another batch's
+                    // failure: nothing of it reached the store and the
+                    // failing batch already did the health/counter
+                    // bookkeeping. Just roll the commit back.
+                    BatchError::Cancelled => {}
+                    // The committer exhausted its in-place retries on a
+                    // transient append: the batch fails (commits roll
+                    // back, resubmittable) but nothing was persisted
+                    // and the store may well serve the next batch —
+                    // degrade the batch, not the shard.
+                    BatchError::Append(e) if e.is_transient() => {
+                        if g.primary {
+                            self.stats.wal_retries.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // Terminal: torn/permanent append or failed fsync.
+                    BatchError::Append(_) | BatchError::Sync(_) => {
+                        if g.primary {
+                            self.stats.wal_faults.fetch_add(1, Ordering::Relaxed);
+                            self.health.set(ShardHealth::Degraded);
+                        }
+                    }
+                }
+                Err(PublishError::new(format!(
+                    "shard {} group: {g}",
+                    self.shard
+                )))
+            }
+        }
+    }
+}
+
 /// One shard's durable state (the sink shares the writer, health slot,
 /// and in-doubt list).
 struct DurableShard {
@@ -318,6 +427,9 @@ struct DurableShard {
     writer: Arc<LogWriter>,
     health: Arc<HealthSlot>,
     in_doubt: Arc<Mutex<Vec<InDoubtCommit>>>,
+    /// Present in group-commit mode: the shard's batching flush/ack
+    /// path (the sink stages through it instead of appending directly).
+    committer: Option<Arc<GroupCommitter>>,
 }
 
 /// A crash-recoverable key/value engine over [`ShardedEngine`] with
@@ -331,6 +443,9 @@ pub struct DurableEngine<B: ShardBackend> {
     n_keys: usize,
     stats: Arc<FaultStats>,
     retry: RetryPolicy,
+    /// Records-per-flush distribution across all shards' committers
+    /// (group-commit mode only; empty otherwise).
+    batch_hist: Arc<stm_telemetry::AtomicHist>,
 }
 
 impl<B: ShardBackend> DurableEngine<B> {
@@ -343,7 +458,22 @@ impl<B: ShardBackend> DurableEngine<B> {
         config: &B::Config,
         stores: Vec<Arc<dyn WalStore>>,
     ) -> Result<DurableEngine<B>, DurableError> {
-        Self::build(shards, n_keys, config, stores, None)
+        Self::build(shards, n_keys, config, stores, None, None)
+    }
+
+    /// Build a fresh engine in **group-commit** mode: each shard's sink
+    /// stages records into a per-shard [`GroupCommitter`] batch and
+    /// blocks for the amortized flush/ack instead of appending and
+    /// syncing per commit. Concurrent committers on disjoint stripes of
+    /// one shard share a single append + sync.
+    pub fn new_grouped(
+        shards: usize,
+        n_keys: usize,
+        config: &B::Config,
+        stores: Vec<Arc<dyn WalStore>>,
+        group: GroupCommitConfig,
+    ) -> Result<DurableEngine<B>, DurableError> {
+        Self::build(shards, n_keys, config, stores, None, Some(group))
     }
 
     /// Recover an engine from the stores of a crashed (or cleanly
@@ -367,10 +497,39 @@ impl<B: ShardBackend> DurableEngine<B> {
                 .map_err(|error| DurableError::Wal { shard: i, error })?;
             recoveries.push(r);
         }
-        let engine = Self::build(shards, n_keys, config, stores, Some(&recoveries))?;
+        let engine = Self::build(shards, n_keys, config, stores, Some(&recoveries), None)?;
         // Re-checkpoint immediately: the recovered state becomes the
         // new snapshot and the (possibly torn-tailed) old log is
         // truncated, so the fresh incarnation appends to a clean log.
+        engine.checkpoint()?;
+        Ok((engine, recoveries))
+    }
+
+    /// [`DurableEngine::recover`], but the new incarnation runs in
+    /// group-commit mode (see [`DurableEngine::new_grouped`]). Recovery
+    /// itself is mode-independent: a grouped incarnation's log is an
+    /// ordinary conflict-closed record stream.
+    pub fn recover_grouped(
+        shards: usize,
+        n_keys: usize,
+        config: &B::Config,
+        stores: Vec<Arc<dyn WalStore>>,
+        group: GroupCommitConfig,
+    ) -> Result<(DurableEngine<B>, Vec<Recovery>), DurableError> {
+        let mut recoveries = Vec::with_capacity(shards);
+        for (i, store) in stores.iter().enumerate() {
+            let r = recover_store(store.as_ref())
+                .map_err(|error| DurableError::Wal { shard: i, error })?;
+            recoveries.push(r);
+        }
+        let engine = Self::build(
+            shards,
+            n_keys,
+            config,
+            stores,
+            Some(&recoveries),
+            Some(group),
+        )?;
         engine.checkpoint()?;
         Ok((engine, recoveries))
     }
@@ -381,6 +540,7 @@ impl<B: ShardBackend> DurableEngine<B> {
         config: &B::Config,
         stores: Vec<Arc<dyn WalStore>>,
         recovered: Option<&[Recovery]>,
+        group: Option<GroupCommitConfig>,
     ) -> Result<DurableEngine<B>, DurableError> {
         if stores.len() != n_shards {
             return Err(DurableError::StoreCount {
@@ -391,6 +551,7 @@ impl<B: ShardBackend> DurableEngine<B> {
         let engine: ShardedEngine<B> = ShardedEngine::new(n_shards, config)?;
         let stats = Arc::new(FaultStats::new());
         let retry = RetryPolicy::default();
+        let batch_hist = Arc::new(stm_telemetry::AtomicHist::new());
         let mut shards = Vec::with_capacity(n_shards);
         for (i, store) in stores.into_iter().enumerate() {
             let table = WordBlock::new(n_keys.max(1));
@@ -414,19 +575,41 @@ impl<B: ShardBackend> DurableEngine<B> {
             let writer = Arc::new(LogWriter::new(i as u32, Arc::clone(&store), first_seq));
             let health = Arc::new(HealthSlot::new());
             let in_doubt = Arc::new(Mutex::new(Vec::new()));
-            let sink: Arc<dyn WalSink> = Arc::new(ShardWalSink {
-                shard: i,
-                base: table.as_ptr() as usize,
-                words: table.words(),
-                epoch_base,
-                writer: Arc::clone(&writer),
-                store: Arc::clone(&store),
-                health: Arc::clone(&health),
-                stats: Arc::clone(&stats),
-                retry,
-                in_doubt: Arc::clone(&in_doubt),
-            });
-            engine.shard(i).attach_wal(&sink);
+            let committer = match &group {
+                Some(gc) => {
+                    let committer = GroupCommitter::new(Arc::clone(&writer), *gc);
+                    let hist = Arc::clone(&batch_hist);
+                    committer.set_observer(move |records, _bytes| hist.record(records as u64));
+                    let sink: Arc<dyn WalSink> = Arc::new(GroupWalSink {
+                        shard: i,
+                        base: table.as_ptr() as usize,
+                        words: table.words(),
+                        epoch_base,
+                        committer: Arc::clone(&committer),
+                        health: Arc::clone(&health),
+                        stats: Arc::clone(&stats),
+                        in_doubt: Arc::clone(&in_doubt),
+                    });
+                    engine.shard(i).attach_wal(&sink);
+                    Some(committer)
+                }
+                None => {
+                    let sink: Arc<dyn WalSink> = Arc::new(ShardWalSink {
+                        shard: i,
+                        base: table.as_ptr() as usize,
+                        words: table.words(),
+                        epoch_base,
+                        writer: Arc::clone(&writer),
+                        store: Arc::clone(&store),
+                        health: Arc::clone(&health),
+                        stats: Arc::clone(&stats),
+                        retry,
+                        in_doubt: Arc::clone(&in_doubt),
+                    });
+                    engine.shard(i).attach_wal(&sink);
+                    None
+                }
+            };
             shards.push(DurableShard {
                 table,
                 store,
@@ -434,6 +617,7 @@ impl<B: ShardBackend> DurableEngine<B> {
                 writer,
                 health,
                 in_doubt,
+                committer,
             });
         }
         Ok(DurableEngine {
@@ -442,6 +626,7 @@ impl<B: ShardBackend> DurableEngine<B> {
             n_keys,
             stats,
             retry,
+            batch_hist,
         })
     }
 
@@ -487,6 +672,33 @@ impl<B: ShardBackend> DurableEngine<B> {
     /// by a successful [`DurableEngine::rejoin`].
     pub fn in_doubt(&self, i: usize) -> Vec<InDoubtCommit> {
         self.shards[i].in_doubt.lock().clone()
+    }
+
+    /// Whether the engine was built in group-commit mode.
+    pub fn is_grouped(&self) -> bool {
+        self.shards.first().is_some_and(|s| s.committer.is_some())
+    }
+
+    /// Batches flushed and records flushed, summed over every shard's
+    /// committer (group-commit mode; `(0, 0)` otherwise). The ratio is
+    /// the mean batch size — the amortization the mode exists for.
+    pub fn group_flush_stats(&self) -> (u64, u64) {
+        let mut flushes = 0;
+        let mut records = 0;
+        for shard in &self.shards {
+            if let Some(c) = &shard.committer {
+                flushes += c.flushes();
+                records += c.records_flushed();
+            }
+        }
+        (flushes, records)
+    }
+
+    /// Mean records per flushed batch across all shards (group-commit
+    /// mode; `None` before the first flush or in per-commit mode).
+    pub fn group_mean_batch(&self) -> Option<f64> {
+        let (flushes, records) = self.group_flush_stats();
+        (flushes > 0).then(|| records as f64 / flushes as f64)
     }
 
     /// Transactionally set `key` to `value`. Fails with a typed error —
@@ -573,6 +785,22 @@ impl<B: ShardBackend> DurableEngine<B> {
                 self.shards[i].health.set(ShardHealth::Degraded);
                 return Err(DurableError::Checkpoint { shard: i, error });
             }
+        }
+        Ok(())
+    }
+
+    /// Checkpoint one shard (same semantics as
+    /// [`DurableEngine::checkpoint`], scoped to shard `i`). The service
+    /// layer uses this to slot per-shard checkpoints between group
+    /// batches without fencing the whole engine at once. Skips — with
+    /// `Ok` — a shard that is not Healthy.
+    pub fn checkpoint_one(&self, i: usize) -> Result<(), DurableError> {
+        if !self.shards[i].health.is_healthy() {
+            return Ok(());
+        }
+        if let Err(error) = self.checkpoint_shard(i, false) {
+            self.shards[i].health.set(ShardHealth::Degraded);
+            return Err(DurableError::Checkpoint { shard: i, error });
         }
         Ok(())
     }
@@ -694,6 +922,14 @@ impl<B: ShardBackend> stm_telemetry::MetricsSource for DurableEngine<B> {
             &[],
             f.rejoins,
         );
+        if self.is_grouped() {
+            frame.summary(
+                "stm_wal_batch_size",
+                "Records per flushed group-commit batch, all shards.",
+                &[],
+                self.batch_hist.snapshot(),
+            );
+        }
         for (i, shard) in self.shards.iter().enumerate() {
             let label = i.to_string();
             let labels = [("shard", label.as_str())];

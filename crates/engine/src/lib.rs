@@ -25,8 +25,12 @@
 //!   path, [`ShardedEngine::run_cross`] under a [`CrossShardPolicy`],
 //!   per-shard reconfigure with epoch tracking;
 //! * [`DurableEngine`] (feature `durable`) — the crash-recoverable KV
-//!   facade: per-shard WAL sinks, checkpoint inside the quiesce fence,
-//!   replay-based recovery.
+//!   facade: per-shard WAL sinks (per-commit or group-commit),
+//!   checkpoint inside the quiesce fence, replay-based recovery;
+//! * [`StmService`] (feature `durable`) — the multi-tenant service
+//!   layer: per-shard submission queues with bounded backpressure,
+//!   executor pools feeding the group-commit batches, checkpoints
+//!   scheduled under load.
 //!
 //! ```
 //! use stm_engine::ShardedEngine;
@@ -54,6 +58,8 @@ mod engine;
 #[cfg(feature = "durable")]
 mod health;
 mod router;
+#[cfg(feature = "durable")]
+mod service;
 
 pub use backend::ShardBackend;
 #[cfg(feature = "durable")]
@@ -62,6 +68,8 @@ pub use engine::{CrossCtx, CrossShardPolicy, EngineError, ShardedEngine};
 #[cfg(feature = "durable")]
 pub use health::{HealthSlot, RetryPolicy, ShardHealth};
 pub use router::Router;
+#[cfg(feature = "durable")]
+pub use service::{ServiceConfig, ServiceError, StmService};
 // Compat re-exports: the lifecycle trait moved to `stm-api` (PR 7);
 // dependents that imported it from here keep compiling.
 pub use stm_api::{LifecycleError, TmLifecycle};

@@ -58,6 +58,17 @@
 //!                    STM_CHAOS_SEED env var overrides it — failures
 //!                    print the seed + schedules on stderr)
 //!   --chaos-faults N fault events injected per shard (default 3)
+//!
+//! service mode (needs the `durable` cargo feature):
+//!   --service        drive the multi-tenant StmService (per-shard
+//!                    group commit) with open-loop clients, then
+//!                    power-cycle and assert no *acked* submission is
+//!                    lost (staged-but-unflushed writes may
+//!                    legitimately vanish); --backend/--shards/
+//!                    --crash-at apply, --size is keys per tenant
+//!   --clients N      client threads, one tenant each (default 4)
+//!   --rate R         offered submissions/second across all clients
+//!                    (default 0 = closed loop)
 //! ```
 //!
 //! Exit codes: 0 clean, 1 checker violation, unsound recording (e.g. a
@@ -96,6 +107,9 @@ struct Args {
     chaos: bool,
     chaos_seed: Option<u64>,
     chaos_faults: usize,
+    service: bool,
+    clients: usize,
+    rate: u64,
 }
 
 fn usage() -> String {
@@ -106,7 +120,8 @@ fn usage() -> String {
      [--metrics -|PATH] [--metrics-jsonl PATH] \
      [--sample-every K [--windows N] [--event-cap N]] \
      [--durable [--shards N] [--crash-at N] [--recover-check] [--file-store DIR]] \
-     [--chaos [--chaos-seed S] [--chaos-faults N]]"
+     [--chaos [--chaos-seed S] [--chaos-faults N]] \
+     [--service [--clients N] [--rate R]]"
         .to_string()
 }
 
@@ -136,6 +151,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut chaos = false;
     let mut chaos_seed = None;
     let mut chaos_faults = 3usize;
+    let mut service = false;
+    let mut clients = 4usize;
+    let mut rate = 0u64;
     let mut iter = argv.iter();
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -251,6 +269,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--chaos-faults: {e}"))?;
             }
+            "--service" => service = true,
+            "--clients" => {
+                clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+            }
+            "--rate" => {
+                rate = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?;
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
@@ -271,14 +300,25 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--metrics/--metrics-jsonl/--sample-every apply to record mode only".to_string(),
         );
     }
-    if !durable && (crash_at.is_some() || recover_check || file_store.is_some()) {
-        return Err("--crash-at/--recover-check/--file-store need --durable".to_string());
+    if !durable && (recover_check || file_store.is_some()) {
+        return Err("--recover-check/--file-store need --durable".to_string());
+    }
+    if !durable && !service && crash_at.is_some() {
+        return Err("--crash-at needs --durable or --service".to_string());
     }
     if !chaos && (chaos_seed.is_some() || chaos_faults != 3) {
         return Err("--chaos-seed/--chaos-faults need --chaos".to_string());
     }
-    if chaos && durable {
-        return Err("--chaos and --durable are exclusive modes".to_string());
+    if [chaos, durable, service].iter().filter(|&&m| m).count() > 1 {
+        return Err("--chaos, --durable and --service are exclusive modes".to_string());
+    }
+    if !service && (clients != 4 || rate != 0) {
+        return Err("--clients/--rate need --service".to_string());
+    }
+    if service && (metrics.is_some() || metrics_jsonl.is_some() || sample_every.is_some()) {
+        return Err(
+            "--metrics/--metrics-jsonl/--sample-every apply to record mode only".to_string(),
+        );
     }
     Ok(Args {
         opts,
@@ -297,7 +337,72 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         chaos,
         chaos_seed,
         chaos_faults,
+        service,
+        clients,
+        rate,
     })
+}
+
+/// The `--service` mode: open-loop clients → StmService → (maybe)
+/// power cut → power-cycle → acked-survival verification, via
+/// [`stm_harness::service_load`].
+#[cfg(feature = "durable")]
+fn service_mode(args: &Args) -> ExitCode {
+    use stm_harness::durable::DurBackend;
+    use stm_harness::service_load::{run_service, ServiceOpts};
+    let backend = match args.opts.backend {
+        RecBackend::TinyWb => DurBackend::WriteBack,
+        RecBackend::TinyWt => DurBackend::WriteThrough,
+        RecBackend::Tl2 => DurBackend::Tl2,
+    };
+    let opts = ServiceOpts {
+        backend,
+        shards: args.shards,
+        clients: args.clients,
+        keys_per_tenant: args.opts.size as usize,
+        rate: args.rate,
+        crash_at: args.crash_at,
+        ..ServiceOpts::default()
+    };
+    println!(
+        "# stm-record --service: backend={} shards={} clients={} keys/tenant={} ops={} \
+         rate={} crash_at={:?}",
+        opts.backend.label(),
+        opts.shards,
+        opts.clients,
+        opts.keys_per_tenant,
+        opts.ops,
+        opts.rate,
+        opts.crash_at,
+    );
+    match run_service(&opts) {
+        Err(e) => {
+            eprintln!("stm-record: {e}");
+            ExitCode::from(2)
+        }
+        Ok(report) => {
+            println!("{}", report.summary());
+            print_fault_lines(&report.fault_stats, &report.healths);
+            for f in &report.failures {
+                eprintln!("FAILURE: {f}");
+            }
+            if report.failures.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "durable"))]
+fn service_mode(args: &Args) -> ExitCode {
+    let _ = (args.clients, args.rate);
+    eprintln!(
+        "stm-record: this binary was built without the `durable` feature; \
+         rebuild with `--features record,durable`"
+    );
+    ExitCode::from(2)
 }
 
 /// The `--durable` mode: workload → (maybe) crash → recover → verify,
@@ -561,6 +666,9 @@ fn main() -> ExitCode {
     }
     if args.durable {
         return durable_mode(&args);
+    }
+    if args.service {
+        return service_mode(&args);
     }
 
     let reporter =

@@ -29,7 +29,11 @@
 //!   workload under deterministic seeded fault injection (transient
 //!   bursts, torn appends, permanent failures, fsync errors), with a
 //!   supervisor rejoining degraded shards and a no-lost-acked-commit
-//!   verification pass.
+//!   verification pass;
+//! * [`service_load`] (feature `durable`) — the `--service` mode:
+//!   open-loop clients driving the multi-tenant [`stm_engine::StmService`]
+//!   (per-shard group commit) with an optional mid-run power cut, a
+//!   power-cycle, and the acked-survival verification.
 
 #[cfg(feature = "durable")]
 pub mod chaos;
@@ -41,6 +45,8 @@ pub mod metrics;
 pub mod open_loop;
 #[cfg(feature = "record")]
 pub mod record;
+#[cfg(feature = "durable")]
+pub mod service_load;
 pub mod table;
 pub mod vacation_mix;
 
@@ -57,4 +63,6 @@ pub use record::{
     run_recorded, run_recorded_with_metrics, run_sampled_windows, run_sampled_windows_with_metrics,
     RecBackend, RecWorkload, RecordOpts, RecordOutcome, SampledOutcome, WindowReport,
 };
+#[cfg(feature = "durable")]
+pub use service_load::{run_service, ServiceOpts, ServiceReport};
 pub use vacation_mix::{run_vacation, vacation_op, VacationWorkload};

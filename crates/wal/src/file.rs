@@ -119,6 +119,31 @@ impl FileStore {
     fn log_path(&self, gen: u64) -> PathBuf {
         self.dir.join(format!("wal-{gen}.log"))
     }
+
+    /// Best-effort removal of every `wal-<gen>.log` whose generation is
+    /// not `live` (superseded by a completed checkpoint). Failures are
+    /// ignored: a stale log is wasted space, never a correctness
+    /// hazard — recovery only ever reads the generation named by the
+    /// snapshot.
+    fn remove_stale_logs(&self, live: u64) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(gen) = name
+                .strip_prefix("wal-")
+                .and_then(|rest| rest.strip_suffix(".log"))
+                .and_then(|g| g.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if gen != live {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
 }
 
 fn open_log(dir: &Path, gen: u64) -> Result<File, StoreError> {
@@ -206,10 +231,16 @@ impl WalStore for FileStore {
         if let Ok(d) = File::open(&self.dir) {
             let _ = d.sync_all(); // best-effort on platforms without dir fsync
         }
-        let old_gen = inner.gen;
         inner.log = open_log(&self.dir, next_gen)?;
         inner.gen = next_gen;
-        let _ = fs::remove_file(self.log_path(old_gen)); // lazy cleanup
+        // Lazy cleanup of *every* superseded log generation, not just
+        // the immediately-prior one: a crash between the rename and the
+        // remove leaves that generation's file behind, and the next
+        // checkpoint (which only knew about its own predecessor) used
+        // to strand it on disk forever. Sweeping by name keeps the
+        // directory at exactly one live log regardless of how many
+        // crash-interrupted checkpoints came before.
+        self.remove_stale_logs(next_gen);
         Ok(())
     }
 }
@@ -352,6 +383,43 @@ mod tests {
         let r = recover_store(&*rebooted).unwrap();
         assert!(!r.tail.is_clean());
         assert!(r.records.len() < 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_sweeps_stale_log_generations() {
+        // Regression: checkpoint used to delete only the immediately
+        // prior generation's log, so generations stranded by a crash
+        // between the snapshot rename and the remove stayed on disk
+        // forever. The sweep must leave exactly the live log.
+        let dir = tmpdir("stale-gens");
+        let store = FileStore::open(&dir).unwrap();
+        write_commits(&store, 2);
+        // Plant the leftovers such a crash leaves: superseded logs
+        // whose checkpoints never got to their lazy remove.
+        fs::write(store.log_path(90), b"stranded").unwrap();
+        fs::write(store.log_path(91), b"stranded").unwrap();
+        let snap = Snapshot {
+            epoch: 1,
+            entries: vec![(0, 0), (1, 10)],
+        };
+        store.checkpoint(&snap.encode()).unwrap();
+        assert_eq!(store.generation(), 1);
+        let logs: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter_map(|e| e.file_name().to_str().map(str::to_string))
+            .filter(|n| n.starts_with("wal-"))
+            .collect();
+        assert_eq!(
+            logs,
+            vec!["wal-1.log".to_string()],
+            "only the live log survives"
+        );
+        // The swept store still recovers cleanly.
+        let r = recover_store(&*store).unwrap();
+        assert_eq!(r.snapshot_epoch, 1);
+        assert!(r.records.is_empty());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -10,7 +10,11 @@
 //! The pieces:
 //!
 //! * [`record::WalRecord`] — the framed on-log record format;
-//! * [`writer::LogWriter`] — serialized append side (seq assignment);
+//! * [`writer::LogWriter`] — serialized append side (seq assignment),
+//!   with a per-commit append path and a group-commit staging path;
+//! * [`group::GroupCommitter`] — amortized flush/ack: many committers
+//!   stage into one batch, one append + one sync acknowledges all of
+//!   them, with typed per-batch failure fan-out;
 //! * [`store::WalStore`] / [`store::MemStore`] / [`store::CrashSwitch`]
 //!   — storage with byte-granular crash simulation and the
 //!   [`store::StoreError`] transient/torn/permanent failure taxonomy;
@@ -37,6 +41,7 @@
 pub mod crc;
 pub mod fault;
 pub mod file;
+pub mod group;
 pub mod log;
 pub mod record;
 pub mod snapshot;
@@ -45,6 +50,7 @@ pub mod writer;
 
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultStore};
 pub use file::FileStore;
+pub use group::{BatchError, GroupCommitConfig, GroupCommitter, GroupError};
 pub use log::{
     decode_log, recover_store, replay_onto, snapshot_of, Recovery, TailStatus, WalError,
 };

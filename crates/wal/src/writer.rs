@@ -73,15 +73,51 @@ impl LogWriter {
         Ok(())
     }
 
+    /// Group-commit staging: reserve the next sequence number and
+    /// encode one commit record *appended onto* `out` (the caller's
+    /// batch buffer), returning the reserved seq.
+    ///
+    /// Unlike [`LogWriter::append_commit`], the seq is consumed
+    /// immediately — the caller owns delivering the bytes to the store
+    /// *in reservation order* and rolling the counter back (via
+    /// [`LogWriter::set_next_seq`]) over any staged records whose
+    /// flush fails with nothing persisted. A writer driven through
+    /// this path must not also be driven through `append_commit`: the
+    /// two would interleave reservation and delivery out of byte
+    /// order. The [`crate::group::GroupCommitter`] is the intended
+    /// sole caller.
+    pub fn stage_commit(
+        &self,
+        epoch: u64,
+        commit_ts: u64,
+        writes: &[(u64, u64)],
+        out: &mut Vec<u8>,
+    ) -> u64 {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        let record = WalRecord {
+            seq,
+            epoch,
+            commit_ts,
+            shard: self.shard,
+            writes: writes.to_vec(),
+        };
+        record.encode_into(out);
+        inner.next_seq += 1;
+        seq
+    }
+
     /// Sequence number the next append will use.
     pub fn next_seq(&self) -> u64 {
         self.inner.lock().next_seq
     }
 
-    /// Reset the sequence counter (rejoin: after a checkpoint truncated
-    /// the log, the next record starts a fresh contiguous run). Must
-    /// only be called while no commit can be publishing — the callers
-    /// hold the shard inside a quiesce fence.
+    /// Reset the sequence counter. Two callers: rejoin (after a
+    /// checkpoint truncated the log, the next record starts a fresh
+    /// contiguous run — inside a quiesce fence, publishes excluded)
+    /// and the group committer's failed-batch rollback (under its
+    /// state lock, with every staged record's ticket failed first).
+    /// Either way no commit may be concurrently staging or appending.
     pub fn set_next_seq(&self, seq: u64) {
         self.inner.lock().next_seq = seq;
     }
